@@ -1,0 +1,69 @@
+/// \file bench_diagnosis.cpp
+/// Diagnostic-resolution comparison across the classical March tests
+/// (reference [6] extension): dictionary construction cost and the
+/// resolution each test achieves on the full static fault set.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "diagnosis/dictionary.hpp"
+#include "march/library.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mtg;
+
+const char* kTests[] = {"MATS++", "March X", "March C-", "PMOVI",
+                        "March B", "March SS"};
+
+void print_resolution_table() {
+    const auto kinds =
+        fault::parse_fault_kinds("SAF,TF,ADF,CFin,CFid,CFst");
+    TextTable table;
+    table.set_header({"March test", "n", "detected", "distinguished",
+                      "resolution"});
+    for (const char* name : kTests) {
+        const auto& test = march::find_march_test(name).test;
+        const auto dict = diagnosis::FaultDictionary::build(test, kinds);
+        char res[16];
+        std::snprintf(res, sizeof res, "%.2f", dict.resolution());
+        table.add_row({name, std::to_string(test.complexity()),
+                       std::to_string(dict.detected_count()) + "/" +
+                           std::to_string(dict.instance_count()),
+                       std::to_string(dict.distinguished_count()), res});
+    }
+    const int instances = static_cast<int>(fault::instantiate(kinds).size());
+    std::printf("Diagnostic resolution on SAF+TF+ADF+CFin+CFid+CFst "
+                "(%d instances):\n\n%s\n", instances, table.str().c_str());
+}
+
+void BM_BuildDictionary(benchmark::State& state) {
+    const auto& test =
+        march::find_march_test(kTests[state.range(0)]).test;
+    const auto kinds = fault::parse_fault_kinds("SAF,TF,ADF,CFin,CFid,CFst");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(diagnosis::FaultDictionary::build(test, kinds));
+    state.SetLabel(kTests[state.range(0)]);
+}
+BENCHMARK(BM_BuildDictionary)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+void BM_Diagnose(benchmark::State& state) {
+    const auto& test = march::march_c_minus();
+    const auto kinds = fault::parse_fault_kinds("SAF,TF,ADF,CFin,CFid,CFst");
+    const auto dict = diagnosis::FaultDictionary::build(test, kinds);
+    const auto observed = diagnosis::signature_of(
+        test, sim::InjectedFault::coupling(fault::FaultKind::CfidUp0, 2, 5));
+    for (auto _ : state) benchmark::DoNotOptimize(dict.diagnose(observed));
+}
+BENCHMARK(BM_Diagnose);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_resolution_table();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

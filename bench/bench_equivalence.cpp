@@ -1,0 +1,82 @@
+/// \file bench_equivalence.cpp
+/// §5 ablation: cost of the equivalence-class enumeration (E = Π |C_i|
+/// reduced TPGs, one exact ATSP each) and the effect of the cross-class
+/// dedup optimisation that removes classes already covered by mandatory
+/// patterns.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/generator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mtg;
+using core::Generator;
+using core::GeneratorOptions;
+
+const char* kLists[] = {"CFin", "CFin,CFid", "SAF,TF,ADF,CFin",
+                        "SAF,TF,ADF,CFin,CFid"};
+
+void print_summary() {
+    TextTable table;
+    table.set_header({"Fault list", "combos (dedup)", "n", "s",
+                      "combos (no dedup)", "n", "s"});
+    for (const char* list : kLists) {
+        GeneratorOptions with;
+        const auto a = Generator(with).generate_for(list);
+        GeneratorOptions without;
+        without.cross_class_dedup = false;
+        const auto b = Generator(without).generate_for(list);
+        char as[32], bs[32];
+        std::snprintf(as, sizeof as, "%.3f", a.seconds);
+        std::snprintf(bs, sizeof bs, "%.3f", b.seconds);
+        table.add_row({list, std::to_string(a.combinations_tried),
+                       std::to_string(a.complexity) + "n", as,
+                       std::to_string(b.combinations_tried),
+                       std::to_string(b.complexity) + "n", bs});
+    }
+    std::printf("§5 class enumeration with/without cross-class dedup:\n\n%s\n",
+                table.str().c_str());
+}
+
+void BM_WithDedup(benchmark::State& state) {
+    Generator generator;
+    const auto kinds = fault::parse_fault_kinds(kLists[state.range(0)]);
+    for (auto _ : state) benchmark::DoNotOptimize(generator.generate(kinds));
+    state.SetLabel(kLists[state.range(0)]);
+}
+BENCHMARK(BM_WithDedup)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+void BM_WithoutDedup(benchmark::State& state) {
+    GeneratorOptions options;
+    options.cross_class_dedup = false;
+    Generator generator(options);
+    const auto kinds = fault::parse_fault_kinds(kLists[state.range(0)]);
+    for (auto _ : state) benchmark::DoNotOptimize(generator.generate(kinds));
+    state.SetLabel(kLists[state.range(0)]);
+}
+BENCHMARK(BM_WithoutDedup)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+/// Start-constraint ablation (f.4.4): constrained-only vs both modes.
+void BM_StartConstraintOnly(benchmark::State& state) {
+    GeneratorOptions options;
+    options.try_both_start_modes = false;
+    Generator generator(options);
+    const auto kinds = fault::parse_fault_kinds(kLists[state.range(0)]);
+    for (auto _ : state) benchmark::DoNotOptimize(generator.generate(kinds));
+    state.SetLabel(kLists[state.range(0)]);
+}
+BENCHMARK(BM_StartConstraintOnly)->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_summary();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

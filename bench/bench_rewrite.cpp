@@ -1,0 +1,95 @@
+/// \file bench_rewrite.cpp
+/// Cost of the §4.1/§4.2 rewrite phases and the §4.3 March synthesis as the
+/// GTS grows — supporting the paper's claim that the post-ATSP
+/// transformations are of linear complexity.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/gts.hpp"
+#include "core/march_builder.hpp"
+#include "core/rewrite.hpp"
+#include "core/test_pattern_graph.hpp"
+#include "sim/two_cell_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mtg;
+using core::Gts;
+
+/// A chain of k copies of the four CFid<^,*> patterns (larger lists reuse
+/// the same shapes; what matters here is GTS length).
+Gts chain_of(int repeats) {
+    std::vector<fault::TestPattern> chain;
+    const auto classes = fault::extract_tp_classes(
+        fault::parse_fault_kinds("CFid<^,0>,CFid<^,1>"));
+    for (int r = 0; r < repeats; ++r)
+        for (const auto& cls : classes)
+            chain.push_back(cls.alternatives.front());
+    return core::concatenate_tps(chain);
+}
+
+core::GtsValidator gate() {
+    const auto instances =
+        fault::instantiate(fault::parse_fault_kinds("CFid<^,0>,CFid<^,1>"));
+    return [instances](const Gts& gts) {
+        const auto ops = gts.ops();
+        if (!sim::gts_well_formed(ops)) return false;
+        for (const auto& inst : instances)
+            if (!sim::gts_detects(ops, inst)) return false;
+        return true;
+    };
+}
+
+void print_summary() {
+    TextTable table;
+    table.set_header({"TP chain", "GTS ops", "after minimise", "March n"});
+    for (int repeats : {1, 2, 4, 8}) {
+        const Gts raw = chain_of(repeats);
+        const Gts reordered = core::reorder(raw);
+        const Gts minimised = core::minimise(reordered, gate());
+        const auto test = core::build_march(minimised);
+        table.add_row({std::to_string(repeats * 4) + " TPs",
+                       std::to_string(raw.op_count()),
+                       std::to_string(minimised.op_count()),
+                       std::to_string(test.complexity()) + "n"});
+    }
+    std::printf("Rewrite pipeline on growing GTSs (repeated CFid<^,*> "
+                "chains):\n\n%s\n", table.str().c_str());
+}
+
+void BM_Reorder(benchmark::State& state) {
+    const Gts raw = chain_of(static_cast<int>(state.range(0)));
+    for (auto _ : state) benchmark::DoNotOptimize(core::reorder(raw));
+    state.SetLabel(std::to_string(raw.op_count()) + " ops");
+}
+BENCHMARK(BM_Reorder)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Minimise(benchmark::State& state) {
+    const Gts reordered = core::reorder(chain_of(static_cast<int>(state.range(0))));
+    const auto validator = gate();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::minimise(reordered, validator));
+    state.SetLabel(std::to_string(reordered.op_count()) + " ops");
+}
+BENCHMARK(BM_Minimise)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BuildMarch(benchmark::State& state) {
+    const Gts reordered = core::reorder(chain_of(static_cast<int>(state.range(0))));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::build_march(reordered));
+    state.SetLabel(std::to_string(reordered.op_count()) + " ops");
+}
+BENCHMARK(BM_BuildMarch)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_summary();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/// \file bench_setcover.cpp
+/// Substrate ablation for the §6 non-redundancy analysis: coverage-matrix
+/// construction cost and exact-vs-greedy set covering on both real
+/// coverage matrices and synthetic instances.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fault/kinds.hpp"
+#include "march/library.hpp"
+#include "setcover/coverage_matrix.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mtg;
+
+setcover::BoolMatrix random_matrix(int rows, int cols, std::uint64_t seed,
+                                   int density_pct) {
+    SplitMix64 rng(seed);
+    setcover::BoolMatrix m(static_cast<std::size_t>(rows),
+                           std::vector<bool>(static_cast<std::size_t>(cols)));
+    for (auto& row : m)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            row[c] = rng.below(100) <
+                     static_cast<std::uint64_t>(density_pct);
+    // Guarantee feasibility.
+    for (int c = 0; c < cols; ++c)
+        m[static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(rows)))]
+         [static_cast<std::size_t>(c)] = true;
+    return m;
+}
+
+void print_summary() {
+    TextTable table;
+    table.set_header({"March test", "blocks", "min cover", "verdict"});
+    const auto kinds = fault::parse_fault_kinds("SAF,TF,ADF,CFin,CFid");
+    for (const char* name : {"MATS++", "March X", "March C-", "March C",
+                             "March B"}) {
+        const auto& test = march::find_march_test(name).test;
+        const auto report = setcover::analyse_redundancy(test, kinds);
+        table.add_row({name, std::to_string(report.block_count),
+                       std::to_string(report.min_cover_size),
+                       !report.complete       ? "incomplete"
+                       : report.non_redundant ? "non-redundant"
+                                              : "REDUNDANT"});
+    }
+    std::printf("§6 set-covering verdicts against SAF+TF+ADF+CFin+CFid:\n\n%s\n",
+                table.str().c_str());
+}
+
+void BM_BuildCoverageMatrix(benchmark::State& state) {
+    const auto& test = march::march_c_minus();
+    const auto kinds = fault::parse_fault_kinds("SAF,TF,ADF,CFin,CFid");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(setcover::build_coverage_matrix(test, kinds));
+}
+BENCHMARK(BM_BuildCoverageMatrix)->Unit(benchmark::kMillisecond);
+
+void BM_ExactCover(benchmark::State& state) {
+    const auto m = random_matrix(static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(0)) * 2, 99, 25);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(setcover::minimum_cover(m));
+}
+BENCHMARK(BM_ExactCover)->Arg(10)->Arg(20)->Arg(30)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_GreedyCover(benchmark::State& state) {
+    const auto m = random_matrix(static_cast<int>(state.range(0)),
+                                 static_cast<int>(state.range(0)) * 2, 99, 25);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(setcover::greedy_cover(m));
+}
+BENCHMARK(BM_GreedyCover)->Arg(10)->Arg(20)->Arg(30)->Arg(60)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_summary();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

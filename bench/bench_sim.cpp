@@ -1,0 +1,91 @@
+/// \file bench_sim.cpp
+/// Substrate ablation: throughput of the fault simulator (the §6 validation
+/// engine) versus memory size and March-test complexity, plus the cost of a
+/// full covers_everywhere sweep as used by the generator's validation gate.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "fault/kinds.hpp"
+#include "march/library.hpp"
+#include "sim/march_runner.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace mtg;
+
+void print_summary() {
+    TextTable table;
+    table.set_header({"March test", "n", "detects SAF0@mid",
+                      "detects CFid<^,0>@(1,2)"});
+    for (const char* name : {"MATS", "MATS++", "March C-", "March SS"}) {
+        const auto& test = march::find_march_test(name).test;
+        table.add_row(
+            {name, std::to_string(test.complexity()),
+             sim::detects(test, sim::InjectedFault::single(
+                                    fault::FaultKind::Saf0, 4))
+                 ? "yes"
+                 : "no",
+             sim::detects(test, sim::InjectedFault::coupling(
+                                    fault::FaultKind::CfidUp0, 1, 2))
+                 ? "yes"
+                 : "no"});
+    }
+    std::printf("Fault simulator sanity snapshot:\n\n%s\n", table.str().c_str());
+}
+
+void BM_SingleRun(benchmark::State& state) {
+    const auto& test = march::march_c_minus();
+    const auto fault =
+        sim::InjectedFault::coupling(fault::FaultKind::CfidUp0, 1, 2);
+    sim::RunOptions opts;
+    opts.memory_size = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::run_once(test, {fault}, 0u, opts));
+    state.SetItemsProcessed(state.iterations() * opts.memory_size *
+                            test.complexity());
+}
+BENCHMARK(BM_SingleRun)->Arg(8)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DetectsWithExpansions(benchmark::State& state) {
+    const auto& test = march::march_ss();  // two ⇕ elements -> 4 expansions
+    const auto fault =
+        sim::InjectedFault::coupling(fault::FaultKind::CfstS1F0, 2, 5);
+    sim::RunOptions opts;
+    opts.memory_size = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::detects(test, fault, opts));
+}
+BENCHMARK(BM_DetectsWithExpansions)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CoversEverywhere(benchmark::State& state) {
+    const auto& test = march::march_c_minus();
+    sim::RunOptions opts;
+    opts.memory_size = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sim::covers_everywhere(
+            test, fault::FaultKind::CfidUp0, opts));
+}
+BENCHMARK(BM_CoversEverywhere)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WellFormedCheck(benchmark::State& state) {
+    const auto& test = march::find_march_test(
+        state.range(0) == 0 ? "MATS" : "March SS").test;
+    for (auto _ : state) benchmark::DoNotOptimize(sim::is_well_formed(test));
+    state.SetLabel(state.range(0) == 0 ? "MATS" : "March SS");
+}
+BENCHMARK(BM_WellFormedCheck)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_summary();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/// \file bench_table3.cpp
+/// Regenerates the paper's Table 3: for each of the six fault lists, the
+/// generated March test, its complexity, the generation CPU time, the §6
+/// non-redundancy verdict and the known equivalent from the literature.
+/// Afterwards google-benchmark times the full generation per row.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/generator.hpp"
+#include "fault/fault_list.hpp"
+#include "march/library.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using mtg::core::GenerationResult;
+using mtg::core::Generator;
+
+void print_table3() {
+    mtg::TextTable table;
+    table.set_header({"Fault list", "Generated March test", "n", "CPU(s)",
+                      "complete", "non-red.", "known equivalent"});
+
+    Generator generator;
+    for (const auto& row : mtg::fault::table3_fault_lists()) {
+        const GenerationResult result = generator.generate(row.kinds);
+        std::string known = row.known_equivalent;
+        if (row.known_complexity > 0)
+            known += " (" + std::to_string(row.known_complexity) + "n)";
+        char seconds[32];
+        std::snprintf(seconds, sizeof seconds, "%.3f", result.seconds);
+        table.add_row({row.name,
+                       result.test.str(mtg::march::Notation::Unicode),
+                       std::to_string(result.complexity) + "n", seconds,
+                       result.redundancy.complete ? "yes" : "NO",
+                       result.redundancy.non_redundant ? "yes" : "NO", known});
+    }
+    std::printf("Table 3 — automatically generated March tests\n"
+                "(paper reference: 4n/5n/6n/6n/10n/5n in 0.49-0.85 s on a "
+                "PIII-650 laptop)\n\n%s\n", table.str().c_str());
+}
+
+void BM_GenerateRow(benchmark::State& state) {
+    const auto& row = mtg::fault::table3_fault_lists()
+        [static_cast<std::size_t>(state.range(0))];
+    Generator generator;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generator.generate(row.kinds));
+    }
+    state.SetLabel(row.name);
+}
+BENCHMARK(BM_GenerateRow)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_table3();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/// \file bench_tpg.cpp
+/// Regenerates Figure 4 (the Test Pattern Graph for {⟨↑,1⟩, ⟨↑,0⟩}) and the
+/// §4 worked example (GTS and the 8n March test), then times TPG
+/// construction and minimum-path extraction as the fault list grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/gts.hpp"
+#include "core/march_builder.hpp"
+#include "core/rewrite.hpp"
+#include "core/test_pattern_graph.hpp"
+#include "fault/test_pattern.hpp"
+
+namespace {
+
+using mtg::core::TestPatternGraph;
+using mtg::fault::TestPattern;
+
+std::vector<TestPattern> patterns_for(const std::string& list) {
+    std::vector<TestPattern> tps;
+    for (const auto& cls :
+         mtg::fault::extract_tp_classes(mtg::fault::parse_fault_kinds(list)))
+        tps.push_back(cls.alternatives.front());
+    return tps;
+}
+
+void print_figure4() {
+    const auto tps = patterns_for("CFid<^,1>,CFid<^,0>");
+    const TestPatternGraph tpg(tps);
+    std::printf("Figure 4 — Test Pattern Graph for {<^,1>, <^,0>}\n\n%s\n",
+                tpg.str().c_str());
+
+    const auto path = tpg.solve(true);
+    if (!path) return;
+    std::vector<TestPattern> chain;
+    for (int v : path->order) chain.push_back(tps[static_cast<std::size_t>(v)]);
+    const mtg::core::Gts gts =
+        mtg::core::reorder(mtg::core::concatenate_tps(chain));
+    std::printf("GTS (cost %lld): %s\n",
+                static_cast<long long>(path->cost), gts.str().c_str());
+    const auto march = mtg::core::build_march(gts);
+    std::printf("March test: %s  (%dn; the paper's §4.3 example reports "
+                "8n)\n\n",
+                march.str(mtg::march::Notation::Unicode).c_str(),
+                march.complexity());
+}
+
+const char* kLists[] = {
+    "CFid<^,0>",
+    "CFid<^,1>,CFid<^,0>",
+    "CFid",
+    "CFid,CFin",
+    "SAF,TF,ADF,CFin,CFid",
+    "SAF,TF,ADF,CFin,CFid,CFst",
+};
+
+void BM_TpgBuild(benchmark::State& state) {
+    const auto tps = patterns_for(kLists[state.range(0)]);
+    for (auto _ : state) {
+        TestPatternGraph tpg(tps);
+        benchmark::DoNotOptimize(tpg.cost_matrix());
+    }
+    state.SetLabel(std::string(kLists[state.range(0)]) + " (" +
+                   std::to_string(tps.size()) + " nodes)");
+}
+BENCHMARK(BM_TpgBuild)->DenseRange(0, 5);
+
+void BM_TpgSolve(benchmark::State& state) {
+    const auto tps = patterns_for(kLists[state.range(0)]);
+    const TestPatternGraph tpg(tps);
+    for (auto _ : state) benchmark::DoNotOptimize(tpg.solve(true));
+    state.SetLabel(std::string(kLists[state.range(0)]) + " (" +
+                   std::to_string(tps.size()) + " nodes)");
+}
+BENCHMARK(BM_TpgSolve)->DenseRange(0, 5)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_figure4();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,79 @@
+/// \file bench_word.cpp
+/// Word-oriented extension: coverage of solid vs counting backgrounds on
+/// intra-word coupling faults, and simulation cost versus word width.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "march/library.hpp"
+#include "util/table.hpp"
+#include "word/word_march.hpp"
+
+namespace {
+
+using namespace mtg;
+
+void print_summary() {
+    TextTable table;
+    table.set_header({"width", "backgrounds", "ops/word",
+                      "intra-word CFid<^,1>"});
+    for (int width : {4, 8, 16}) {
+        const auto& test = march::march_c_minus();
+        word::WordRunOptions opts;
+        opts.width = width;
+        for (bool counting : {false, true}) {
+            const auto backgrounds = counting
+                                         ? word::counting_backgrounds(width)
+                                         : word::solid_background(width);
+            table.add_row(
+                {std::to_string(width),
+                 counting ? "counting (" +
+                                std::to_string(backgrounds.size()) + ")"
+                          : "solid (1)",
+                 std::to_string(word::word_complexity(test, backgrounds)),
+                 word::covers_everywhere(test, backgrounds,
+                                         fault::FaultKind::CfidUp1, opts)
+                     ? "covered"
+                     : "ESCAPES"});
+        }
+    }
+    std::printf("March C- lifted to word-oriented memories:\n\n%s\n",
+                table.str().c_str());
+}
+
+void BM_WordDetect(benchmark::State& state) {
+    const int width = static_cast<int>(state.range(0));
+    const auto& test = march::march_c_minus();
+    const auto backgrounds = word::counting_backgrounds(width);
+    word::WordRunOptions opts;
+    opts.width = width;
+    const auto fault = word::InjectedBitFault::coupling(
+        fault::FaultKind::CfidUp1, {opts.words / 2, 0}, {opts.words / 2, 1});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(word::detects(test, backgrounds, fault, opts));
+}
+BENCHMARK(BM_WordDetect)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_WordCoversIntraWord(benchmark::State& state) {
+    const int width = static_cast<int>(state.range(0));
+    const auto& test = march::march_c_minus();
+    const auto backgrounds = word::counting_backgrounds(width);
+    word::WordRunOptions opts;
+    opts.width = width;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(word::covers_everywhere(
+            test, backgrounds, fault::FaultKind::CfidUp1, opts));
+}
+BENCHMARK(BM_WordCoversIntraWord)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_summary();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,56 @@
+/// \file fsm_dump.cpp
+/// Programmatic rendition of the paper's definitional figures:
+///   Figure 1 — the fault-free machine M0 (full transition/output table);
+///   Figure 2 — the faulty machine M1 for CFid ⟨↑,0⟩ (its perturbed edges);
+///   Figure 3 — the BFE decomposition of ⟨↑,0⟩ and the derived TPs;
+///   Figure 4 — the Test Pattern Graph for {⟨↑,1⟩, ⟨↑,0⟩}.
+
+#include <cstdio>
+
+#include "core/test_pattern_graph.hpp"
+#include "fault/test_pattern.hpp"
+
+int main() {
+    using namespace mtg;
+
+    std::printf("Figure 1 — fault-free two-cell machine M0 "
+                "(rows: state, cells i,j; entries: next/output):\n\n%s\n",
+                fsm::MemoryFsm::good().table_str().c_str());
+
+    std::printf("Figure 2 — CFid<^,0>: perturbed entries per aggressor role\n");
+    for (fsm::Cell role : {fsm::Cell::I, fsm::Cell::J}) {
+        const auto machine =
+            fault::faulty_machine({fault::FaultKind::CfidUp0, role});
+        for (const auto& bfe : machine.diff(fsm::MemoryFsm::good()))
+            std::printf("  aggressor %c:  %s\n", fsm::cell_char(role),
+                        bfe.str().c_str());
+    }
+
+    std::printf("\nFigure 3 — BFEs and their Test Patterns:\n");
+    for (fsm::Cell role : {fsm::Cell::I, fsm::Cell::J}) {
+        const auto cls =
+            fault::extract_tp_class({fault::FaultKind::CfidUp0, role});
+        std::printf("  %s\n", cls.str().c_str());
+    }
+
+    std::printf("\nFigure 4 — TPG for {<^,1>, <^,0>}:\n\n");
+    std::vector<fault::TestPattern> tps;
+    for (fault::FaultKind kind :
+         {fault::FaultKind::CfidUp1, fault::FaultKind::CfidUp0})
+        for (fsm::Cell role : {fsm::Cell::I, fsm::Cell::J})
+            tps.push_back(
+                fault::extract_tp_class({kind, role}).alternatives.front());
+    const core::TestPatternGraph tpg(tps);
+    std::printf("%s", tpg.str().c_str());
+
+    const auto path = tpg.solve(/*constrain_start=*/true);
+    if (path) {
+        std::printf("\nminimum-weight Hamiltonian path (f.4.4 constrained), "
+                    "cost %lld:\n  ",
+                    static_cast<long long>(path->cost));
+        for (std::size_t k = 0; k < path->order.size(); ++k)
+            std::printf("%sTP%d", k ? " -> " : "", path->order[k] + 1);
+        std::printf("\n");
+    }
+    return 0;
+}

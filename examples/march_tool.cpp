@@ -1,0 +1,140 @@
+/// \file march_tool.cpp
+/// Command-line front end combining the library's main workflows:
+///
+///   march_tool generate <fault-list>
+///       generate an optimal March test (with §6 report)
+///   march_tool verify "<march-test>" <fault-list>
+///       simulate an existing March test against a fault list
+///   march_tool diagnose "<march-test>" <fault-list>
+///       print the fault dictionary and diagnostic resolution
+///   march_tool word <fault-list> <width>
+///       generate, then lift to W-bit words with counting backgrounds
+///
+/// March tests are written in the conventional notation, e.g.
+/// "{~(w0); ^(r0,w1); v(r1,w0)}"; fault lists are comma-separated families
+/// (SAF, TF, ADF, AF2, CFin, CFid, CFst, WDF, RDF, DRDF, IRF, DRF) or
+/// single primitives such as CFid<^,1>.
+
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "core/generator.hpp"
+#include "diagnosis/dictionary.hpp"
+#include "march/library.hpp"
+#include "march/parser.hpp"
+#include "setcover/coverage_matrix.hpp"
+#include "word/word_march.hpp"
+
+namespace {
+
+using namespace mtg;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  march_tool generate <fault-list>\n"
+                 "  march_tool verify \"<march-test>\" <fault-list>\n"
+                 "  march_tool diagnose \"<march-test>\" <fault-list>\n"
+                 "  march_tool word <fault-list> <width>\n");
+    return 2;
+}
+
+march::MarchTest parse_test_arg(const std::string& text) {
+    try {
+        return march::find_march_test(text).test;
+    } catch (const std::invalid_argument&) {
+        return march::parse_march(text);
+    }
+}
+
+int cmd_generate(const std::string& list) {
+    core::Generator generator;
+    const auto result = generator.generate_for(list);
+    std::printf("%s\n", result.test.str(march::Notation::Unicode).c_str());
+    std::printf("complexity:    %dn\n", result.complexity);
+    std::printf("complete:      %s\n", result.valid ? "yes" : "NO");
+    std::printf("non-redundant: %s\n",
+                result.redundancy.non_redundant ? "yes" : "NO");
+    std::printf("time:          %.3f s  (%d class combinations)\n",
+                result.seconds, result.combinations_tried);
+    return result.valid ? 0 : 1;
+}
+
+int cmd_verify(const std::string& text, const std::string& list) {
+    const auto test = parse_test_arg(text);
+    const auto kinds = fault::parse_fault_kinds(list);
+    if (!sim::is_well_formed(test)) {
+        std::printf("ILL-FORMED: the test reads unknown or wrong values on "
+                    "a fault-free memory\n");
+        return 1;
+    }
+    bool all = true;
+    for (fault::FaultKind kind : kinds) {
+        const bool ok = sim::covers_everywhere(test, kind);
+        std::printf("%-12s %s\n", fault::fault_kind_name(kind).c_str(),
+                    ok ? "covered" : "ESCAPES");
+        all = all && ok;
+    }
+    const auto report = setcover::analyse_redundancy(test, kinds);
+    std::printf("non-redundant: %s\n", report.non_redundant ? "yes" : "NO");
+    return all ? 0 : 1;
+}
+
+int cmd_diagnose(const std::string& text, const std::string& list) {
+    const auto test = parse_test_arg(text);
+    const auto dict = diagnosis::FaultDictionary::build(
+        test, fault::parse_fault_kinds(list));
+    std::printf("%s", dict.str().c_str());
+    std::printf("resolution: %.2f (%d/%d distinguished)\n", dict.resolution(),
+                dict.distinguished_count(), dict.detected_count());
+    return 0;
+}
+
+int cmd_word(const std::string& list, int width) {
+    core::Generator generator;
+    const auto result = generator.generate_for(list);
+    if (!result.valid) {
+        std::printf("generation failed\n");
+        return 1;
+    }
+    const auto backgrounds = word::counting_backgrounds(width);
+    word::WordRunOptions opts;
+    opts.width = width;
+    std::printf("bit-oriented:  %s (%dn)\n",
+                result.test.str(march::Notation::Unicode).c_str(),
+                result.complexity);
+    std::printf("word-oriented: %zu backgrounds, %d ops/word\n",
+                backgrounds.size(),
+                word::word_complexity(result.test, backgrounds));
+    bool all = true;
+    for (fault::FaultKind kind : fault::parse_fault_kinds(list)) {
+        const bool ok =
+            word::covers_everywhere(result.test, backgrounds, kind, opts);
+        std::printf("%-12s %s\n", fault::fault_kind_name(kind).c_str(),
+                    ok ? "covered" : "ESCAPES");
+        all = all && ok;
+    }
+    return all ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "generate") return cmd_generate(argv[2]);
+        if (command == "verify" && argc >= 4)
+            return cmd_verify(argv[2], argv[3]);
+        if (command == "diagnose" && argc >= 4)
+            return cmd_diagnose(argv[2], argv[3]);
+        if (command == "word" && argc >= 4)
+            return cmd_word(argv[2], std::atoi(argv[3]));
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,110 @@
+#include "atsp/branch_bound.hpp"
+
+#include <algorithm>
+
+#include "atsp/heuristics.hpp"
+#include "atsp/hungarian.hpp"
+
+namespace mtg::atsp {
+
+namespace {
+
+class ExactSolver {
+public:
+    ExactSolver(const CostMatrix& costs, SolveStats* stats)
+        : costs_(costs), stats_(stats) {}
+
+    std::optional<Tour> solve() {
+        if (auto incumbent = heuristic_tour(costs_)) best_ = incumbent;
+        CostMatrix working = costs_;
+        search(working);
+        return best_;
+    }
+
+private:
+    const CostMatrix& costs_;
+    SolveStats* stats_;
+    std::optional<Tour> best_;
+
+    void bump(long long SolveStats::* field) {
+        if (stats_) ++(stats_->*field);
+    }
+
+    /// Forces arc (i, j): every competing arc out of i / into j becomes
+    /// forbidden (except the diagonal, already forbidden).
+    static void force_arc(CostMatrix& m, int i, int j) {
+        for (int k = 0; k < m.size(); ++k) {
+            if (k != j) m.forbid(i, k);
+            if (k != i) m.forbid(k, j);
+        }
+        // Keep the arc itself usable with its original cost — forbid() calls
+        // above never touch (i, j).
+    }
+
+    void search(CostMatrix& node_costs) {
+        bump(&SolveStats::nodes_explored);
+        bump(&SolveStats::ap_solves);
+        const Assignment ap = solve_assignment(node_costs);
+        if (!ap.feasible) return;  // no completion without forbidden arcs
+        if (best_ && ap.cost >= best_->cost) return;  // bound
+
+        const auto cycles = assignment_cycles(ap.to);
+        if (cycles.size() == 1) {
+            // Hamiltonian: candidate tour. Cost taken against the ORIGINAL
+            // matrix (forced arcs keep original costs, so ap.cost is right,
+            // but recompute defensively).
+            Tour tour{cycles.front(), tour_cost(costs_, cycles.front())};
+            if (!best_ || tour.cost < best_->cost) best_ = std::move(tour);
+            return;
+        }
+
+        // Branch on the smallest subtour: child k forbids arc_k and forces
+        // arcs_0..k-1 (Bellmore–Malone partition of the solution space).
+        const std::vector<int>& subtour = cycles.front();
+        const int len = static_cast<int>(subtour.size());
+        for (int k = 0; k < len; ++k) {
+            CostMatrix child = node_costs;
+            for (int f = 0; f < k; ++f) {
+                const int from = subtour[static_cast<std::size_t>(f)];
+                const int to =
+                    subtour[static_cast<std::size_t>((f + 1) % len)];
+                force_arc(child, from, to);
+            }
+            const int bf = subtour[static_cast<std::size_t>(k)];
+            const int bt = subtour[static_cast<std::size_t>((k + 1) % len)];
+            child.forbid(bf, bt);
+            search(child);
+        }
+    }
+};
+
+}  // namespace
+
+std::optional<Tour> solve_exact(const CostMatrix& costs, SolveStats* stats) {
+    if (costs.size() == 1)
+        return Tour{{0}, 0};  // degenerate: single node, zero-length "tour"
+    ExactSolver solver(costs, stats);
+    auto result = solver.solve();
+    if (result && result->cost >= kForbidden) return std::nullopt;
+    return result;
+}
+
+std::optional<Tour> solve_brute_force(const CostMatrix& costs) {
+    const int n = costs.size();
+    MTG_EXPECTS(n <= 11);
+    if (n == 1) return Tour{{0}, 0};
+    std::vector<int> perm;
+    for (int v = 1; v < n; ++v) perm.push_back(v);
+    std::optional<Tour> best;
+    do {
+        std::vector<int> order;
+        order.push_back(0);
+        order.insert(order.end(), perm.begin(), perm.end());
+        if (!tour_feasible(costs, order)) continue;
+        const Cost c = tour_cost(costs, order);
+        if (!best || c < best->cost) best = Tour{order, c};
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+}
+
+}  // namespace mtg::atsp

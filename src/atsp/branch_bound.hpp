@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file branch_bound.hpp
+/// Exact ATSP solver: assignment-problem relaxation + subtour-elimination
+/// branching (the Bellmore–Malone scheme as refined by Carpaneto,
+/// Dell'Amico and Toth — the ACM TOMS 750 algorithm the paper calls out).
+///
+/// At each node the AP relaxation is solved; a single-cycle assignment is a
+/// candidate tour, otherwise the smallest subtour is broken by branching on
+/// its arcs (child k forbids arc k and forces arcs 1..k-1). A heuristic
+/// incumbent provides the initial upper bound.
+
+#include <optional>
+
+#include "atsp/instance.hpp"
+
+namespace mtg::atsp {
+
+/// Solver statistics for the benchmark ablations.
+struct SolveStats {
+    long long nodes_explored{0};  ///< branch-and-bound nodes
+    long long ap_solves{0};       ///< assignment relaxations solved
+};
+
+/// Exact minimum tour, or nullopt when no feasible tour exists.
+/// `stats`, when non-null, receives search statistics.
+[[nodiscard]] std::optional<Tour> solve_exact(const CostMatrix& costs,
+                                              SolveStats* stats = nullptr);
+
+/// Reference solver: full permutation enumeration. Only for n <= 11; the
+/// testing oracle for solve_exact.
+[[nodiscard]] std::optional<Tour> solve_brute_force(const CostMatrix& costs);
+
+}  // namespace mtg::atsp

@@ -1,0 +1,102 @@
+#include "atsp/heuristics.hpp"
+
+#include <algorithm>
+
+namespace mtg::atsp {
+
+std::optional<Tour> nearest_neighbour(const CostMatrix& costs, int start) {
+    const int n = costs.size();
+    MTG_EXPECTS(start >= 0 && start < n);
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(n));
+    int current = start;
+    visited[static_cast<std::size_t>(current)] = true;
+    order.push_back(current);
+    for (int step = 1; step < n; ++step) {
+        int best = -1;
+        Cost best_cost = kForbidden;
+        for (int next = 0; next < n; ++next) {
+            if (visited[static_cast<std::size_t>(next)]) continue;
+            const Cost c = costs.at(current, next);
+            if (c < best_cost) {
+                best_cost = c;
+                best = next;
+            }
+        }
+        if (best < 0) return std::nullopt;
+        visited[static_cast<std::size_t>(best)] = true;
+        order.push_back(best);
+        current = best;
+    }
+    if (costs.is_forbidden(current, start)) return std::nullopt;
+    return Tour{order, tour_cost(costs, order)};
+}
+
+std::optional<Tour> best_nearest_neighbour(const CostMatrix& costs) {
+    std::optional<Tour> best;
+    for (int start = 0; start < costs.size(); ++start) {
+        auto tour = nearest_neighbour(costs, start);
+        if (tour && (!best || tour->cost < best->cost)) best = tour;
+    }
+    return best;
+}
+
+Tour or_opt(const CostMatrix& costs, Tour tour) {
+    const int n = static_cast<int>(tour.order.size());
+    if (n < 4) return tour;
+    bool improved = true;
+    while (improved) {
+        improved = false;
+        for (int seg_len = 1; seg_len <= 3 && !improved; ++seg_len) {
+            for (int from = 0; from < n && !improved; ++from) {
+                // Segment occupies positions from .. from+seg_len-1 (mod n).
+                for (int to = 0; to < n && !improved; ++to) {
+                    // Skip insertion points inside or adjacent to the segment.
+                    bool overlaps = false;
+                    for (int k = -1; k <= seg_len; ++k) {
+                        if ((from + k + n) % n == to) {
+                            overlaps = true;
+                            break;
+                        }
+                    }
+                    if (overlaps) continue;
+
+                    std::vector<int> candidate;
+                    candidate.reserve(static_cast<std::size_t>(n));
+                    std::vector<bool> in_segment(static_cast<std::size_t>(n), false);
+                    std::vector<int> segment;
+                    for (int k = 0; k < seg_len; ++k) {
+                        const int idx = (from + k) % n;
+                        in_segment[static_cast<std::size_t>(idx)] = true;
+                        segment.push_back(tour.order[static_cast<std::size_t>(idx)]);
+                    }
+                    for (int idx = 0; idx < n; ++idx) {
+                        if (in_segment[static_cast<std::size_t>(idx)]) continue;
+                        candidate.push_back(tour.order[static_cast<std::size_t>(idx)]);
+                        if (idx == to)
+                            candidate.insert(candidate.end(), segment.begin(),
+                                             segment.end());
+                    }
+                    if (static_cast<int>(candidate.size()) != n) continue;
+                    if (!tour_feasible(costs, candidate)) continue;
+                    const Cost c = tour_cost(costs, candidate);
+                    if (c < tour.cost) {
+                        tour.order = std::move(candidate);
+                        tour.cost = c;
+                        improved = true;
+                    }
+                }
+            }
+        }
+    }
+    return tour;
+}
+
+std::optional<Tour> heuristic_tour(const CostMatrix& costs) {
+    auto tour = best_nearest_neighbour(costs);
+    if (!tour) return std::nullopt;
+    return or_opt(costs, std::move(*tour));
+}
+
+}  // namespace mtg::atsp

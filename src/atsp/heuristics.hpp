@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file heuristics.hpp
+/// ATSP construction and improvement heuristics. Used to seed the exact
+/// branch-and-bound with an incumbent upper bound (and benchmarked on their
+/// own as an ablation against the exact solver).
+
+#include <optional>
+
+#include "atsp/instance.hpp"
+
+namespace mtg::atsp {
+
+/// Nearest-neighbour tour from a given start node. Returns nullopt when it
+/// runs into a dead end of forbidden arcs.
+[[nodiscard]] std::optional<Tour> nearest_neighbour(const CostMatrix& costs,
+                                                    int start);
+
+/// Best nearest-neighbour tour over all start nodes.
+[[nodiscard]] std::optional<Tour> best_nearest_neighbour(const CostMatrix& costs);
+
+/// Or-opt improvement: repeatedly relocates segments of 1..3 consecutive
+/// nodes to better positions (direction-preserving, hence valid for
+/// asymmetric instances). Runs to a local optimum.
+[[nodiscard]] Tour or_opt(const CostMatrix& costs, Tour tour);
+
+/// Construction + improvement; the standard incumbent used by the exact
+/// solver. Returns nullopt when no feasible tour could be constructed
+/// (the exact solver then starts without an upper bound).
+[[nodiscard]] std::optional<Tour> heuristic_tour(const CostMatrix& costs);
+
+}  // namespace mtg::atsp

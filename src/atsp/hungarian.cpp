@@ -1,0 +1,95 @@
+#include "atsp/hungarian.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mtg::atsp {
+
+Assignment solve_assignment(const CostMatrix& costs) {
+    // Classical potentials formulation (1-indexed internally). See e.g.
+    // Jonker & Volgenant; this variant is the compact O(n^3) version.
+    const int n = costs.size();
+    const Cost inf = std::numeric_limits<Cost>::max() / 4;
+
+    std::vector<Cost> u(static_cast<std::size_t>(n + 1), 0);
+    std::vector<Cost> v(static_cast<std::size_t>(n + 1), 0);
+    std::vector<int> p(static_cast<std::size_t>(n + 1), 0);    // row matched to column j
+    std::vector<int> way(static_cast<std::size_t>(n + 1), 0);  // augmenting path links
+
+    for (int i = 1; i <= n; ++i) {
+        p[0] = i;
+        int j0 = 0;
+        std::vector<Cost> minv(static_cast<std::size_t>(n + 1), inf);
+        std::vector<bool> used(static_cast<std::size_t>(n + 1), false);
+        do {
+            used[static_cast<std::size_t>(j0)] = true;
+            const int i0 = p[static_cast<std::size_t>(j0)];
+            Cost delta = inf;
+            int j1 = -1;
+            for (int j = 1; j <= n; ++j) {
+                if (used[static_cast<std::size_t>(j)]) continue;
+                const Cost cur = costs.at(i0 - 1, j - 1) -
+                                 u[static_cast<std::size_t>(i0)] -
+                                 v[static_cast<std::size_t>(j)];
+                if (cur < minv[static_cast<std::size_t>(j)]) {
+                    minv[static_cast<std::size_t>(j)] = cur;
+                    way[static_cast<std::size_t>(j)] = j0;
+                }
+                if (minv[static_cast<std::size_t>(j)] < delta) {
+                    delta = minv[static_cast<std::size_t>(j)];
+                    j1 = j;
+                }
+            }
+            for (int j = 0; j <= n; ++j) {
+                if (used[static_cast<std::size_t>(j)]) {
+                    u[static_cast<std::size_t>(p[static_cast<std::size_t>(j)])] += delta;
+                    v[static_cast<std::size_t>(j)] -= delta;
+                } else {
+                    minv[static_cast<std::size_t>(j)] -= delta;
+                }
+            }
+            j0 = j1;
+        } while (p[static_cast<std::size_t>(j0)] != 0);
+        do {
+            const int j1 = way[static_cast<std::size_t>(j0)];
+            p[static_cast<std::size_t>(j0)] = p[static_cast<std::size_t>(j1)];
+            j0 = j1;
+        } while (j0 != 0);
+    }
+
+    Assignment result;
+    result.to.assign(static_cast<std::size_t>(n), -1);
+    for (int j = 1; j <= n; ++j)
+        result.to[static_cast<std::size_t>(p[static_cast<std::size_t>(j)] - 1)] =
+            j - 1;
+    result.cost = 0;
+    result.feasible = true;
+    for (int i = 0; i < n; ++i) {
+        const Cost c = costs.at(i, result.to[static_cast<std::size_t>(i)]);
+        if (c >= kForbidden) result.feasible = false;
+        result.cost += c;
+    }
+    return result;
+}
+
+std::vector<std::vector<int>> assignment_cycles(const std::vector<int>& to) {
+    const int n = static_cast<int>(to.size());
+    std::vector<bool> seen(static_cast<std::size_t>(n), false);
+    std::vector<std::vector<int>> cycles;
+    for (int start = 0; start < n; ++start) {
+        if (seen[static_cast<std::size_t>(start)]) continue;
+        std::vector<int> cycle;
+        int v = start;
+        while (!seen[static_cast<std::size_t>(v)]) {
+            seen[static_cast<std::size_t>(v)] = true;
+            cycle.push_back(v);
+            v = to[static_cast<std::size_t>(v)];
+        }
+        cycles.push_back(std::move(cycle));
+    }
+    std::sort(cycles.begin(), cycles.end(),
+              [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    return cycles;
+}
+
+}  // namespace mtg::atsp

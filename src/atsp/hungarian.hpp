@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file hungarian.hpp
+/// Linear assignment problem solver. The AP relaxation of the ATSP (drop
+/// the subtour-elimination constraints) gives the lower bound driving the
+/// exact branch-and-bound, exactly as in the Carpaneto–Dell'Amico–Toth
+/// algorithm the paper uses.
+
+#include <vector>
+
+#include "atsp/instance.hpp"
+
+namespace mtg::atsp {
+
+/// Result of one assignment solve.
+struct Assignment {
+    std::vector<int> to;   ///< to[i] = column assigned to row i
+    Cost cost{0};          ///< total assignment cost
+    bool feasible{false};  ///< false when only forbidden arcs could complete it
+};
+
+/// Solves min-cost perfect matching on the square cost matrix via the
+/// O(n^3) potentials / shortest-augmenting-path Hungarian algorithm.
+/// Forbidden arcs participate with kForbidden cost; an assignment using one
+/// is reported infeasible.
+[[nodiscard]] Assignment solve_assignment(const CostMatrix& costs);
+
+/// Decomposes an assignment permutation into its cycles, each listed in
+/// traversal order; cycles are sorted by size (smallest first).
+[[nodiscard]] std::vector<std::vector<int>> assignment_cycles(
+    const std::vector<int>& to);
+
+}  // namespace mtg::atsp

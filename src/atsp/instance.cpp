@@ -1,0 +1,46 @@
+#include "atsp/instance.hpp"
+
+#include <algorithm>
+
+namespace mtg::atsp {
+
+CostMatrix::CostMatrix(int n, Cost fill)
+    : n_(n), cost_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), fill) {
+    MTG_EXPECTS(n > 0);
+    for (int v = 0; v < n; ++v) forbid(v, v);
+}
+
+Cost tour_cost(const CostMatrix& costs, const std::vector<int>& order) {
+    MTG_EXPECTS(!order.empty());
+    Cost total = 0;
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        const int from = order[k];
+        const int to = order[(k + 1) % order.size()];
+        total += costs.at(from, to);
+    }
+    return total;
+}
+
+bool tour_feasible(const CostMatrix& costs, const std::vector<int>& order) {
+    if (static_cast<int>(order.size()) != costs.size()) return false;
+    std::vector<bool> seen(order.size(), false);
+    for (int v : order) {
+        if (v < 0 || v >= costs.size() || seen[static_cast<std::size_t>(v)])
+            return false;
+        seen[static_cast<std::size_t>(v)] = true;
+    }
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        if (costs.is_forbidden(order[k], order[(k + 1) % order.size()]))
+            return false;
+    }
+    return true;
+}
+
+std::vector<int> rotate_to_front(std::vector<int> order, int front) {
+    auto it = std::find(order.begin(), order.end(), front);
+    MTG_EXPECTS(it != order.end());
+    std::rotate(order.begin(), it, order.end());
+    return order;
+}
+
+}  // namespace mtg::atsp

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file instance.hpp
+/// Asymmetric Travelling Salesman Problem instances (paper §4, f.4.3).
+/// The generator's minimum-length GTS search is an ATSP over the Test
+/// Pattern Graph; the authors solved it with the exact branch-and-bound
+/// Fortran code of Carpaneto, Dell'Amico and Toth (ACM TOMS 750). This
+/// module is our C++ substrate for the same problem family.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/contracts.hpp"
+
+namespace mtg::atsp {
+
+using Cost = std::int64_t;
+
+/// Arc cost used for forbidden arcs; large but far from overflow when
+/// summed over any realistic tour.
+inline constexpr Cost kForbidden = static_cast<Cost>(1) << 40;
+
+/// Dense cost matrix. Diagonal entries are forbidden by construction.
+class CostMatrix {
+public:
+    explicit CostMatrix(int n, Cost fill = 0);
+
+    [[nodiscard]] int size() const { return n_; }
+
+    [[nodiscard]] Cost at(int from, int to) const {
+        MTG_EXPECTS(valid(from) && valid(to));
+        return cost_[static_cast<std::size_t>(from * n_ + to)];
+    }
+    void set(int from, int to, Cost c) {
+        MTG_EXPECTS(valid(from) && valid(to));
+        cost_[static_cast<std::size_t>(from * n_ + to)] = c;
+    }
+
+    /// Marks an arc as unusable.
+    void forbid(int from, int to) { set(from, to, kForbidden); }
+
+    [[nodiscard]] bool is_forbidden(int from, int to) const {
+        return at(from, to) >= kForbidden;
+    }
+
+private:
+    int n_;
+    std::vector<Cost> cost_;
+
+    [[nodiscard]] bool valid(int v) const { return v >= 0 && v < n_; }
+};
+
+/// A closed tour visiting every node exactly once; order[0] is arbitrary.
+struct Tour {
+    std::vector<int> order;
+    Cost cost{0};
+};
+
+/// Sum of arc costs along the (periodic) tour — f.4.3.
+[[nodiscard]] Cost tour_cost(const CostMatrix& costs, const std::vector<int>& order);
+
+/// True when `order` is a permutation of 0..n-1 using no forbidden arc.
+[[nodiscard]] bool tour_feasible(const CostMatrix& costs,
+                                 const std::vector<int>& order);
+
+/// Rotates the tour so that `front` is first. Precondition: present.
+[[nodiscard]] std::vector<int> rotate_to_front(std::vector<int> order, int front);
+
+}  // namespace mtg::atsp

@@ -1,0 +1,53 @@
+#include "atsp/path.hpp"
+
+#include <algorithm>
+
+namespace mtg::atsp {
+
+std::optional<Path> solve_shortest_path(const CostMatrix& costs,
+                                        const PathOptions& options,
+                                        SolveStats* stats) {
+    const int n = costs.size();
+    if (!options.start_cost.empty())
+        MTG_EXPECTS(static_cast<int>(options.start_cost.size()) == n);
+
+    if (n == 1) {
+        const Cost start =
+            options.start_cost.empty() ? 0 : options.start_cost[0];
+        if (!options.allowed_starts.empty() &&
+            std::find(options.allowed_starts.begin(),
+                      options.allowed_starts.end(),
+                      0) == options.allowed_starts.end())
+            return std::nullopt;
+        return Path{{0}, start};
+    }
+
+    // Dummy node n closes the path into a cycle.
+    CostMatrix closed(n + 1, 0);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            if (i != j) closed.set(i, j, costs.at(i, j));
+    for (int v = 0; v < n; ++v) {
+        closed.set(v, n, 0);  // path may end anywhere, free return
+        Cost start = options.start_cost.empty() ? 0 : options.start_cost[
+            static_cast<std::size_t>(v)];
+        if (!options.allowed_starts.empty() &&
+            std::find(options.allowed_starts.begin(),
+                      options.allowed_starts.end(),
+                      v) == options.allowed_starts.end())
+            start = kForbidden;
+        closed.set(n, v, start);
+    }
+
+    auto tour = solve_exact(closed, stats);
+    if (!tour) return std::nullopt;
+
+    std::vector<int> rotated = rotate_to_front(tour->order, n);
+    Path path;
+    path.order.assign(rotated.begin() + 1, rotated.end());
+    path.cost = tour->cost;
+    if (path.cost >= kForbidden) return std::nullopt;
+    return path;
+}
+
+}  // namespace mtg::atsp

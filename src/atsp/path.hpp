@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file path.hpp
+/// Shortest Hamiltonian *path* on an asymmetric instance — the form the
+/// GTS search actually needs (paper §4: "the solution of the ATSP is a
+/// cycle whereas a GTS is identified by a non-cyclic path"). The paper
+/// closes the cycle with dummy nodes; we use the standard single dummy
+/// node: entering it is free, leaving it costs the per-node start cost
+/// (the cold-start initialisation writes of the first TP).
+
+#include <optional>
+#include <vector>
+
+#include "atsp/branch_bound.hpp"
+#include "atsp/instance.hpp"
+
+namespace mtg::atsp {
+
+/// A Hamiltonian path and its cost (start costs included).
+struct Path {
+    std::vector<int> order;
+    Cost cost{0};
+};
+
+/// Options for the path search.
+struct PathOptions {
+    /// start_cost[v] = cost of beginning the path at node v. Empty means 0
+    /// for every node.
+    std::vector<Cost> start_cost;
+    /// When non-empty, only these nodes may start the path (the paper's
+    /// f.4.4 constraint restricting the first TP's initialisation state).
+    std::vector<int> allowed_starts;
+};
+
+/// Exact minimum Hamiltonian path via the dummy-node reduction and the
+/// exact branch-and-bound. Returns nullopt when infeasible (e.g. the
+/// allowed-start set is empty or unreachable).
+[[nodiscard]] std::optional<Path> solve_shortest_path(
+    const CostMatrix& costs, const PathOptions& options = {},
+    SolveStats* stats = nullptr);
+
+}  // namespace mtg::atsp

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file exhaustive.hpp
+/// The prior-art baseline the paper improves upon (§2): exhaustive
+/// enumeration of March tests in increasing complexity, in the spirit of
+/// the van de Goor / Smit transition-tree generators [refs 2-4] with the
+/// branch-and-bound pruning of Zarrineh et al. [ref 5].
+///
+/// Tests are enumerated by iterative deepening on complexity; partial
+/// tests are pruned by incremental well-formedness (a read must match the
+/// running background, exactly the transition-tree consistency rule).
+/// Every complete candidate is checked against the fault simulator. The
+/// search is exponential in the complexity bound — which is the paper's
+/// argument for replacing it with the TPG/ATSP formulation.
+
+#include <optional>
+
+#include "fault/kinds.hpp"
+#include "march/march_test.hpp"
+#include "sim/march_runner.hpp"
+
+namespace mtg::baseline {
+
+/// Search limits.
+struct ExhaustiveOptions {
+    int max_complexity{6};          ///< deepest complexity tried
+    long long max_nodes{50'000'000};///< enumeration-node budget
+    sim::RunOptions sim{};          ///< validation settings
+};
+
+/// Outcome of a search.
+struct ExhaustiveResult {
+    std::optional<march::MarchTest> test;  ///< shortest covering test found
+    long long nodes_explored{0};           ///< partial tests expanded
+    long long candidates_checked{0};       ///< complete tests simulated
+    bool budget_exhausted{false};          ///< stopped on max_nodes
+    double seconds{0.0};
+};
+
+/// Finds a minimum-complexity March test covering `kinds` by exhaustive
+/// enumeration, or reports failure within the limits. Guarantees: when a
+/// test is returned, no March test of lower complexity (within the
+/// enumerated grammar) covers the list — used by tests to certify the
+/// optimality of the generator's results.
+[[nodiscard]] ExhaustiveResult exhaustive_search(
+    const std::vector<fault::FaultKind>& kinds,
+    const ExhaustiveOptions& options = {});
+
+/// Counts complete well-formed March tests of exactly `complexity` — the
+/// size of the transition-tree level, used by the baseline bench to show
+/// the exponential growth the paper criticises.
+[[nodiscard]] long long count_candidates(int complexity,
+                                         long long max_nodes = 50'000'000);
+
+}  // namespace mtg::baseline

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file generator.hpp
+/// Top-level March test generator — the paper's end-to-end flow:
+///
+///   fault list -> FSM fault models -> BFEs/TPs (+ §5 equivalence classes)
+///     -> Test Pattern Graph -> exact ATSP (minimum-length GTS, f.4.4
+///     start constraint) -> rewrite phases (§4.1, §4.2) -> March test
+///     (§4.3) -> fault-simulator validation + set-covering non-redundancy
+///     (§6).
+///
+/// The §5 enumeration tries every combination of equivalence-class
+/// alternatives (capped), solving one ATSP per combination, and keeps the
+/// lowest-complexity March test that the fault simulator verifies.
+
+#include <string>
+#include <vector>
+
+#include "atsp/branch_bound.hpp"
+#include "core/gts.hpp"
+#include "fault/fault_list.hpp"
+#include "fault/test_pattern.hpp"
+#include "march/march_test.hpp"
+#include "setcover/coverage_matrix.hpp"
+#include "sim/march_runner.hpp"
+
+namespace mtg::core {
+
+/// Generation options.
+struct GeneratorOptions {
+    /// Apply the paper's f.4.4 start constraint (first TP must initialise
+    /// to a uniform background). When try_both_start_modes is set the
+    /// unconstrained search also runs and the better result wins.
+    bool constrain_start{true};
+    bool try_both_start_modes{true};
+
+    /// §5: cap on the number of equivalence-class combinations enumerated.
+    int max_class_combinations{4096};
+
+    /// Drop alternative classes already covered by a mandatory TP
+    /// (cross-class dedup; reduces the §5 product E).
+    bool cross_class_dedup{true};
+
+    /// Post-synthesis March-level minimisation: greedily delete operations
+    /// and elements while the simulator still confirms full coverage.
+    bool march_minimise{true};
+
+    /// Simulator settings used for validation.
+    sim::RunOptions sim{};
+};
+
+/// Everything the generator produced, including the intermediate artifacts
+/// of the winning §5 combination.
+struct GenerationResult {
+    march::MarchTest test;            ///< the generated March test
+    int complexity{0};                ///< ops per cell ("kn")
+    bool valid{false};                ///< simulator-confirmed full coverage
+
+    std::vector<fault::TpClass> classes;     ///< §5 classes (after dedup)
+    std::vector<fault::TestPattern> chain;   ///< winning TP order
+    Gts gts_raw;                             ///< §4   concatenation
+    Gts gts_reordered;                       ///< §4.1 output
+    Gts gts_minimised;                       ///< §4.2 output
+    march::MarchTest test_unminimised;       ///< §4.3 output pre-deletion
+
+    int combinations_tried{0};        ///< §5 enumeration effort
+    atsp::SolveStats atsp_stats;      ///< accumulated over all solves
+    double seconds{0.0};              ///< wall-clock generation time
+
+    setcover::RedundancyReport redundancy;  ///< §6 verdict on `test`
+
+    /// One-line summary for tables.
+    [[nodiscard]] std::string summary() const;
+};
+
+/// The generator. Stateless apart from its options; thread-compatible.
+class Generator {
+public:
+    explicit Generator(GeneratorOptions options = {});
+
+    /// Generates a March test covering every primitive in `kinds`.
+    /// Throws std::invalid_argument on an empty list.
+    [[nodiscard]] GenerationResult generate(
+        const std::vector<fault::FaultKind>& kinds) const;
+
+    /// Convenience: parse + generate, e.g. generate_for("SAF,TF,ADF").
+    [[nodiscard]] GenerationResult generate_for(const std::string& list) const;
+
+    [[nodiscard]] const GeneratorOptions& options() const { return options_; }
+
+private:
+    GeneratorOptions options_;
+};
+
+}  // namespace mtg::core

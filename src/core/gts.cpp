@@ -1,0 +1,79 @@
+#include "core/gts.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace mtg::core {
+
+using fault::TestPattern;
+using fsm::AbstractOp;
+using fsm::Cell;
+using fsm::PairState;
+
+std::string GtsSymbol::str() const {
+    std::string body = op.str();
+    if (terminal) body = "^" + body;
+    switch (colour) {
+        case Colour::Red: return "[" + body + "]R";
+        case Colour::Blue: return "[" + body + "]B";
+        case Colour::None: return body;
+    }
+    return body;
+}
+
+std::vector<AbstractOp> Gts::ops() const {
+    std::vector<AbstractOp> plain;
+    plain.reserve(symbols.size());
+    for (const GtsSymbol& s : symbols) plain.push_back(s.op);
+    return plain;
+}
+
+int Gts::op_count() const {
+    int count = 0;
+    for (const GtsSymbol& s : symbols)
+        if (!s.op.is_wait()) ++count;
+    return count;
+}
+
+std::string Gts::str() const {
+    std::ostringstream os;
+    for (std::size_t k = 0; k < symbols.size(); ++k) {
+        if (k) os << ", ";
+        os << symbols[k].str();
+    }
+    return os.str();
+}
+
+Gts concatenate_tps(const std::vector<TestPattern>& path) {
+    Gts gts;
+    gts.chain = path;
+    PairState state = PairState::any();
+    for (std::size_t k = 0; k < path.size(); ++k) {
+        const TestPattern& tp = path[k];
+        const int tp_index = static_cast<int>(k);
+        // Initialisation writes for constrained-but-unsatisfied cells,
+        // cell i first (the paper's example emits w0i before w0j).
+        for (Cell c : {Cell::I, Cell::J}) {
+            const Trit required = tp.init.get(c);
+            if (!is_known(required)) continue;
+            if (state.get(c) == required) continue;
+            const AbstractOp w = AbstractOp::write(c, trit_bit(required));
+            gts.symbols.push_back({w, SymbolRole::InitWrite, tp_index,
+                                   Colour::None, false});
+            state = state.after(w);
+        }
+        MTG_ASSERT(state.satisfies(tp.init));
+        if (tp.excite) {
+            gts.symbols.push_back({*tp.excite, SymbolRole::Excite, tp_index,
+                                   Colour::None, false});
+            state = state.after(*tp.excite);
+        }
+        gts.symbols.push_back({tp.observe, SymbolRole::Observe, tp_index,
+                               Colour::None, false});
+        // Reads do not change the good state.
+    }
+    return gts;
+}
+
+}  // namespace mtg::core

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file gts.hpp
+/// Global Test Sequences (paper §4): the flat memory-operation string
+/// obtained by concatenating the Test Patterns along the ATSP path.
+///
+/// Each symbol carries the paper's annotations: terminal marking (ŝ), the
+/// Red/Blue colouring used by the March-generation rules, plus provenance
+/// (which TP the op realises and in which role) that the rewrite and
+/// March-generation phases rely on.
+
+#include <string>
+#include <vector>
+
+#include "fault/test_pattern.hpp"
+#include "fsm/abstract_op.hpp"
+
+namespace mtg::core {
+
+/// Role of a GTS symbol within its Test Pattern.
+enum class SymbolRole : std::uint8_t {
+    InitWrite,  ///< establishes the TP's initialisation state
+    Excite,     ///< the TP's exciting operation E
+    Observe,    ///< the TP's observing read O
+};
+
+/// Colour marks of the §4 rewrite formalism.
+enum class Colour : std::uint8_t { None, Red, Blue };
+
+/// One symbol of the GTS string.
+struct GtsSymbol {
+    fsm::AbstractOp op;
+    SymbolRole role{SymbolRole::InitWrite};
+    int tp_index{-1};  ///< index into the TP path (not the TPG node id)
+    Colour colour{Colour::None};
+    bool terminal{false};  ///< the paper's ŝ end-symbol marking
+
+    /// "w0i", "[r1j]R", "^r0i" (^ marks terminal symbols).
+    [[nodiscard]] std::string str() const;
+};
+
+/// The GTS: symbol string plus the TP chain it realises.
+struct Gts {
+    std::vector<GtsSymbol> symbols;
+    std::vector<fault::TestPattern> chain;  ///< TPs in path order
+
+    /// Plain operation view (annotations dropped) for the two-cell
+    /// simulator.
+    [[nodiscard]] std::vector<fsm::AbstractOp> ops() const;
+
+    /// Number of memory operations (wait excluded).
+    [[nodiscard]] int op_count() const;
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Builds the GTS along a TP path: for each TP, emit the initialisation
+/// writes not already satisfied by the running good-machine state (i-cell
+/// writes first), then E, then O. Weight-0 edges contribute no writes, as
+/// in the paper's §4 example.
+[[nodiscard]] Gts concatenate_tps(const std::vector<fault::TestPattern>& path);
+
+}  // namespace mtg::core

@@ -1,0 +1,406 @@
+#include "core/march_builder.hpp"
+
+#include <optional>
+
+#include "util/contracts.hpp"
+
+namespace mtg::core {
+
+using fault::TestPattern;
+using fsm::AbstractOp;
+using fsm::Cell;
+using march::AddressOrder;
+using march::MarchOp;
+using march::OpKind;
+
+namespace {
+
+/// A March element under construction.
+struct Proto {
+    AddressOrder order{AddressOrder::Any};  ///< Any until a rule anchors it
+    std::vector<MarchOp> ops;
+
+    [[nodiscard]] bool has_write() const {
+        for (const MarchOp& op : ops)
+            if (op.kind == OpKind::Write) return true;
+        return false;
+    }
+
+    /// Value left in every cell by this element's writes; X when none.
+    [[nodiscard]] Trit net() const {
+        Trit value = Trit::X;
+        for (const MarchOp& op : ops)
+            if (op.kind == OpKind::Write) value = trit_from_bit(op.value);
+        return value;
+    }
+
+    /// True when `op` occurs before the first write (a "leading read").
+    [[nodiscard]] bool has_leading_read(const MarchOp& op) const {
+        for (const MarchOp& existing : ops) {
+            if (existing.kind == OpKind::Write) return false;
+            if (existing == op) return true;
+        }
+        return false;
+    }
+
+    /// Order-constraint merge; false on conflict.
+    bool constrain(AddressOrder required) {
+        if (required == AddressOrder::Any) return true;
+        if (order == AddressOrder::Any) {
+            order = required;
+            return true;
+        }
+        return order == required;
+    }
+};
+
+class Builder {
+public:
+    Builder() { elements_.emplace_back(); }
+
+    void place(const TestPattern& tp) {
+        const bool cross = tp.excite && !tp.excite->is_wait() &&
+                           tp.excite->cell != tp.observe.cell;
+        if (cross) {
+            place_cross(tp);
+        } else {
+            place_single(tp);
+        }
+    }
+
+    [[nodiscard]] march::MarchTest finish() {
+        march::MarchTest test;
+        for (const Proto& proto : elements_) {
+            if (proto.ops.empty()) continue;
+            test.push_back(march::MarchElement(proto.order, proto.ops));
+        }
+        return test;
+    }
+
+private:
+    std::vector<Proto> elements_;  // last entry is the open element
+    Trit background_{Trit::X};     // uniform value before the open element
+
+    Proto& open() { return elements_.back(); }
+
+    /// Value every cell will hold once the open element has swept.
+    [[nodiscard]] Trit value_after_open() const {
+        const Trit net = elements_.back().net();
+        return is_known(net) ? net : background_;
+    }
+
+    void close() {
+        background_ = value_after_open();
+        elements_.emplace_back();
+    }
+
+    void close_if_nonempty() {
+        if (!open().ops.empty()) close();
+    }
+
+    // --- single-cell TPs (Rule 1 / Rule 5) ------------------------------
+
+    /// Ops a same-cell TP appends for its observed cell: init write (when
+    /// the running value differs), excite, observe read.
+    [[nodiscard]] std::vector<MarchOp> single_ops(const TestPattern& tp,
+                                                  Trit running) const {
+        std::vector<MarchOp> ops;
+        const Trit required = tp.init.get(tp.observe.cell);
+        if (is_known(required) && running != required)
+            ops.push_back(MarchOp::w(trit_bit(required)));
+        if (tp.excite) {
+            if (tp.excite->is_wait())
+                ops.push_back(MarchOp::del());
+            else if (tp.excite->is_read())
+                // Disturbing-read excitation (RDF/DRDF): the exciting read
+                // expects the good value.
+                ops.push_back(MarchOp::r(tp.excite->value));
+            else
+                ops.push_back(MarchOp::w(tp.excite->value));
+        }
+        ops.push_back(MarchOp::r(tp.observe.value));
+        return ops;
+    }
+
+    void place_single(const TestPattern& tp) {
+        const Cell c = tp.observe.cell;
+        const Trit other_required = tp.init.get(fsm::other(c));
+
+        if (!is_known(other_required)) {
+            // Genuinely single-cell: no order anchor, the element stays ⇕
+            // unless a cross-cell TP constrains it later (Rule 5).
+            append_single(tp);
+            return;
+        }
+
+        // The TP constrains the companion cell (e.g. the aggressor state of
+        // a CFst victim). Under sweep semantics, at the observed cell's
+        // visit the companion holds either the pre-element background
+        // (companion visited later) or the element's net value (companion
+        // visited earlier). Pick a satisfiable variant, fixing the
+        // background when needed.
+        const AddressOrder companion_later =
+            c == Cell::I ? AddressOrder::Ascending : AddressOrder::Descending;
+        const AddressOrder companion_first =
+            c == Cell::I ? AddressOrder::Descending : AddressOrder::Ascending;
+
+        // Variant A: companion visited later, holds the background.
+        {
+            Proto probe = open();
+            if (background_ == other_required &&
+                probe.constrain(companion_later)) {
+                const bool ok = open().constrain(companion_later);
+                MTG_ASSERT(ok);
+                append_single(tp);
+                return;
+            }
+        }
+        // Variant B: companion visited first, holds the element net after
+        // this TP's ops are appended.
+        {
+            Proto probe = open();
+            for (const MarchOp& op : single_ops(tp, value_after_open()))
+                probe.ops.push_back(op);
+            if (probe.net() == other_required &&
+                probe.constrain(companion_first)) {
+                const bool ok = open().constrain(companion_first);
+                MTG_ASSERT(ok);
+                append_single(tp);
+                return;
+            }
+        }
+        // Fallback: set the background to the companion's value, then use
+        // variant A in a fresh element.
+        if (value_after_open() != other_required) {
+            close_if_nonempty();
+            open().ops.push_back(MarchOp::w(trit_bit(other_required)));
+        }
+        close_if_nonempty();
+        const bool ok = open().constrain(companion_later);
+        MTG_ASSERT(ok);
+        append_single(tp);
+    }
+
+    void append_single(const TestPattern& tp) {
+        bool first = true;
+        for (const MarchOp& op : single_ops(tp, value_after_open())) {
+            // Share an identical trailing read left by a previous TP — but
+            // never collapse ops *within* this TP (a DRDF needs both its
+            // exciting and its observing read).
+            if (first && op.kind == OpKind::Read && !open().ops.empty() &&
+                open().ops.back() == op) {
+                first = false;
+                continue;
+            }
+            first = false;
+            open().ops.push_back(op);
+        }
+    }
+
+    // --- cross-cell TPs (Rules 2/3/4) -----------------------------------
+
+    struct Candidate {
+        int cost{0};
+        int preference{0};  // lower wins on cost ties
+        enum class Kind { WithinShare, WithinAppend, Across, Fresh } kind;
+    };
+
+    void place_cross(const TestPattern& tp) {
+        const Cell a = tp.excite->cell;
+        const Trit va = tp.init.get(a);
+        const Trit vv = tp.init.get(tp.observe.cell);
+        MTG_EXPECTS(is_known(vv));
+        MTG_EXPECTS(trit_bit(vv) == tp.observe.value &&
+                    "cross-cell observe must expect the victim background");
+
+        std::optional<Candidate> best;
+        if (auto c = try_within_share(tp)) consider(best, *c);
+        if (auto c = try_within_append(tp)) consider(best, *c);
+        if (auto c = try_across(tp)) consider(best, *c);
+        // Fresh placement always works.
+        Candidate fresh{fresh_cost(tp), 3, Candidate::Kind::Fresh};
+        consider(best, fresh);
+
+        switch (best->kind) {
+            case Candidate::Kind::WithinShare: apply_within_share(tp); break;
+            case Candidate::Kind::WithinAppend: apply_within_append(tp); break;
+            case Candidate::Kind::Across: apply_across(tp); break;
+            case Candidate::Kind::Fresh: apply_fresh(tp); break;
+        }
+        (void)va;
+    }
+
+    static void consider(std::optional<Candidate>& best, const Candidate& c) {
+        if (!best || c.cost < best->cost ||
+            (c.cost == best->cost && c.preference < best->preference))
+            best = c;
+    }
+
+    /// Orientation visiting the aggressor before the victim.
+    static AddressOrder aggressor_first(Cell a) {
+        return a == Cell::I ? AddressOrder::Ascending
+                            : AddressOrder::Descending;
+    }
+    /// Orientation visiting the aggressor after the victim.
+    static AddressOrder aggressor_last(Cell a) {
+        return a == Cell::I ? AddressOrder::Descending
+                            : AddressOrder::Ascending;
+    }
+
+    [[nodiscard]] MarchOp excite_op(const TestPattern& tp) const {
+        // A disturbing read excites with the good value as expectation.
+        if (tp.excite->is_read()) return MarchOp::r(tp.excite->value);
+        return MarchOp::w(tp.excite->value);
+    }
+    [[nodiscard]] MarchOp observe_op(const TestPattern& tp) const {
+        return MarchOp::r(tp.observe.value);
+    }
+
+    /// T-within with every op already present: the open element contains the
+    /// leading observe read and the excite write, the orientation fits, the
+    /// backgrounds agree. Zero new ops.
+    std::optional<Candidate> try_within_share(const TestPattern& tp) {
+        Proto& element = open();
+        const Trit vv = tp.init.get(tp.observe.cell);
+        if (background_ != vv) return std::nullopt;
+        if (!element.has_leading_read(observe_op(tp))) return std::nullopt;
+        // The excite op must be present; the aggressor's pre-excite value is
+        // the running value just before it.
+        Trit running = background_;
+        bool found = false;
+        for (const MarchOp& op : element.ops) {
+            if (op == excite_op(tp)) {
+                const Trit va = tp.init.get(tp.excite->cell);
+                if (!is_known(va) || va == running) found = true;
+            }
+            if (op.kind == OpKind::Write) running = trit_from_bit(op.value);
+        }
+        if (!found) return std::nullopt;
+        Proto probe = element;
+        if (!probe.constrain(aggressor_first(tp.excite->cell)))
+            return std::nullopt;
+        return Candidate{0, 0, Candidate::Kind::WithinShare};
+    }
+
+    void apply_within_share(const TestPattern& tp) {
+        const bool ok = open().constrain(aggressor_first(tp.excite->cell));
+        MTG_ASSERT(ok);
+    }
+
+    /// T-within appending to a write-free open element.
+    std::optional<Candidate> try_within_append(const TestPattern& tp) {
+        Proto& element = open();
+        if (element.has_write()) return std::nullopt;
+        const Trit vv = tp.init.get(tp.observe.cell);
+        if (background_ != vv) return std::nullopt;
+        Proto probe = element;
+        if (!probe.constrain(aggressor_first(tp.excite->cell)))
+            return std::nullopt;
+        const Trit va = tp.init.get(tp.excite->cell);
+        int cost = 1;  // the excite write
+        if (!element.has_leading_read(observe_op(tp))) ++cost;
+        if (is_known(va) && va != background_) ++cost;
+        return Candidate{cost, 1, Candidate::Kind::WithinAppend};
+    }
+
+    void apply_within_append(const TestPattern& tp) {
+        Proto& element = open();
+        const bool ok = element.constrain(aggressor_first(tp.excite->cell));
+        MTG_ASSERT(ok);
+        if (!element.has_leading_read(observe_op(tp)))
+            element.ops.push_back(observe_op(tp));
+        const Trit va = tp.init.get(tp.excite->cell);
+        if (is_known(va) && va != background_)
+            element.ops.push_back(MarchOp::w(trit_bit(va)));
+        element.ops.push_back(excite_op(tp));
+    }
+
+    /// T-across: excite as the final write of the open element (aggressor
+    /// visited last), observe as the leading read of the next element.
+    std::optional<Candidate> try_across(const TestPattern& tp) {
+        Proto& element = open();
+        const MarchOp excite = excite_op(tp);
+        const Trit vv = tp.init.get(tp.observe.cell);
+        Proto probe = element;
+        if (!probe.constrain(aggressor_last(tp.excite->cell)))
+            return std::nullopt;
+        const bool shared =
+            !element.ops.empty() && element.ops.back() == excite;
+        // Aggressor pre-excite value: the value just before the (possibly
+        // shared) final excite op.
+        Trit pre = background_;
+        const std::size_t limit =
+            shared ? element.ops.size() - 1 : element.ops.size();
+        for (std::size_t k = 0; k < limit; ++k)
+            if (element.ops[k].kind == OpKind::Write)
+                pre = trit_from_bit(element.ops[k].value);
+        const Trit va = tp.init.get(tp.excite->cell);
+        if (is_known(va) && va != pre) return std::nullopt;
+        // Victim was already swept: it holds the element's net value (a
+        // write excite becomes that net as the final write).
+        const Trit net_after =
+            excite.kind == OpKind::Write ? trit_from_bit(excite.value) : pre;
+        if (vv != net_after) return std::nullopt;
+        return Candidate{(shared ? 0 : 1) + 1, 2, Candidate::Kind::Across};
+    }
+
+    void apply_across(const TestPattern& tp) {
+        Proto& element = open();
+        const bool ok = element.constrain(aggressor_last(tp.excite->cell));
+        MTG_ASSERT(ok);
+        if (element.ops.empty() || element.ops.back() != excite_op(tp))
+            element.ops.push_back(excite_op(tp));
+        close();
+        // The observe element must sweep the victim first = same direction
+        // as the excite element.
+        const bool ok2 = open().constrain(aggressor_last(tp.excite->cell));
+        MTG_ASSERT(ok2);
+        open().ops.push_back(observe_op(tp));
+    }
+
+    [[nodiscard]] int fresh_cost(const TestPattern& tp) const {
+        const Trit vv = tp.init.get(tp.observe.cell);
+        const Trit va = tp.init.get(tp.excite->cell);
+        int cost = 2;  // leading read + excite write
+        if (value_after_open() != vv) ++cost;  // background fix
+        if (is_known(va) && va != vv) ++cost;  // aggressor pre-write
+        return cost;
+    }
+
+    void apply_fresh(const TestPattern& tp) {
+        const AddressOrder direction = aggressor_first(tp.excite->cell);
+        const Trit vv = tp.init.get(tp.observe.cell);
+        if (value_after_open() != vv) {
+            close_if_nonempty();
+            // A background element carrying write transitions can itself
+            // excite coupling faults; sweeping it in the SAME direction as
+            // the element it prepares makes the outcome deterministic:
+            // below-aggressor corruption is overwritten by the victim's own
+            // background write, above-aggressor corruption survives into the
+            // next element where the leading read flags it.
+            open().ops.push_back(MarchOp::w(trit_bit(vv)));
+            const bool bg_ok = open().constrain(direction);
+            MTG_ASSERT(bg_ok);
+        }
+        close_if_nonempty();
+        Proto& element = open();
+        const bool ok = element.constrain(direction);
+        MTG_ASSERT(ok);
+        element.ops.push_back(observe_op(tp));
+        const Trit va = tp.init.get(tp.excite->cell);
+        if (is_known(va) && va != background_)
+            element.ops.push_back(MarchOp::w(trit_bit(va)));
+        element.ops.push_back(excite_op(tp));
+    }
+};
+
+}  // namespace
+
+march::MarchTest build_march(const Gts& gts) {
+    MTG_EXPECTS(!gts.chain.empty());
+    Builder builder;
+    for (const TestPattern& tp : gts.chain) builder.place(tp);
+    return builder.finish();
+}
+
+}  // namespace mtg::core

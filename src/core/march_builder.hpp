@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file march_builder.hpp
+/// §4.3 March Test Generation: turns the (reordered, minimised) GTS into a
+/// March test.
+///
+/// The construction follows the paper's rules with the semantics spelled
+/// out in DESIGN.md §4.6:
+///  - Rule 1 (element boundaries): an observation read that would otherwise
+///    follow a write inside the current element opens a new element — a
+///    victim's observing read must be a *leading* read of its element so
+///    that, at sweep time, it sees the pre-element (possibly corrupted)
+///    value rather than the element's own writes.
+///  - Rule 2 (Red/Blue joining): a cross-cell excite and the reads serving
+///    its observation stay in one element (template "T-within") or in two
+///    consecutive equal-direction elements (template "T-across") — the two
+///    realisations of an aggressor/victim pair under March sweep order.
+///  - Rules 3/4: elements anchored by an excite on cell i march ⇑, on cell
+///    j march ⇓ (the sweep must visit the aggressor in the right relative
+///    position).
+///  - Rule 5: elements with no cross-cell anchor stay ⇕ (either order).
+
+#include "core/gts.hpp"
+#include "march/march_test.hpp"
+
+namespace mtg::core {
+
+/// Synthesises a March test realising every TP of the GTS chain. The
+/// result is structurally valid by construction; end-to-end fault coverage
+/// is re-checked by the generator with the fault simulator.
+[[nodiscard]] march::MarchTest build_march(const Gts& gts);
+
+}  // namespace mtg::core

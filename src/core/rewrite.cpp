@@ -1,0 +1,115 @@
+#include "core/rewrite.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mtg::core {
+
+using fsm::Cell;
+
+namespace {
+
+/// Erases symbol at position k.
+Gts without_symbol(const Gts& gts, std::size_t k) {
+    Gts out = gts;
+    out.symbols.erase(out.symbols.begin() + static_cast<std::ptrdiff_t>(k));
+    return out;
+}
+
+}  // namespace
+
+Gts reorder(Gts gts) {
+    auto& symbols = gts.symbols;
+
+    // Rules M1-M3: inside each maximal run of initialisation writes, order
+    // cell-i writes before cell-j writes (stable).
+    std::size_t k = 0;
+    while (k < symbols.size()) {
+        if (symbols[k].role != SymbolRole::InitWrite) {
+            ++k;
+            continue;
+        }
+        std::size_t end = k;
+        while (end < symbols.size() &&
+               symbols[end].role == SymbolRole::InitWrite)
+            ++end;
+        std::stable_sort(
+            symbols.begin() + static_cast<std::ptrdiff_t>(k),
+            symbols.begin() + static_cast<std::ptrdiff_t>(end),
+            [](const GtsSymbol& a, const GtsSymbol& b) {
+                return a.op.cell < b.op.cell;
+            });
+        k = end;
+    }
+
+    // Rule M4: colour cross-cell excite/observe pairs Red/Blue. The marks
+    // flag subsequences that §4.3 rule 2 must keep inside one March element.
+    for (std::size_t x = 0; x < symbols.size(); ++x) {
+        if (symbols[x].role != SymbolRole::Excite) continue;
+        for (std::size_t y = x + 1; y < symbols.size(); ++y) {
+            if (symbols[y].tp_index != symbols[x].tp_index) continue;
+            if (symbols[y].role != SymbolRole::Observe) continue;
+            if (!symbols[x].op.is_wait() &&
+                symbols[y].op.cell != symbols[x].op.cell) {
+                symbols[x].colour = Colour::Red;
+                symbols[y].colour = Colour::Blue;
+            }
+            break;
+        }
+    }
+
+    // Termination: every symbol becomes terminal (ŝ).
+    for (GtsSymbol& s : symbols) s.terminal = true;
+    return gts;
+}
+
+Gts minimise(Gts gts, const GtsValidator& validator) {
+    MTG_EXPECTS(validator != nullptr);
+    MTG_EXPECTS(validator(gts) && "input GTS must already be acceptable");
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+
+        // Syntactic family: adjacent duplicate write/read on the same cell.
+        for (std::size_t k = 0; k + 1 < gts.symbols.size(); ++k) {
+            const GtsSymbol& a = gts.symbols[k];
+            const GtsSymbol& b = gts.symbols[k + 1];
+            if (a.op == b.op && a.role == SymbolRole::InitWrite &&
+                b.role == SymbolRole::InitWrite) {
+                Gts candidate = without_symbol(gts, k + 1);
+                if (validator(candidate)) {
+                    gts = std::move(candidate);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if (changed) continue;
+
+        // Gated deletion of initialisation writes (generalised
+        // block-collapse): left-to-right, drop any init write whose removal
+        // keeps the GTS acceptable.
+        for (std::size_t k = 0; k < gts.symbols.size(); ++k) {
+            if (gts.symbols[k].role != SymbolRole::InitWrite) continue;
+            Gts candidate = without_symbol(gts, k);
+            if (validator(candidate)) {
+                gts = std::move(candidate);
+                changed = true;
+                break;
+            }
+        }
+    }
+    return gts;
+}
+
+bool is_minimal(const Gts& gts, const GtsValidator& validator) {
+    for (std::size_t k = 0; k < gts.symbols.size(); ++k) {
+        if (gts.symbols[k].role != SymbolRole::InitWrite) continue;
+        if (validator(without_symbol(gts, k))) return false;
+    }
+    return true;
+}
+
+}  // namespace mtg::core

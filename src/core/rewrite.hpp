@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file rewrite.hpp
+/// The GTS rewrite phases of paper §4.1 (reordering) and §4.2
+/// (minimisation).
+///
+/// The source text of the paper renders the rule tables illegibly, so the
+/// rules are reconstructed with conservative semantics (see DESIGN.md §4):
+/// every minimisation step must preserve (a) well-formedness of the GTS on
+/// the good machine and (b) guaranteed detection of every chained fault
+/// instance on the two-cell simulator. Callers supply the semantic gate;
+/// rule applications that would violate it are rolled back.
+
+#include <functional>
+
+#include "core/gts.hpp"
+
+namespace mtg::core {
+
+/// §4.1 GTS reordering:
+///  - initialisation writes inside a maximal init-run are ordered cell-i
+///    first (rules M1-M3: commuting writes toward their mates);
+///  - the excite/observe pair of every TP whose two operations address
+///    different cells is coloured Red/Blue (rule M4) — the marks later
+///    drive March-element joining (§4.3 rule 2);
+///  - all symbols become terminal (ŝ) when no rule applies any more.
+[[nodiscard]] Gts reorder(Gts gts);
+
+/// Semantic gate: returns true when the rewritten GTS is still acceptable.
+using GtsValidator = std::function<bool(const Gts&)>;
+
+/// §4.2 GTS minimisation: deletes redundant operations.
+///  - syntactic rules: duplicate adjacent writes / reads on the same cell
+///    collapse (Table 2 first family);
+///  - gated deletion: initialisation writes are tentatively removed
+///    left-to-right and kept out only when `validator` accepts the result
+///    (Table 2 block-collapse family, generalised).
+/// Excite and Observe symbols are never deleted.
+[[nodiscard]] Gts minimise(Gts gts, const GtsValidator& validator);
+
+/// Returns true when `gts` contains no symbol deletable under `validator`
+/// (used by tests to show minimise() reaches a fixed point).
+[[nodiscard]] bool is_minimal(const Gts& gts, const GtsValidator& validator);
+
+}  // namespace mtg::core

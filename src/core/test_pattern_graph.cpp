@@ -1,0 +1,85 @@
+#include "core/test_pattern_graph.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace mtg::core {
+
+using fault::TestPattern;
+using fsm::PairState;
+
+TestPatternGraph::TestPatternGraph(std::vector<TestPattern> patterns)
+    : patterns_(std::move(patterns)) {
+    MTG_EXPECTS(!patterns_.empty());
+}
+
+int TestPatternGraph::weight(int from, int to) const {
+    MTG_EXPECTS(from >= 0 && from < size() && to >= 0 && to < size());
+    const PairState source =
+        patterns_[static_cast<std::size_t>(from)].observation_state();
+    const PairState target = patterns_[static_cast<std::size_t>(to)].init;
+    return fsm::write_distance(source, target);
+}
+
+int TestPatternGraph::start_cost(int v) const {
+    MTG_EXPECTS(v >= 0 && v < size());
+    return patterns_[static_cast<std::size_t>(v)].init_cost();
+}
+
+bool TestPatternGraph::uniform_start(int v) const {
+    MTG_EXPECTS(v >= 0 && v < size());
+    const PairState& init = patterns_[static_cast<std::size_t>(v)].init;
+    if (!is_known(init.i) || !is_known(init.j)) return true;  // 0x, x1, xx...
+    return init.i == init.j;  // 00 or 11
+}
+
+atsp::CostMatrix TestPatternGraph::cost_matrix() const {
+    atsp::CostMatrix costs(size());
+    for (int from = 0; from < size(); ++from)
+        for (int to = 0; to < size(); ++to)
+            if (from != to) costs.set(from, to, weight(from, to));
+    return costs;
+}
+
+std::optional<atsp::Path> TestPatternGraph::solve(
+    bool constrain_start, atsp::SolveStats* stats) const {
+    atsp::PathOptions options;
+    options.start_cost.reserve(static_cast<std::size_t>(size()));
+    for (int v = 0; v < size(); ++v)
+        options.start_cost.push_back(start_cost(v));
+    if (constrain_start) {
+        for (int v = 0; v < size(); ++v)
+            if (uniform_start(v)) options.allowed_starts.push_back(v);
+        if (options.allowed_starts.empty()) return std::nullopt;
+    }
+    return atsp::solve_shortest_path(cost_matrix(), options, stats);
+}
+
+std::string TestPatternGraph::str() const {
+    std::ostringstream os;
+    for (int v = 0; v < size(); ++v) {
+        os << "TP" << v + 1 << " = "
+           << patterns_[static_cast<std::size_t>(v)].str()
+           << "  obs=" << patterns_[static_cast<std::size_t>(v)]
+                              .observation_state()
+                              .str()
+           << "  start_cost=" << start_cost(v) << '\n';
+    }
+    os << "weights (row -> column):\n     ";
+    for (int to = 0; to < size(); ++to) os << " TP" << to + 1;
+    os << '\n';
+    for (int from = 0; from < size(); ++from) {
+        os << " TP" << from + 1 << ' ';
+        for (int to = 0; to < size(); ++to) {
+            if (from == to)
+                os << "   -";
+            else
+                os << "   " << weight(from, to);
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace mtg::core

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file test_pattern_graph.hpp
+/// The Test Pattern Graph of paper §4: a strongly connected weighted
+/// digraph with one node per Test Pattern. The weight of edge (s, t) is the
+/// generalised Hamming distance (f.4.1) between the observation state of s
+/// and the initialisation state of t — the number of write operations
+/// needed to chain t after s.
+
+#include <string>
+#include <vector>
+
+#include "atsp/instance.hpp"
+#include "atsp/path.hpp"
+#include "fault/test_pattern.hpp"
+
+namespace mtg::core {
+
+/// The TPG over a concrete TP selection (one alternative per equivalence
+/// class, paper §5).
+class TestPatternGraph {
+public:
+    /// Builds the complete graph over `patterns`.
+    explicit TestPatternGraph(std::vector<fault::TestPattern> patterns);
+
+    [[nodiscard]] int size() const {
+        return static_cast<int>(patterns_.size());
+    }
+    [[nodiscard]] const std::vector<fault::TestPattern>& patterns() const {
+        return patterns_;
+    }
+
+    /// f.4.1 edge weight.
+    [[nodiscard]] int weight(int from, int to) const;
+
+    /// Cold-start cost of node v (writes needed to initialise its TP from
+    /// an uninitialised memory) — the dummy-start edge weight.
+    [[nodiscard]] int start_cost(int v) const;
+
+    /// True when TP v may start the tour under the paper's f.4.4
+    /// constraint: its initialisation state must be reachable from a
+    /// uniform background, i.e. it must not constrain the two cells to
+    /// different values.
+    [[nodiscard]] bool uniform_start(int v) const;
+
+    /// ATSP cost matrix over the TPs (no dummy node).
+    [[nodiscard]] atsp::CostMatrix cost_matrix() const;
+
+    /// Minimum-weight Hamiltonian path (the GTS skeleton). When
+    /// `constrain_start` is set, only uniform_start nodes may begin the
+    /// path; returns nullopt if that excludes every node.
+    [[nodiscard]] std::optional<atsp::Path> solve(bool constrain_start,
+                                                  atsp::SolveStats* stats =
+                                                      nullptr) const;
+
+    /// Adjacency rendering used by the Figure-4 bench.
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::vector<fault::TestPattern> patterns_;
+};
+
+}  // namespace mtg::core

@@ -1,0 +1,101 @@
+#include "diagnosis/dictionary.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mtg::diagnosis {
+
+using fault::FaultInstance;
+using fault::FaultKind;
+using march::MarchTest;
+using sim::InjectedFault;
+
+std::string Signature::str() const {
+    if (failing.empty()) return "(escape)";
+    std::ostringstream os;
+    for (std::size_t k = 0; k < failing.size(); ++k) {
+        if (k) os << ' ';
+        os << 'E' << failing[k].site.element << '.' << failing[k].site.op
+           << "@c" << failing[k].cell;
+    }
+    return os.str();
+}
+
+Signature signature_of(const MarchTest& test, const InjectedFault& fault,
+                       const sim::RunOptions& opts) {
+    return Signature{sim::guaranteed_failing_observations(test, fault, opts)};
+}
+
+namespace {
+
+/// Canonical placement — keep in sync with the §6 coverage matrix.
+InjectedFault place(const FaultInstance& inst, int memory_size) {
+    const int lo = memory_size / 3;
+    const int hi = 2 * memory_size / 3;
+    if (!fault::is_two_cell(inst.kind))
+        return InjectedFault::single(inst.kind, lo);
+    if (inst.aggressor == fsm::Cell::I)
+        return InjectedFault::coupling(inst.kind, lo, hi);
+    return InjectedFault::coupling(inst.kind, hi, lo);
+}
+
+}  // namespace
+
+FaultDictionary FaultDictionary::build(const MarchTest& test,
+                                       const std::vector<FaultKind>& kinds,
+                                       const sim::RunOptions& opts) {
+    FaultDictionary dictionary;
+    for (const FaultInstance& inst : fault::instantiate(kinds)) {
+        ++dictionary.instance_count_;
+        Signature sig = signature_of(test, place(inst, opts.memory_size), opts);
+        if (sig.detected()) ++dictionary.detected_count_;
+        auto it = std::find_if(
+            dictionary.entries_.begin(), dictionary.entries_.end(),
+            [&](const DictionaryEntry& e) { return e.signature == sig; });
+        if (it == dictionary.entries_.end()) {
+            dictionary.entries_.push_back({std::move(sig), {inst}});
+        } else {
+            it->instances.push_back(inst);
+        }
+    }
+    std::sort(dictionary.entries_.begin(), dictionary.entries_.end(),
+              [](const DictionaryEntry& a, const DictionaryEntry& b) {
+                  return a.signature < b.signature;
+              });
+    return dictionary;
+}
+
+int FaultDictionary::distinguished_count() const {
+    int count = 0;
+    for (const DictionaryEntry& entry : entries_)
+        if (entry.signature.detected() && entry.instances.size() == 1) ++count;
+    return count;
+}
+
+double FaultDictionary::resolution() const {
+    if (detected_count_ == 0) return 0.0;
+    return static_cast<double>(distinguished_count()) /
+           static_cast<double>(detected_count_);
+}
+
+std::vector<FaultInstance> FaultDictionary::diagnose(
+    const Signature& observed) const {
+    for (const DictionaryEntry& entry : entries_)
+        if (entry.signature == observed) return entry.instances;
+    return {};
+}
+
+std::string FaultDictionary::str() const {
+    std::ostringstream os;
+    for (const DictionaryEntry& entry : entries_) {
+        os << entry.signature.str() << " -> ";
+        for (std::size_t k = 0; k < entry.instances.size(); ++k) {
+            if (k) os << ", ";
+            os << entry.instances[k].name();
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace mtg::diagnosis

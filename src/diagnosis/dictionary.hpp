@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file dictionary.hpp
+/// Fault diagnosis by output tracing, after the paper's reference [6]
+/// (Niggemeyer, Redeker, Rudnick — "Diagnostic Testing of Embedded
+/// Memories based on Output Tracing"): the *signature* of a fault under a
+/// March test is the set of read operations that observe it. A fault
+/// dictionary maps signatures to fault instances; its *resolution* measures
+/// how many instances the test distinguishes — the diagnostic quality
+/// metric that separates e.g. PMOVI from March C-.
+
+#include <string>
+#include <vector>
+
+#include "fault/instance.hpp"
+#include "march/march_test.hpp"
+#include "sim/march_runner.hpp"
+
+namespace mtg::diagnosis {
+
+/// Output trace of one fault under one March test: the (read site, failing
+/// address) observations with a guaranteed mismatch (stable across ⇕
+/// expansions), in execution order. Address-awareness is what lets the
+/// dictionary separate faults that fail the same reads at different cells
+/// (e.g. the two roles of a decoder-map fault).
+struct Signature {
+    std::vector<sim::Observation> failing;
+
+    [[nodiscard]] bool detected() const { return !failing.empty(); }
+
+    /// "E1.0@c2 E4.2@c5" style rendering.
+    [[nodiscard]] std::string str() const;
+
+    friend bool operator==(const Signature&, const Signature&) = default;
+    friend auto operator<=>(const Signature& a, const Signature& b) {
+        return a.str() <=> b.str();
+    }
+};
+
+/// Signature of a concrete injected fault.
+[[nodiscard]] Signature signature_of(const march::MarchTest& test,
+                                     const sim::InjectedFault& fault,
+                                     const sim::RunOptions& opts = {});
+
+/// One dictionary bucket: all instances sharing a signature.
+struct DictionaryEntry {
+    Signature signature;
+    std::vector<fault::FaultInstance> instances;
+};
+
+/// The fault dictionary of a March test over a fault list. Instances are
+/// placed at the canonical cells used by the §6 coverage matrix.
+class FaultDictionary {
+public:
+    /// Builds the dictionary (one simulation sweep per instance).
+    static FaultDictionary build(const march::MarchTest& test,
+                                 const std::vector<fault::FaultKind>& kinds,
+                                 const sim::RunOptions& opts = {});
+
+    [[nodiscard]] const std::vector<DictionaryEntry>& entries() const {
+        return entries_;
+    }
+
+    /// Total instances considered / detected (non-empty signature).
+    [[nodiscard]] int instance_count() const { return instance_count_; }
+    [[nodiscard]] int detected_count() const { return detected_count_; }
+
+    /// Instances whose signature is unique — fully diagnosed by the test.
+    [[nodiscard]] int distinguished_count() const;
+
+    /// distinguished / detected; 0 when nothing is detected. The
+    /// diagnostic-resolution metric of [6].
+    [[nodiscard]] double resolution() const;
+
+    /// All instances compatible with an observed signature (empty when the
+    /// signature is unknown to the dictionary).
+    [[nodiscard]] std::vector<fault::FaultInstance> diagnose(
+        const Signature& observed) const;
+
+    /// Table rendering: signature -> instance names.
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::vector<DictionaryEntry> entries_;  // sorted by signature
+    int instance_count_{0};
+    int detected_count_{0};
+};
+
+}  // namespace mtg::diagnosis

@@ -1,0 +1,33 @@
+#include "fault/fault_list.hpp"
+
+namespace mtg::fault {
+
+const std::vector<NamedFaultList>& table3_fault_lists() {
+    static const std::vector<NamedFaultList> lists = {
+        {"SAF", parse_fault_kinds("SAF"), "MATS", 4, 4},
+        {"SAF+TF", parse_fault_kinds("SAF,TF"), "MATS+", 5, 5},
+        {"SAF+TF+ADF", parse_fault_kinds("SAF,TF,ADF"), "MATS++", 6, 6},
+        {"SAF+TF+ADF+CFin", parse_fault_kinds("SAF,TF,ADF,CFin"), "March X", 6,
+         6},
+        {"SAF+TF+ADF+CFin+CFid", parse_fault_kinds("SAF,TF,ADF,CFin,CFid"),
+         "March C-", 10, 10},
+        {"CFin", parse_fault_kinds("CFin"), "(not found)", 0, 5},
+    };
+    return lists;
+}
+
+const std::vector<NamedFaultList>& extended_fault_lists() {
+    static const std::vector<NamedFaultList> lists = {
+        {"CFid", parse_fault_kinds("CFid"), "", 0, 0},
+        {"CFst", parse_fault_kinds("CFst"), "", 0, 0},
+        {"SAF+WDF", parse_fault_kinds("SAF,WDF"), "", 0, 0},
+        {"SAF+RDF+IRF", parse_fault_kinds("SAF,RDF,IRF"), "", 0, 0},
+        {"SAF+DRDF", parse_fault_kinds("SAF,DRDF"), "", 0, 0},
+        {"SAF+TF+DRF", parse_fault_kinds("SAF,TF,DRF"), "", 0, 0},
+        {"SAF+TF+ADF+CFin+CFid+CFst",
+         parse_fault_kinds("SAF,TF,ADF,CFin,CFid,CFst"), "March C-", 10, 0},
+    };
+    return lists;
+}
+
+}  // namespace mtg::fault

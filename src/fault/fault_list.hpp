@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file fault_list.hpp
+/// Named fault lists, including the six lists of the paper's Table 3.
+
+#include <string>
+#include <vector>
+
+#include "fault/kinds.hpp"
+
+namespace mtg::fault {
+
+/// A named fault list with the paper's reference data where applicable.
+struct NamedFaultList {
+    std::string name;                 ///< e.g. "SAF+TF+ADF"
+    std::vector<FaultKind> kinds;     ///< expanded primitives
+    std::string known_equivalent;     ///< Table 3 "Equivalent Known March Test"
+    int known_complexity{0};          ///< complexity of that equivalent (0 = none)
+    int paper_complexity{0};          ///< complexity the paper's generator reached
+};
+
+/// The six rows of Table 3, in paper order:
+///   1. SAF                          -> 4n  (MATS)
+///   2. SAF,TF                       -> 5n  (MATS+)
+///   3. SAF,TF,ADF                   -> 6n  (MATS++)
+///   4. SAF,TF,ADF,CFin              -> 6n  (March X)
+///   5. SAF,TF,ADF,CFin,CFid         -> 10n (March C-)
+///   6. CFin                         -> 5n  (not found in literature)
+[[nodiscard]] const std::vector<NamedFaultList>& table3_fault_lists();
+
+/// Additional lists exercised by tests/benches beyond Table 3 (static
+/// read/write disturbs, state coupling, retention).
+[[nodiscard]] const std::vector<NamedFaultList>& extended_fault_lists();
+
+}  // namespace mtg::fault

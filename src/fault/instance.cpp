@@ -1,0 +1,261 @@
+#include "fault/instance.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mtg::fault {
+
+using fsm::Cell;
+using fsm::Input;
+using fsm::MemoryFsm;
+using fsm::PairState;
+using mtg::Trit;
+using mtg::trit_from_bit;
+
+std::string FaultInstance::name() const {
+    std::string n = fault_kind_name(kind);
+    if (is_two_cell(kind)) {
+        n += aggressor == Cell::I ? "@i>j" : "@j>i";
+    } else {
+        n += aggressor == Cell::I ? "@i" : "@j";
+    }
+    return n;
+}
+
+std::vector<FaultInstance> instantiate(const std::vector<FaultKind>& kinds) {
+    std::vector<FaultInstance> instances;
+    for (FaultKind k : kinds) {
+        instances.push_back({k, Cell::I});
+        if (is_two_cell(k)) instances.push_back({k, Cell::J});
+    }
+    return instances;
+}
+
+namespace {
+
+/// Iterates the four known states, calling fn(state).
+template <typename Fn>
+void for_each_state(Fn&& fn) {
+    for (const auto& s : fsm::all_known_states()) fn(s);
+}
+
+/// Perturbs a single-cell fault on cell `c`.
+void perturb_single_cell(MemoryFsm& m, FaultKind kind, Cell c) {
+    const Input w0 = fsm::write_input(c, 0);
+    const Input w1 = fsm::write_input(c, 1);
+    const Input rd = fsm::read_input(c);
+
+    for_each_state([&](const PairState& s) {
+        const int v = trit_bit(s.get(c));
+        switch (kind) {
+            case FaultKind::Saf0:
+                // Cannot be set to 1; reads of a (nominally) 1 cell give 0.
+                if (v == 0) m.set_next(s, w1, s);
+                if (v == 1) m.set_output(s, rd, Trit::Zero);
+                break;
+            case FaultKind::Saf1:
+                if (v == 1) m.set_next(s, w0, s);
+                if (v == 0) m.set_output(s, rd, Trit::One);
+                break;
+            case FaultKind::TfUp:
+                if (v == 0) m.set_next(s, w1, s);
+                break;
+            case FaultKind::TfDown:
+                if (v == 1) m.set_next(s, w0, s);
+                break;
+            case FaultKind::Wdf0:
+                if (v == 0) {
+                    PairState n = s;
+                    n.set(c, Trit::One);
+                    m.set_next(s, w0, n);
+                }
+                break;
+            case FaultKind::Wdf1:
+                if (v == 1) {
+                    PairState n = s;
+                    n.set(c, Trit::Zero);
+                    m.set_next(s, w1, n);
+                }
+                break;
+            case FaultKind::Rdf0:
+                if (v == 0) {
+                    PairState n = s;
+                    n.set(c, Trit::One);
+                    m.set_next(s, rd, n);
+                    m.set_output(s, rd, Trit::One);
+                }
+                break;
+            case FaultKind::Rdf1:
+                if (v == 1) {
+                    PairState n = s;
+                    n.set(c, Trit::Zero);
+                    m.set_next(s, rd, n);
+                    m.set_output(s, rd, Trit::Zero);
+                }
+                break;
+            case FaultKind::Drdf0:
+                if (v == 0) {
+                    PairState n = s;
+                    n.set(c, Trit::One);
+                    m.set_next(s, rd, n);  // output stays correct (deceptive)
+                }
+                break;
+            case FaultKind::Drdf1:
+                if (v == 1) {
+                    PairState n = s;
+                    n.set(c, Trit::Zero);
+                    m.set_next(s, rd, n);
+                }
+                break;
+            case FaultKind::Irf0:
+                if (v == 0) m.set_output(s, rd, Trit::One);
+                break;
+            case FaultKind::Irf1:
+                if (v == 1) m.set_output(s, rd, Trit::Zero);
+                break;
+            case FaultKind::Drf0:
+                if (v == 1) {
+                    PairState n = s;
+                    n.set(c, Trit::Zero);
+                    m.set_next(s, Input::T, n);
+                }
+                break;
+            case FaultKind::Drf1:
+                if (v == 0) {
+                    PairState n = s;
+                    n.set(c, Trit::One);
+                    m.set_next(s, Input::T, n);
+                }
+                break;
+            default: MTG_ASSERT(false && "not a single-cell fault");
+        }
+    });
+}
+
+/// Perturbs a two-cell fault with aggressor `a`, victim `v`.
+void perturb_two_cell(MemoryFsm& m, FaultKind kind, Cell a) {
+    const Cell v = fsm::other(a);
+    const Input w0a = fsm::write_input(a, 0);
+    const Input w1a = fsm::write_input(a, 1);
+
+    for_each_state([&](const PairState& s) {
+        const int va = trit_bit(s.get(a));
+        const int vv = trit_bit(s.get(v));
+        switch (kind) {
+            case FaultKind::CfinUp:
+                // rising write on aggressor inverts victim
+                if (va == 0) {
+                    PairState n = s;
+                    n.set(a, Trit::One);
+                    n.set(v, trit_from_bit(1 - vv));
+                    m.set_next(s, w1a, n);
+                }
+                break;
+            case FaultKind::CfinDown:
+                if (va == 1) {
+                    PairState n = s;
+                    n.set(a, Trit::Zero);
+                    n.set(v, trit_from_bit(1 - vv));
+                    m.set_next(s, w0a, n);
+                }
+                break;
+            case FaultKind::CfidUp0:
+            case FaultKind::CfidUp1: {
+                const int f = kind == FaultKind::CfidUp1 ? 1 : 0;
+                // rising write on aggressor forces victim to f; only a
+                // perturbation when the victim actually changes
+                if (va == 0 && vv != f) {
+                    PairState n = s;
+                    n.set(a, Trit::One);
+                    n.set(v, trit_from_bit(f));
+                    m.set_next(s, w1a, n);
+                }
+                break;
+            }
+            case FaultKind::CfidDown0:
+            case FaultKind::CfidDown1: {
+                const int f = kind == FaultKind::CfidDown1 ? 1 : 0;
+                if (va == 1 && vv != f) {
+                    PairState n = s;
+                    n.set(a, Trit::Zero);
+                    n.set(v, trit_from_bit(f));
+                    m.set_next(s, w0a, n);
+                }
+                break;
+            }
+            case FaultKind::CfstS0F0:
+            case FaultKind::CfstS0F1:
+            case FaultKind::CfstS1F0:
+            case FaultKind::CfstS1F1: {
+                // ⟨sv, f⟩: while aggressor is in state sv the victim is
+                // forced to f. Operationally: every transition whose good
+                // destination has (a == sv, v == ~f) lands on v == f instead.
+                const int sv = (kind == FaultKind::CfstS1F0 ||
+                                kind == FaultKind::CfstS1F1)
+                                   ? 1
+                                   : 0;
+                const int f = (kind == FaultKind::CfstS0F1 ||
+                               kind == FaultKind::CfstS1F1)
+                                  ? 1
+                                  : 0;
+                for (Input in : fsm::all_inputs()) {
+                    if (!fsm::is_write(in)) continue;
+                    const PairState good = MemoryFsm::good().next(s, in);
+                    // Skip unreachable source states (they already violate
+                    // the forced condition).
+                    if (trit_bit(s.get(a)) == sv && trit_bit(s.get(v)) != f)
+                        continue;
+                    if (trit_bit(good.get(a)) == sv &&
+                        trit_bit(good.get(v)) != f) {
+                        PairState n = good;
+                        n.set(v, trit_from_bit(f));
+                        m.set_next(s, in, n);
+                    }
+                }
+                break;
+            }
+            case FaultKind::Af:
+                // Shorted decoder lines: a write to the aggressor also
+                // writes the victim with the same value.
+                for (int d = 0; d < 2; ++d) {
+                    if (vv != d) {
+                        PairState n = s;
+                        n.set(a, trit_from_bit(d));
+                        n.set(v, trit_from_bit(d));
+                        m.set_next(s, d ? w1a : w0a, n);
+                    }
+                }
+                break;
+            case FaultKind::AfMap: {
+                // Decoder-map fault: the aggressor's address accesses the
+                // victim's cell. Writes to a land on v only; reads of a
+                // return v's value.
+                for (int d = 0; d < 2; ++d) {
+                    PairState n = s;
+                    n.set(v, trit_from_bit(d));  // a's cell untouched
+                    const PairState good =
+                        MemoryFsm::good().next(s, d ? w1a : w0a);
+                    if (n != good) m.set_next(s, d ? w1a : w0a, n);
+                }
+                if (va != vv)
+                    m.set_output(s, fsm::read_input(a), trit_from_bit(vv));
+                break;
+            }
+            default: MTG_ASSERT(false && "not a two-cell fault");
+        }
+        (void)va;
+    });
+}
+
+}  // namespace
+
+fsm::MemoryFsm faulty_machine(const FaultInstance& instance) {
+    MemoryFsm m = MemoryFsm::good();
+    if (is_two_cell(instance.kind)) {
+        perturb_two_cell(m, instance.kind, instance.aggressor);
+    } else {
+        perturb_single_cell(m, instance.kind, instance.aggressor);
+    }
+    return m;
+}
+
+}  // namespace mtg::fault

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file instance.hpp
+/// Fault *instances*: a fault primitive bound to abstract cell roles.
+///
+/// A two-cell primitive such as CFid⟨↑,0⟩ yields two instances in the
+/// two-cell model: aggressor = lower-address cell i (victim j) and
+/// aggressor = higher-address cell j (victim i). A March test must detect
+/// the fault for *both* relative address orders, so each instance is an
+/// independent coverage obligation (this is exactly why the paper's Figure 2
+/// machine carries two bold edges and both TP1 and TP2 are required).
+/// Single-cell primitives yield a single instance on cell i: a March test
+/// applies the same operations to every cell, so one role is representative.
+
+#include <string>
+#include <vector>
+
+#include "fault/kinds.hpp"
+#include "fsm/memory_fsm.hpp"
+
+namespace mtg::fault {
+
+/// A primitive bound to a role assignment.
+struct FaultInstance {
+    FaultKind kind{FaultKind::Saf0};
+    fsm::Cell aggressor{fsm::Cell::I};  ///< faulty cell for 1-cell faults
+
+    [[nodiscard]] fsm::Cell victim() const { return fsm::other(aggressor); }
+
+    /// "CFid<^,0>@i>j" (aggressor i, victim j) or "SAF0@i".
+    [[nodiscard]] std::string name() const;
+
+    friend bool operator==(const FaultInstance&, const FaultInstance&) = default;
+};
+
+/// Expands primitives into instances (two roles for two-cell primitives).
+[[nodiscard]] std::vector<FaultInstance> instantiate(
+    const std::vector<FaultKind>& kinds);
+
+/// Builds the faulty Mealy machine Mi for an instance by perturbing M0
+/// (paper §3, f.2.2 / Figure 2). The returned machine differs from
+/// MemoryFsm::good() exactly in the entries affected by the fault.
+[[nodiscard]] fsm::MemoryFsm faulty_machine(const FaultInstance& instance);
+
+}  // namespace mtg::fault

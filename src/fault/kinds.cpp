@@ -1,0 +1,172 @@
+#include "fault/kinds.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace mtg::fault {
+
+const std::vector<FaultKind>& all_fault_kinds() {
+    static const std::vector<FaultKind> kinds = {
+        FaultKind::Saf0,      FaultKind::Saf1,      FaultKind::TfUp,
+        FaultKind::TfDown,    FaultKind::Wdf0,      FaultKind::Wdf1,
+        FaultKind::Rdf0,      FaultKind::Rdf1,      FaultKind::Drdf0,
+        FaultKind::Drdf1,     FaultKind::Irf0,      FaultKind::Irf1,
+        FaultKind::Drf0,      FaultKind::Drf1,      FaultKind::CfinUp,
+        FaultKind::CfinDown,  FaultKind::CfidUp0,   FaultKind::CfidUp1,
+        FaultKind::CfidDown0, FaultKind::CfidDown1, FaultKind::CfstS0F0,
+        FaultKind::CfstS0F1,  FaultKind::CfstS1F0,  FaultKind::CfstS1F1,
+        FaultKind::Af,        FaultKind::AfMap,
+    };
+    return kinds;
+}
+
+std::string fault_kind_name(FaultKind k) {
+    switch (k) {
+        case FaultKind::Saf0: return "SAF0";
+        case FaultKind::Saf1: return "SAF1";
+        case FaultKind::TfUp: return "TF<^>";
+        case FaultKind::TfDown: return "TF<v>";
+        case FaultKind::Wdf0: return "WDF0";
+        case FaultKind::Wdf1: return "WDF1";
+        case FaultKind::Rdf0: return "RDF0";
+        case FaultKind::Rdf1: return "RDF1";
+        case FaultKind::Drdf0: return "DRDF0";
+        case FaultKind::Drdf1: return "DRDF1";
+        case FaultKind::Irf0: return "IRF0";
+        case FaultKind::Irf1: return "IRF1";
+        case FaultKind::Drf0: return "DRF0";
+        case FaultKind::Drf1: return "DRF1";
+        case FaultKind::CfinUp: return "CFin<^>";
+        case FaultKind::CfinDown: return "CFin<v>";
+        case FaultKind::CfidUp0: return "CFid<^,0>";
+        case FaultKind::CfidUp1: return "CFid<^,1>";
+        case FaultKind::CfidDown0: return "CFid<v,0>";
+        case FaultKind::CfidDown1: return "CFid<v,1>";
+        case FaultKind::CfstS0F0: return "CFst<0,0>";
+        case FaultKind::CfstS0F1: return "CFst<0,1>";
+        case FaultKind::CfstS1F0: return "CFst<1,0>";
+        case FaultKind::CfstS1F1: return "CFst<1,1>";
+        case FaultKind::Af: return "AF";
+        case FaultKind::AfMap: return "AF2";
+    }
+    return "?";
+}
+
+bool is_two_cell(FaultKind k) {
+    switch (k) {
+        case FaultKind::CfinUp:
+        case FaultKind::CfinDown:
+        case FaultKind::CfidUp0:
+        case FaultKind::CfidUp1:
+        case FaultKind::CfidDown0:
+        case FaultKind::CfidDown1:
+        case FaultKind::CfstS0F0:
+        case FaultKind::CfstS0F1:
+        case FaultKind::CfstS1F0:
+        case FaultKind::CfstS1F1:
+        case FaultKind::Af:
+        case FaultKind::AfMap: return true;
+        default: return false;
+    }
+}
+
+bool needs_wait(FaultKind k) {
+    return k == FaultKind::Drf0 || k == FaultKind::Drf1;
+}
+
+namespace {
+
+std::string normalise(std::string s) {
+    std::string out;
+    for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        out.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+    return out;
+}
+
+const std::map<std::string, std::vector<FaultKind>>& family_table() {
+    using K = FaultKind;
+    static const std::map<std::string, std::vector<FaultKind>> table = {
+        {"SAF", {K::Saf0, K::Saf1}},
+        {"SAF0", {K::Saf0}},
+        {"SAF1", {K::Saf1}},
+        {"TF", {K::TfUp, K::TfDown}},
+        {"TF<^>", {K::TfUp}},
+        {"TF<V>", {K::TfDown}},
+        {"WDF", {K::Wdf0, K::Wdf1}},
+        {"WDF0", {K::Wdf0}},
+        {"WDF1", {K::Wdf1}},
+        {"RDF", {K::Rdf0, K::Rdf1}},
+        {"RDF0", {K::Rdf0}},
+        {"RDF1", {K::Rdf1}},
+        {"DRDF", {K::Drdf0, K::Drdf1}},
+        {"DRDF0", {K::Drdf0}},
+        {"DRDF1", {K::Drdf1}},
+        {"IRF", {K::Irf0, K::Irf1}},
+        {"IRF0", {K::Irf0}},
+        {"IRF1", {K::Irf1}},
+        {"DRF", {K::Drf0, K::Drf1}},
+        {"DRF0", {K::Drf0}},
+        {"DRF1", {K::Drf1}},
+        {"CFIN", {K::CfinUp, K::CfinDown}},
+        {"CFIN<^>", {K::CfinUp}},
+        {"CFIN<V>", {K::CfinDown}},
+        {"CFID", {K::CfidUp0, K::CfidUp1, K::CfidDown0, K::CfidDown1}},
+        {"CFID<^,0>", {K::CfidUp0}},
+        {"CFID<^,1>", {K::CfidUp1}},
+        {"CFID<V,0>", {K::CfidDown0}},
+        {"CFID<V,1>", {K::CfidDown1}},
+        {"CFST", {K::CfstS0F0, K::CfstS0F1, K::CfstS1F0, K::CfstS1F1}},
+        {"CFST<0,0>", {K::CfstS0F0}},
+        {"CFST<0,1>", {K::CfstS0F1}},
+        {"CFST<1,0>", {K::CfstS1F0}},
+        {"CFST<1,1>", {K::CfstS1F1}},
+        {"AF", {K::Af}},
+        {"ADF", {K::Af}},
+        {"AF2", {K::AfMap}},
+        {"AFMAP", {K::AfMap}},
+    };
+    return table;
+}
+
+}  // namespace
+
+std::vector<FaultKind> expand_fault_family(const std::string& name) {
+    const auto& table = family_table();
+    auto it = table.find(normalise(name));
+    if (it == table.end())
+        throw std::invalid_argument("unknown fault family or primitive: " + name);
+    return it->second;
+}
+
+std::vector<FaultKind> parse_fault_kinds(const std::string& list) {
+    std::vector<FaultKind> kinds;
+    std::string token;
+    auto flush = [&] {
+        if (token.empty()) return;
+        for (FaultKind k : expand_fault_family(token))
+            if (std::find(kinds.begin(), kinds.end(), k) == kinds.end())
+                kinds.push_back(k);
+        token.clear();
+    };
+    int angle_depth = 0;
+    for (char c : list) {
+        if (c == '<') ++angle_depth;
+        if (c == '>') --angle_depth;
+        if ((c == ',' || c == ';') && angle_depth == 0) {
+            flush();
+        } else {
+            token.push_back(c);
+        }
+    }
+    flush();
+    if (kinds.empty())
+        throw std::invalid_argument("empty fault list: '" + list + "'");
+    return kinds;
+}
+
+}  // namespace mtg::fault

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file kinds.hpp
+/// Catalogue of memory fault primitives.
+///
+/// Notation follows van de Goor [paper refs 1, 9]. Two-cell faults are
+/// written ⟨S,F⟩: S is the sensitising condition on the aggressor cell, F
+/// the effect on the victim. "up"/"down" denote rising/falling write
+/// transitions on the aggressor.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtg::fault {
+
+/// Every supported fault primitive.
+enum class FaultKind : std::uint8_t {
+    // --- single-cell ---
+    Saf0,     ///< stuck-at-0
+    Saf1,     ///< stuck-at-1
+    TfUp,     ///< transition fault: 0->1 write fails
+    TfDown,   ///< transition fault: 1->0 write fails
+    Wdf0,     ///< write disturb: w0 on a 0 cell flips it to 1
+    Wdf1,     ///< write disturb: w1 on a 1 cell flips it to 0
+    Rdf0,     ///< read disturb: reading a 0 cell flips it and returns 1
+    Rdf1,     ///< read disturb: reading a 1 cell flips it and returns 0
+    Drdf0,    ///< deceptive read disturb: reading a 0 cell returns 0 but flips it
+    Drdf1,    ///< deceptive read disturb: reading a 1 cell returns 1 but flips it
+    Irf0,     ///< incorrect read: reading a 0 cell returns 1 (no flip)
+    Irf1,     ///< incorrect read: reading a 1 cell returns 0 (no flip)
+    Drf0,     ///< data retention: a 1 cell decays to 0 after the wait period
+    Drf1,     ///< data retention: a 0 cell decays to 1 after the wait period
+    // --- two-cell (coupling); aggressor/victim roles instantiated later ---
+    CfinUp,   ///< inversion coupling ⟨↑,~⟩: rising aggressor inverts victim
+    CfinDown, ///< inversion coupling ⟨↓,~⟩: falling aggressor inverts victim
+    CfidUp0,  ///< idempotent coupling ⟨↑,0⟩
+    CfidUp1,  ///< idempotent coupling ⟨↑,1⟩
+    CfidDown0,///< idempotent coupling ⟨↓,0⟩
+    CfidDown1,///< idempotent coupling ⟨↓,1⟩
+    CfstS0F0, ///< state coupling ⟨0,0⟩: victim forced to 0 while aggressor is 0
+    CfstS0F1, ///< state coupling ⟨0,1⟩
+    CfstS1F0, ///< state coupling ⟨1,0⟩
+    CfstS1F1, ///< state coupling ⟨1,1⟩
+    // --- address decoder ---
+    Af,       ///< address decoder fault, modelled by its coupling-equivalent
+              ///  condition: a write to the aggressor also writes the victim
+              ///  (shorted decoder lines); see DESIGN.md §4.7
+    AfMap,    ///< concrete decoder-map fault (van de Goor AF types 2/4): the
+              ///  aggressor address accesses the victim's cell instead of its
+              ///  own — writes land on the victim, reads return the victim
+};
+
+/// All kinds, in declaration order.
+[[nodiscard]] const std::vector<FaultKind>& all_fault_kinds();
+
+/// Canonical short name, e.g. "SAF0", "CFid<^,1>", "AF".
+[[nodiscard]] std::string fault_kind_name(FaultKind k);
+
+/// True for coupling faults and AF (they involve two cells / two roles).
+[[nodiscard]] bool is_two_cell(FaultKind k);
+
+/// True when sensitisation requires the wait operation T.
+[[nodiscard]] bool needs_wait(FaultKind k);
+
+/// Expands a fault *family* name into primitives:
+///   "SAF" -> {Saf0, Saf1};        "TF"   -> {TfUp, TfDown};
+///   "ADF"/"AF" -> {Af};           "CFin" -> {CfinUp, CfinDown};
+///   "CFid" -> 4 idempotent CFs;   "CFst" -> 4 state CFs;
+///   "WDF", "RDF", "DRDF", "IRF", "DRF" -> their 2 polarities;
+/// individual primitive names ("SAF0", "CFid<^,1>") are accepted too.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::vector<FaultKind> expand_fault_family(const std::string& name);
+
+/// Parses a comma/space separated list of family or primitive names,
+/// e.g. "SAF, TF, ADF". Duplicates are removed, order preserved.
+[[nodiscard]] std::vector<FaultKind> parse_fault_kinds(const std::string& list);
+
+}  // namespace mtg::fault

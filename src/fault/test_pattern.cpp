@@ -1,0 +1,128 @@
+#include "fault/test_pattern.hpp"
+
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace mtg::fault {
+
+using fsm::AbstractOp;
+using fsm::Bfe;
+using fsm::Cell;
+using fsm::PairState;
+using mtg::Trit;
+
+fsm::PairState TestPattern::observation_state() const {
+    return excite ? init.after(*excite) : init;
+}
+
+std::string TestPattern::str() const {
+    std::ostringstream os;
+    os << '(' << init.str() << ", " << (excite ? excite->str() : "-") << ", "
+       << observe.str() << ')';
+    return os.str();
+}
+
+std::string TpClass::str() const {
+    std::ostringstream os;
+    os << instance.name() << ": {";
+    for (std::size_t k = 0; k < alternatives.size(); ++k) {
+        if (k) os << ", ";
+        os << alternatives[k].str();
+    }
+    os << '}';
+    return os.str();
+}
+
+TestPattern tp_from_bfe(const Bfe& bfe) {
+    TestPattern tp;
+    tp.init = bfe.state;
+    if (bfe.is_lambda_fault() && fsm::is_read(bfe.input) &&
+        !bfe.is_delta_fault()) {
+        // The faulty read output itself reveals the fault: observe directly.
+        MTG_EXPECTS(is_known(bfe.good_out));
+        tp.excite = std::nullopt;
+        tp.observe =
+            AbstractOp::read(fsm::input_cell(bfe.input), trit_bit(bfe.good_out));
+        return tp;
+    }
+    MTG_EXPECTS(bfe.is_delta_fault());
+    tp.excite = fsm::input_to_op(
+        bfe.input,
+        fsm::is_read(bfe.input) && is_known(bfe.good_out) ? trit_bit(bfe.good_out)
+                                                          : 0);
+    // Observe a cell whose faulty value diverges from the good one. Prefer
+    // the cell that differs; when both differ pick cell i (arbitrary but
+    // deterministic).
+    Cell observed = Cell::I;
+    if (bfe.good_next.i != bfe.faulty_next.i) {
+        observed = Cell::I;
+    } else {
+        MTG_ASSERT(bfe.good_next.j != bfe.faulty_next.j);
+        observed = Cell::J;
+    }
+    tp.observe = AbstractOp::read(observed, trit_bit(bfe.good_next.get(observed)));
+    return tp;
+}
+
+namespace {
+
+/// Attempts to merge two TPs that differ only in the init value of a single
+/// cell (both values covered -> don't-care). Returns the merged TP or
+/// nullopt.
+std::optional<TestPattern> try_merge(const TestPattern& a,
+                                     const TestPattern& b) {
+    if (a.excite != b.excite || a.observe != b.observe) return std::nullopt;
+    const bool diff_i = a.init.i != b.init.i;
+    const bool diff_j = a.init.j != b.init.j;
+    if (diff_i == diff_j) return std::nullopt;  // differ in 0 or 2 cells
+    const Cell c = diff_i ? Cell::I : Cell::J;
+    if (!is_known(a.init.get(c)) || !is_known(b.init.get(c)))
+        return std::nullopt;
+    TestPattern merged = a;
+    merged.init.set(c, Trit::X);
+    return merged;
+}
+
+/// Repeatedly merges mergeable TP pairs until a fixed point.
+std::vector<TestPattern> merge_dont_cares(std::vector<TestPattern> tps) {
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t x = 0; x < tps.size() && !changed; ++x) {
+            for (std::size_t y = x + 1; y < tps.size() && !changed; ++y) {
+                if (auto merged = try_merge(tps[x], tps[y])) {
+                    tps[x] = *merged;
+                    tps.erase(tps.begin() + static_cast<std::ptrdiff_t>(y));
+                    changed = true;
+                }
+            }
+        }
+    }
+    return tps;
+}
+
+}  // namespace
+
+TpClass extract_tp_class(const FaultInstance& instance) {
+    const fsm::MemoryFsm good = fsm::MemoryFsm::good();
+    const fsm::MemoryFsm faulty = faulty_machine(instance);
+    const std::vector<Bfe> bfes = faulty.diff(good);
+    MTG_ENSURES(!bfes.empty());
+
+    std::vector<TestPattern> tps;
+    tps.reserve(bfes.size());
+    for (const Bfe& bfe : bfes) tps.push_back(tp_from_bfe(bfe));
+    tps = merge_dont_cares(std::move(tps));
+
+    return TpClass{instance, std::move(tps)};
+}
+
+std::vector<TpClass> extract_tp_classes(const std::vector<FaultKind>& kinds) {
+    std::vector<TpClass> classes;
+    for (const FaultInstance& inst : instantiate(kinds))
+        classes.push_back(extract_tp_class(inst));
+    return classes;
+}
+
+}  // namespace mtg::fault

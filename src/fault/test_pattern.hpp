@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file test_pattern.hpp
+/// Test Patterns (paper f.2.3) and their extraction from fault instances.
+///
+/// A TP is a triplet (I, E, O): initialisation state, exciting operation and
+/// observing read-and-verify. TPs are synthesised from the BFEs of the
+/// faulty machine; BFEs that are alternative sensitisations of the *same*
+/// physical fault instance form an equivalence class (paper §5): covering
+/// any one TP of the class covers the instance.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/instance.hpp"
+#include "fsm/abstract_op.hpp"
+#include "fsm/memory_fsm.hpp"
+#include "fsm/pair_state.hpp"
+
+namespace mtg::fault {
+
+/// One test pattern (I, E, O).
+struct TestPattern {
+    fsm::PairState init;                      ///< I — may contain don't-cares
+    std::optional<fsm::AbstractOp> excite;    ///< E — absent when the observing
+                                              ///  read itself excites (pure λ-faults)
+    fsm::AbstractOp observe;                  ///< O — always a verify-read r_d^c
+
+    /// State reached after applying E to I in the good machine — the
+    /// "observation state" S_S used for the TPG edge weights (f.4.1).
+    /// (Reads leave the good state unchanged, so this is also the state
+    /// after O.)
+    [[nodiscard]] fsm::PairState observation_state() const;
+
+    /// Number of cold-start writes needed to establish I from an unknown
+    /// memory: the weight of the dummy-start edge in the open-path ATSP.
+    [[nodiscard]] int init_cost() const { return init.known_count(); }
+
+    /// "(01, w1i, r1j)"; E printed as "-" when absent.
+    [[nodiscard]] std::string str() const;
+
+    friend bool operator==(const TestPattern&, const TestPattern&) = default;
+};
+
+/// Equivalence class of alternative TPs for one fault instance (paper §5).
+struct TpClass {
+    FaultInstance instance;
+    std::vector<TestPattern> alternatives;  ///< non-empty; any one suffices
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Synthesises the TP for a single BFE (Figure 3 -> f.2.3):
+/// - δ-fault: I = BFE state, E = BFE input, O = verify-read of a cell whose
+///   faulty next-state value differs from the good one (expected = good value);
+/// - pure λ-fault on a read: I = BFE state, E absent, O = that read with the
+///   good output as expected value.
+[[nodiscard]] TestPattern tp_from_bfe(const fsm::Bfe& bfe);
+
+/// All TPs of a fault instance: BFE extraction (diff against M0), TP
+/// synthesis, then don't-care merging — TPs identical except for the value
+/// of one unrelated cell in I are collapsed with that cell set to X (this
+/// turns e.g. the two TF⟨↑⟩ BFEs (00,w1i,r1i),(01,w1i,r1i) into the single
+/// pattern (0x,w1i,r1i)).
+[[nodiscard]] TpClass extract_tp_class(const FaultInstance& instance);
+
+/// Convenience: classes for a whole primitive list, in instance order.
+[[nodiscard]] std::vector<TpClass> extract_tp_classes(
+    const std::vector<FaultKind>& kinds);
+
+}  // namespace mtg::fault

@@ -1,0 +1,16 @@
+#include "fsm/abstract_op.hpp"
+
+namespace mtg::fsm {
+
+std::string AbstractOp::str() const {
+    switch (kind) {
+        case AbstractOpKind::Read:
+            return std::string("r") + static_cast<char>('0' + value) + cell_char(cell);
+        case AbstractOpKind::Write:
+            return std::string("w") + static_cast<char>('0' + value) + cell_char(cell);
+        case AbstractOpKind::Wait: return "T";
+    }
+    return "?";
+}
+
+}  // namespace mtg::fsm

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file abstract_op.hpp
+/// Operations of the two-cell memory model (paper §3, f.2.1).
+///
+/// The input alphabet is X = { r_c, w0_c, w1_c | c in {i,j} } ∪ {T}: reads
+/// and writes addressed to one of the two abstract cells, plus the wait
+/// operation `T` used to sensitise data-retention faults. Cell `i` is by
+/// convention the cell with the LOWER address, `j` the one with the higher
+/// address (paper §3: "the address of cell i is less than the address of
+/// cell j").
+
+#include <cstdint>
+#include <string>
+
+#include "util/contracts.hpp"
+
+namespace mtg::fsm {
+
+/// Abstract cell role in the two-cell model.
+enum class Cell : std::uint8_t {
+    I = 0,  ///< lower-address cell
+    J = 1,  ///< higher-address cell
+};
+
+/// Returns the other cell role.
+constexpr Cell other(Cell c) { return c == Cell::I ? Cell::J : Cell::I; }
+
+/// 'i' or 'j'.
+constexpr char cell_char(Cell c) { return c == Cell::I ? 'i' : 'j'; }
+
+/// Kind of an abstract operation.
+enum class AbstractOpKind : std::uint8_t {
+    Read,   ///< r_c — read cell c (observing reads carry an expected value)
+    Write,  ///< w d_c — write value d to cell c
+    Wait,   ///< T — wait for the retention period (no cell addressed)
+};
+
+/// One symbol of the input alphabet X, optionally annotated with the
+/// expected read value (the paper's "read and verify" r_d^c, f.2.3).
+struct AbstractOp {
+    AbstractOpKind kind{AbstractOpKind::Read};
+    Cell cell{Cell::I};      ///< addressed cell (meaningless for Wait)
+    std::uint8_t value{0};   ///< written value, or expected value of a verify-read
+
+    static constexpr AbstractOp read(Cell c, int expected) {
+        return {AbstractOpKind::Read, c, static_cast<std::uint8_t>(expected != 0)};
+    }
+    static constexpr AbstractOp write(Cell c, int d) {
+        return {AbstractOpKind::Write, c, static_cast<std::uint8_t>(d != 0)};
+    }
+    static constexpr AbstractOp wait() {
+        return {AbstractOpKind::Wait, Cell::I, 0};
+    }
+
+    [[nodiscard]] constexpr bool is_read() const {
+        return kind == AbstractOpKind::Read;
+    }
+    [[nodiscard]] constexpr bool is_write() const {
+        return kind == AbstractOpKind::Write;
+    }
+    [[nodiscard]] constexpr bool is_wait() const {
+        return kind == AbstractOpKind::Wait;
+    }
+
+    friend constexpr bool operator==(const AbstractOp&, const AbstractOp&) = default;
+
+    /// "r1i", "w0j", "T".
+    [[nodiscard]] std::string str() const;
+};
+
+/// Total order so ops can key maps/sets.
+constexpr bool operator<(const AbstractOp& a, const AbstractOp& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.cell != b.cell) return a.cell < b.cell;
+    return a.value < b.value;
+}
+
+}  // namespace mtg::fsm

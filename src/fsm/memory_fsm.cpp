@@ -1,0 +1,161 @@
+#include "fsm/memory_fsm.hpp"
+
+#include <sstream>
+
+namespace mtg::fsm {
+
+const std::vector<Input>& all_inputs() {
+    static const std::vector<Input> inputs = {Input::Ri,  Input::Rj, Input::W0i,
+                                              Input::W1i, Input::W0j,
+                                              Input::W1j, Input::T};
+    return inputs;
+}
+
+std::string input_str(Input in) {
+    switch (in) {
+        case Input::Ri: return "ri";
+        case Input::Rj: return "rj";
+        case Input::W0i: return "w0i";
+        case Input::W1i: return "w1i";
+        case Input::W0j: return "w0j";
+        case Input::W1j: return "w1j";
+        case Input::T: return "T";
+    }
+    return "?";
+}
+
+Cell input_cell(Input in) {
+    MTG_EXPECTS(in != Input::T);
+    switch (in) {
+        case Input::Ri:
+        case Input::W0i:
+        case Input::W1i: return Cell::I;
+        default: return Cell::J;
+    }
+}
+
+int input_value(Input in) {
+    MTG_EXPECTS(is_write(in));
+    return (in == Input::W1i || in == Input::W1j) ? 1 : 0;
+}
+
+Input write_input(Cell c, int value) {
+    if (c == Cell::I) return value ? Input::W1i : Input::W0i;
+    return value ? Input::W1j : Input::W0j;
+}
+
+Input read_input(Cell c) { return c == Cell::I ? Input::Ri : Input::Rj; }
+
+AbstractOp input_to_op(Input in, int expected) {
+    if (in == Input::T) return AbstractOp::wait();
+    if (is_read(in)) return AbstractOp::read(input_cell(in), expected);
+    return AbstractOp::write(input_cell(in), input_value(in));
+}
+
+std::string Bfe::str() const {
+    std::ostringstream os;
+    if (is_delta_fault()) {
+        os << "delta(" << state.str() << ',' << input_str(input)
+           << "): " << good_next.str() << " -> " << faulty_next.str();
+        if (is_lambda_fault()) os << "; ";
+    }
+    if (is_lambda_fault()) {
+        os << "lambda(" << state.str() << ',' << input_str(input)
+           << "): " << trit_char(good_out) << " -> " << trit_char(faulty_out);
+    }
+    return os.str();
+}
+
+int MemoryFsm::slot(const PairState& state, Input in) {
+    MTG_EXPECTS(state.fully_known());
+    return state.index() * kInputCount + static_cast<int>(in);
+}
+
+MemoryFsm MemoryFsm::good() {
+    MemoryFsm m;
+    for (const auto& s : all_known_states()) {
+        for (Input in : all_inputs()) {
+            PairState next = s;
+            Trit out = Trit::X;  // '-' for writes and wait
+            if (is_write(in)) {
+                next.set(input_cell(in), trit_from_bit(input_value(in)));
+            } else if (is_read(in)) {
+                out = s.get(input_cell(in));
+            }
+            // T: identity transition, output '-'.
+            m.next_[static_cast<std::size_t>(slot(s, in))] =
+                static_cast<std::uint8_t>(next.index());
+            m.out_[static_cast<std::size_t>(slot(s, in))] = out;
+        }
+    }
+    return m;
+}
+
+PairState MemoryFsm::next(const PairState& state, Input in) const {
+    return PairState::from_index(
+        next_[static_cast<std::size_t>(slot(state, in))]);
+}
+
+Trit MemoryFsm::output(const PairState& state, Input in) const {
+    return out_[static_cast<std::size_t>(slot(state, in))];
+}
+
+void MemoryFsm::set_next(const PairState& state, Input in,
+                         const PairState& next) {
+    MTG_EXPECTS(next.fully_known());
+    next_[static_cast<std::size_t>(slot(state, in))] =
+        static_cast<std::uint8_t>(next.index());
+}
+
+void MemoryFsm::set_output(const PairState& state, Input in, Trit out) {
+    out_[static_cast<std::size_t>(slot(state, in))] = out;
+}
+
+PairState MemoryFsm::run(const PairState& start, const std::vector<Input>& word,
+                         std::vector<Trit>* outputs) const {
+    PairState state = start;
+    for (Input in : word) {
+        if (outputs) outputs->push_back(output(state, in));
+        state = next(state, in);
+    }
+    return state;
+}
+
+std::vector<Bfe> MemoryFsm::diff(const MemoryFsm& reference) const {
+    std::vector<Bfe> bfes;
+    for (const auto& s : all_known_states()) {
+        for (Input in : all_inputs()) {
+            const PairState good_next = reference.next(s, in);
+            const PairState faulty_next = next(s, in);
+            const Trit good_out = reference.output(s, in);
+            const Trit faulty_out = output(s, in);
+            if (good_next != faulty_next || good_out != faulty_out) {
+                bfes.push_back(Bfe{s, in, good_next, faulty_next, good_out,
+                                   faulty_out});
+            }
+        }
+    }
+    return bfes;
+}
+
+int MemoryFsm::perturbation_count(const MemoryFsm& reference) const {
+    return static_cast<int>(diff(reference).size());
+}
+
+std::string MemoryFsm::table_str() const {
+    std::ostringstream os;
+    os << "state";
+    for (Input in : all_inputs()) os << '\t' << input_str(in);
+    os << '\n';
+    for (const auto& s : all_known_states()) {
+        os << s.str();
+        for (Input in : all_inputs()) {
+            os << '\t' << next(s, in).str() << '/'
+               << trit_char(output(s, in));
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace mtg::fsm

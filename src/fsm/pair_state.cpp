@@ -1,0 +1,44 @@
+#include "fsm/pair_state.hpp"
+
+namespace mtg::fsm {
+
+PairState PairState::parse(const std::string& text) {
+    MTG_EXPECTS(text.size() == 2);
+    return {trit_parse(text[0]), trit_parse(text[1])};
+}
+
+int PairState::index() const {
+    MTG_EXPECTS(fully_known());
+    return trit_bit(i) * 2 + trit_bit(j);
+}
+
+PairState PairState::from_index(int idx) {
+    MTG_EXPECTS(idx >= 0 && idx < 4);
+    return known((idx >> 1) & 1, idx & 1);
+}
+
+PairState PairState::after(const AbstractOp& op) const {
+    PairState next = *this;
+    if (op.is_write()) next.set(op.cell, trit_from_bit(op.value));
+    return next;
+}
+
+std::string PairState::str() const {
+    return std::string{trit_char(i), trit_char(j)};
+}
+
+int write_distance(const PairState& from, const PairState& to) {
+    int distance = 0;
+    if (is_known(to.i) && to.i != from.i) ++distance;
+    if (is_known(to.j) && to.j != from.j) ++distance;
+    return distance;
+}
+
+const std::array<PairState, 4>& all_known_states() {
+    static const std::array<PairState, 4> states = {
+        PairState::known(0, 0), PairState::known(0, 1),
+        PairState::known(1, 0), PairState::known(1, 1)};
+    return states;
+}
+
+}  // namespace mtg::fsm

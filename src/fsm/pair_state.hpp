@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file pair_state.hpp
+/// State of the abstract two-cell memory. The paper's state set is
+/// Q = {0,1,-}^2 (f.2.1); we represent each cell with a Trit so that states
+/// can carry don't-care / uninitialised components. Fully known states
+/// (00, 01, 10, 11) are the four states of the M0 machine in Figure 1.
+
+#include <array>
+#include <string>
+
+#include "fsm/abstract_op.hpp"
+#include "util/trit.hpp"
+
+namespace mtg::fsm {
+
+/// Value pair (cell i, cell j); either component may be unknown (X).
+struct PairState {
+    Trit i{Trit::X};
+    Trit j{Trit::X};
+
+    constexpr PairState() = default;
+    constexpr PairState(Trit ci, Trit cj) : i(ci), j(cj) {}
+
+    /// Fully known state from two bits.
+    static constexpr PairState known(int vi, int vj) {
+        return {trit_from_bit(vi), trit_from_bit(vj)};
+    }
+
+    /// Completely unconstrained state.
+    static constexpr PairState any() { return {Trit::X, Trit::X}; }
+
+    /// Parses "01", "x1", "0x", ... ('-' also accepted for X).
+    static PairState parse(const std::string& text);
+
+    [[nodiscard]] constexpr Trit get(Cell c) const {
+        return c == Cell::I ? i : j;
+    }
+    constexpr void set(Cell c, Trit v) {
+        (c == Cell::I ? i : j) = v;
+    }
+
+    /// True when both cells have definite values.
+    [[nodiscard]] constexpr bool fully_known() const {
+        return is_known(i) && is_known(j);
+    }
+
+    /// Number of cells with a definite value (0..2). For a TP's
+    /// initialisation state this is the number of cold-start writes needed.
+    [[nodiscard]] constexpr int known_count() const {
+        return (is_known(i) ? 1 : 0) + (is_known(j) ? 1 : 0);
+    }
+
+    /// Index 0..3 of a fully known state (i is the MSB: "01" -> 1,
+    /// "10" -> 2). Precondition: fully_known().
+    [[nodiscard]] int index() const;
+
+    /// Inverse of index().
+    static PairState from_index(int idx);
+
+    /// Applies a write (or wait: identity) to this state in the *good*
+    /// machine. Reads do not change state here. Returns the new state.
+    [[nodiscard]] PairState after(const AbstractOp& op) const;
+
+    /// True when `this` can serve where `required` is demanded: every
+    /// constrained cell of `required` matches.
+    [[nodiscard]] constexpr bool satisfies(const PairState& required) const {
+        return (!is_known(required.i) || required.i == i) &&
+               (!is_known(required.j) || required.j == j);
+    }
+
+    friend constexpr bool operator==(const PairState&, const PairState&) = default;
+
+    /// "01", "x1", ...
+    [[nodiscard]] std::string str() const;
+};
+
+/// Generalised Hamming distance of the paper's f.4.1: the number of write
+/// operations needed to take a memory whose (partially known) contents are
+/// `from` into a state satisfying `to`. A constrained target cell costs one
+/// write iff the source value is unknown or different; unconstrained target
+/// cells are free.
+[[nodiscard]] int write_distance(const PairState& from, const PairState& to);
+
+/// All four fully known states, in index order 00, 01, 10, 11.
+[[nodiscard]] const std::array<PairState, 4>& all_known_states();
+
+}  // namespace mtg::fsm

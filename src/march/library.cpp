@@ -1,0 +1,106 @@
+#include "march/library.hpp"
+
+#include <stdexcept>
+
+#include "march/parser.hpp"
+
+namespace mtg::march {
+
+MarchTest scan() { return parse_march("{~(w0); ~(r0); ~(w1); ~(r1)}"); }
+
+MarchTest mats() { return parse_march("{~(w0); ~(r0,w1); ~(r1)}"); }
+
+MarchTest mats_plus() { return parse_march("{~(w0); ^(r0,w1); v(r1,w0)}"); }
+
+MarchTest mats_plus_plus() {
+    return parse_march("{~(w0); ^(r0,w1); v(r1,w0,r0)}");
+}
+
+MarchTest march_x() {
+    return parse_march("{~(w0); ^(r0,w1); v(r1,w0); ~(r0)}");
+}
+
+MarchTest march_y() {
+    return parse_march("{~(w0); ^(r0,w1,r1); v(r1,w0,r0); ~(r0)}");
+}
+
+MarchTest march_c_minus() {
+    return parse_march(
+        "{~(w0); ^(r0,w1); ^(r1,w0); v(r0,w1); v(r1,w0); ~(r0)}");
+}
+
+MarchTest march_c() {
+    return parse_march(
+        "{~(w0); ^(r0,w1); ^(r1,w0); ~(r0); v(r0,w1); v(r1,w0); ~(r0)}");
+}
+
+MarchTest march_a() {
+    return parse_march(
+        "{~(w0); ^(r0,w1,w0,w1); ^(r1,w0,w1); v(r1,w0,w1,w0); v(r0,w1,w0)}");
+}
+
+MarchTest march_b() {
+    return parse_march(
+        "{~(w0); ^(r0,w1,r1,w0,r0,w1); ^(r1,w0,w1); v(r1,w0,w1,w0); "
+        "v(r0,w1,w0)}");
+}
+
+MarchTest march_u() {
+    return parse_march(
+        "{~(w0); ^(r0,w1,r1,w0); ^(r0,w1); v(r1,w0,r0,w1); v(r1,w0)}");
+}
+
+MarchTest march_lr() {
+    return parse_march(
+        "{~(w0); v(r0,w1); ^(r1,w0,r0,w1); ^(r1,w0); ^(r0,w1,r1,w0); ^(r0)}");
+}
+
+MarchTest march_sr() {
+    return parse_march(
+        "{v(w0); ^(r0,w1,r1,w0); ^(r0,r0); ^(w1); v(r1,w0,r0,w1); v(r1,r1)}");
+}
+
+MarchTest march_ss() {
+    return parse_march(
+        "{~(w0); ^(r0,r0,w0,r0,w1); ^(r1,r1,w1,r1,w0); v(r0,r0,w0,r0,w1); "
+        "v(r1,r1,w1,r1,w0); ~(r0)}");
+}
+
+MarchTest pmovi() {
+    return parse_march(
+        "{v(w0); ^(r0,w1,r1); ^(r1,w0,r0); v(r0,w1,r1); v(r1,w0,r0)}");
+}
+
+MarchTest mats_plus_retention() {
+    return parse_march("{~(w0); ^(r0,w1); ~(del); v(r1,w0); ~(del); ~(r0)}");
+}
+
+const std::vector<NamedMarchTest>& known_march_tests() {
+    static const std::vector<NamedMarchTest> tests = {
+        {"SCAN", scan(), "SAF"},
+        {"MATS", mats(), "SAF"},
+        {"MATS+", mats_plus(), "SAF, AF"},
+        {"MATS++", mats_plus_plus(), "SAF, TF, AF"},
+        {"March X", march_x(), "SAF, TF, AF, CFin"},
+        {"March Y", march_y(), "SAF, TF, AF, CFin, linked TF"},
+        {"March C-", march_c_minus(), "SAF, TF, AF, CFin, CFid, CFst"},
+        {"March C", march_c(), "SAF, TF, AF, CFin, CFid, CFst (redundant)"},
+        {"March A", march_a(), "SAF, TF, AF, CFin, linked CFid"},
+        {"March B", march_b(), "SAF, TF, AF, CFin, linked CFid, linked TF"},
+        {"March U", march_u(), "SAF, TF, AF, unlinked CFs"},
+        {"March LR", march_lr(), "SAF, TF, AF, linked realistic faults"},
+        {"March SR", march_sr(), "simple static faults incl. read disturbs"},
+        {"March SS", march_ss(), "all simple static single/two-cell faults"},
+        {"PMOVI", pmovi(), "SAF, TF, AF, CFs; diagnosis-friendly"},
+        {"MATS+Del", mats_plus_retention(), "SAF, AF, DRF"},
+    };
+    return tests;
+}
+
+const NamedMarchTest& find_march_test(const std::string& name) {
+    for (const auto& t : known_march_tests())
+        if (t.name == name) return t;
+    throw std::invalid_argument("unknown March test: " + name);
+}
+
+}  // namespace mtg::march

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file library.hpp
+/// Library of March tests from the literature [van de Goor 1991, 1993].
+/// These are the "Equivalent Known March Test" baselines of the paper's
+/// Table 3, plus further classical tests used by the examples and the
+/// validation suite.
+
+#include <string>
+#include <vector>
+
+#include "march/march_test.hpp"
+
+namespace mtg::march {
+
+/// A known March test with provenance metadata.
+struct NamedMarchTest {
+    std::string name;         ///< conventional name, e.g. "MATS+"
+    MarchTest test;           ///< the element sequence
+    std::string coverage;     ///< documented fault coverage, informational
+};
+
+/// SCAN (4n): {~(w0); ~(r0); ~(w1); ~(r1)} — SAF only.
+[[nodiscard]] MarchTest scan();
+
+/// MATS (4n): {~(w0); ~(r0,w1); ~(r1)} — SAF (and some AF in OR-type
+/// technologies).
+[[nodiscard]] MarchTest mats();
+
+/// MATS+ (5n): {~(w0); ^(r0,w1); v(r1,w0)} — SAF, AF.
+[[nodiscard]] MarchTest mats_plus();
+
+/// MATS++ (6n): {~(w0); ^(r0,w1); v(r1,w0,r0)} — SAF, TF, AF.
+[[nodiscard]] MarchTest mats_plus_plus();
+
+/// March X (6n): {~(w0); ^(r0,w1); v(r1,w0); ~(r0)} — SAF, TF, AF, CFin.
+[[nodiscard]] MarchTest march_x();
+
+/// March Y (8n): {~(w0); ^(r0,w1,r1); v(r1,w0,r0); ~(r0)} — March X plus
+/// linked TF.
+[[nodiscard]] MarchTest march_y();
+
+/// March C- (10n): {~(w0); ^(r0,w1); ^(r1,w0); v(r0,w1); v(r1,w0); ~(r0)} —
+/// SAF, TF, AF, CFin, CFid, CFst.
+[[nodiscard]] MarchTest march_c_minus();
+
+/// March C (11n): the original Marinescu test; March C- plus a redundant
+/// ~(r0) element. Kept as a deliberately *redundant* specimen for the
+/// set-covering analysis.
+[[nodiscard]] MarchTest march_c();
+
+/// March A (15n): {~(w0); ^(r0,w1,w0,w1); ^(r1,w0,w1); v(r1,w0,w1,w0);
+/// v(r0,w1,w0)} — SAF, TF, AF, CFin, linked CFid.
+[[nodiscard]] MarchTest march_a();
+
+/// March B (17n): {~(w0); ^(r0,w1,r1,w0,r0,w1); ^(r1,w0,w1);
+/// v(r1,w0,w1,w0); v(r0,w1,w0)} — March A plus linked TF.
+[[nodiscard]] MarchTest march_b();
+
+/// March U (13n): {~(w0); ^(r0,w1,r1,w0); ^(r0,w1); v(r1,w0,r0,w1);
+/// v(r1,w0)} — SAF, TF, AF, unlinked CFs.
+[[nodiscard]] MarchTest march_u();
+
+/// March LR (14n): {~(w0); v(r0,w1); ^(r1,w0,r0,w1); ^(r1,w0);
+/// ^(r0,w1,r1,w0); ^(r0)} — realistic linked faults.
+[[nodiscard]] MarchTest march_lr();
+
+/// March SR (14n): {v(w0); ^(r0,w1,r1,w0); ^(r0,r0); ^(w1);
+/// v(r1,w0,r0,w1); v(r1,r1)} — simple static faults incl. read disturbs.
+[[nodiscard]] MarchTest march_sr();
+
+/// March SS (22n): {~(w0); ^(r0,r0,w0,r0,w1); ^(r1,r1,w1,r1,w0);
+/// v(r0,r0,w0,r0,w1); v(r1,r1,w1,r1,w0); ~(r0)} — all simple static faults.
+[[nodiscard]] MarchTest march_ss();
+
+/// PMOVI (13n): {v(w0); ^(r0,w1,r1); ^(r1,w0,r0); v(r0,w1,r1);
+/// v(r1,w0,r0)} — diagnosis-friendly variant of March C.
+[[nodiscard]] MarchTest pmovi();
+
+/// MATS+ with retention delays and a trailing read (6n + 2 del): the
+/// delay/read pairs exercise DRF in both data states.
+[[nodiscard]] MarchTest mats_plus_retention();
+
+/// All known tests, in complexity order. The registry the examples and
+/// benches iterate over.
+[[nodiscard]] const std::vector<NamedMarchTest>& known_march_tests();
+
+/// Looks up a known test by (case-sensitive) name; throws
+/// std::invalid_argument if absent.
+[[nodiscard]] const NamedMarchTest& find_march_test(const std::string& name);
+
+}  // namespace mtg::march

@@ -1,0 +1,86 @@
+#include "march/march_test.hpp"
+
+#include <sstream>
+
+namespace mtg::march {
+
+std::string MarchOp::str() const {
+    switch (kind) {
+        case OpKind::Read: return value ? "r1" : "r0";
+        case OpKind::Write: return value ? "w1" : "w0";
+        case OpKind::Wait: return "del";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string order_str(AddressOrder o, Notation n) {
+    if (n == Notation::Unicode) {
+        switch (o) {
+            case AddressOrder::Ascending: return "⇑";   // ⇑
+            case AddressOrder::Descending: return "⇓";  // ⇓
+            case AddressOrder::Any: return "⇕";         // ⇕
+        }
+    }
+    switch (o) {
+        case AddressOrder::Ascending: return "^";
+        case AddressOrder::Descending: return "v";
+        case AddressOrder::Any: return "~";
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string MarchElement::str(Notation n) const {
+    std::ostringstream os;
+    os << order_str(order, n) << '(';
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (i) os << ',';
+        os << ops[i].str();
+    }
+    os << ')';
+    return os.str();
+}
+
+int MarchElement::op_count() const {
+    int count = 0;
+    for (const auto& op : ops)
+        if (op.kind != OpKind::Wait) ++count;
+    return count;
+}
+
+int MarchTest::complexity() const {
+    int total = 0;
+    for (const auto& e : elements_) total += e.op_count();
+    return total;
+}
+
+int MarchTest::read_count() const {
+    int total = 0;
+    for (const auto& e : elements_)
+        for (const auto& op : e.ops)
+            if (op.kind == OpKind::Read) ++total;
+    return total;
+}
+
+bool MarchTest::has_wait() const {
+    for (const auto& e : elements_)
+        for (const auto& op : e.ops)
+            if (op.kind == OpKind::Wait) return true;
+    return false;
+}
+
+std::string MarchTest::str(Notation n) const {
+    std::ostringstream os;
+    os << '{';
+    for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i) os << "; ";
+        os << elements_[i].str(n);
+    }
+    os << '}';
+    return os.str();
+}
+
+}  // namespace mtg::march

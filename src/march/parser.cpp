@@ -1,0 +1,131 @@
+#include "march/parser.hpp"
+
+#include <cctype>
+
+namespace mtg::march {
+
+namespace {
+
+/// Simple cursor over the input text.
+class Cursor {
+public:
+    explicit Cursor(std::string_view text) : text_(text) {}
+
+    [[nodiscard]] bool done() const { return pos_ >= text_.size(); }
+    [[nodiscard]] std::size_t pos() const { return pos_; }
+
+    [[nodiscard]] char peek() const { return done() ? '\0' : text_[pos_]; }
+
+    char take() {
+        char c = peek();
+        if (!done()) ++pos_;
+        return c;
+    }
+
+    void skip_ws() {
+        while (!done() && (std::isspace(static_cast<unsigned char>(peek())) != 0))
+            ++pos_;
+    }
+
+    /// Consumes `s` if it is next; returns whether it was consumed.
+    bool try_consume(std::string_view s) {
+        if (text_.substr(pos_, s.size()) == s) {
+            pos_ += s.size();
+            return true;
+        }
+        return false;
+    }
+
+private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+/// Parses an address-order marker. Unicode arrows arrive as multi-byte
+/// UTF-8 sequences, so they are matched as strings.
+AddressOrder parse_order(Cursor& cur) {
+    if (cur.try_consume("⇑")) return AddressOrder::Ascending;
+    if (cur.try_consume("⇓")) return AddressOrder::Descending;
+    if (cur.try_consume("⇕")) return AddressOrder::Any;
+    char c = cur.peek();
+    switch (c) {
+        case '^': cur.take(); return AddressOrder::Ascending;
+        case 'v':
+        case 'V': cur.take(); return AddressOrder::Descending;
+        case '~': cur.take(); return AddressOrder::Any;
+        default:
+            throw ParseError("expected address order marker (^, v, ~)", cur.pos());
+    }
+}
+
+MarchOp parse_op(Cursor& cur) {
+    cur.skip_ws();
+    if (cur.try_consume("del") || cur.try_consume("Del") || cur.try_consume("DEL"))
+        return MarchOp::del();
+    char k = cur.take();
+    if (k != 'r' && k != 'w' && k != 'R' && k != 'W')
+        throw ParseError("expected operation (r0, r1, w0, w1, del)", cur.pos() - 1);
+    char d = cur.take();
+    if (d != '0' && d != '1')
+        throw ParseError("expected operation value 0 or 1", cur.pos() - 1);
+    int value = d - '0';
+    return (k == 'r' || k == 'R') ? MarchOp::r(value) : MarchOp::w(value);
+}
+
+MarchElement parse_element(Cursor& cur) {
+    AddressOrder order = parse_order(cur);
+    cur.skip_ws();
+    if (cur.take() != '(')
+        throw ParseError("expected '(' after address order", cur.pos() - 1);
+    std::vector<MarchOp> ops;
+    cur.skip_ws();
+    if (cur.peek() == ')')
+        throw ParseError("empty March element", cur.pos());
+    while (true) {
+        ops.push_back(parse_op(cur));
+        cur.skip_ws();
+        char c = cur.take();
+        if (c == ')') break;
+        if (c != ',')
+            throw ParseError("expected ',' or ')' in element", cur.pos() - 1);
+    }
+    return MarchElement(order, std::move(ops));
+}
+
+}  // namespace
+
+MarchTest parse_march(std::string_view text) {
+    Cursor cur(text);
+    cur.skip_ws();
+    bool braced = cur.try_consume("{");
+    std::vector<MarchElement> elements;
+    while (true) {
+        cur.skip_ws();
+        if (cur.done()) break;
+        if (cur.peek() == '}') {
+            cur.take();
+            break;
+        }
+        if (cur.peek() == ';') {
+            cur.take();
+            continue;
+        }
+        elements.push_back(parse_element(cur));
+    }
+    cur.skip_ws();
+    if (braced && !cur.done())
+        throw ParseError("trailing characters after '}'", cur.pos());
+    if (elements.empty()) throw ParseError("empty March test", cur.pos());
+    return MarchTest(std::move(elements));
+}
+
+bool is_valid_march_syntax(std::string_view text) {
+    try {
+        (void)parse_march(text);
+        return true;
+    } catch (const ParseError&) {
+        return false;
+    }
+}
+
+}  // namespace mtg::march

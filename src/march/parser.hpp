@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file parser.hpp
+/// Text parser for March tests in the conventional notation, e.g.
+///
+///     {~(w0); ^(r0,w1); v(r1,w0,r0)}
+///
+/// Accepted order markers: `^` / `⇑` ascending, `v` / `⇓` descending,
+/// `~` / `⇕` either. Operations: `r0`, `r1`, `w0`, `w1`, `del` (wait).
+/// Braces and semicolons are optional separators; whitespace is ignored.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "march/march_test.hpp"
+
+namespace mtg::march {
+
+/// Thrown on malformed March test text.
+class ParseError : public std::runtime_error {
+public:
+    ParseError(const std::string& message, std::size_t position)
+        : std::runtime_error(message + " (at offset " + std::to_string(position) + ")"),
+          position_(position) {}
+
+    [[nodiscard]] std::size_t position() const { return position_; }
+
+private:
+    std::size_t position_;
+};
+
+/// Parses a March test from text. Throws ParseError on malformed input.
+[[nodiscard]] MarchTest parse_march(std::string_view text);
+
+/// Round-trip helper: true when `text` parses and re-prints to an
+/// equivalent test.
+[[nodiscard]] bool is_valid_march_syntax(std::string_view text);
+
+}  // namespace mtg::march

@@ -1,0 +1,119 @@
+#include "setcover/coverage_matrix.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.hpp"
+
+namespace mtg::setcover {
+
+using fault::FaultInstance;
+using fault::FaultKind;
+using march::MarchTest;
+using sim::InjectedFault;
+using sim::ReadSite;
+
+namespace {
+
+/// Concrete placement for a fault instance: representative cells of the
+/// simulated memory. Aggressor-below-victim instances use (lo, hi);
+/// aggressor-above-victim instances use (hi, lo).
+InjectedFault place(const FaultInstance& inst, int memory_size) {
+    const int lo = memory_size / 3;
+    const int hi = 2 * memory_size / 3;
+    MTG_EXPECTS(lo != hi);
+    if (!fault::is_two_cell(inst.kind))
+        return InjectedFault::single(inst.kind, lo);
+    if (inst.aggressor == fsm::Cell::I)
+        return InjectedFault::coupling(inst.kind, lo, hi);
+    return InjectedFault::coupling(inst.kind, hi, lo);
+}
+
+}  // namespace
+
+std::string CoverageMatrix::str() const {
+    std::ostringstream os;
+    os << "block";
+    for (const auto& f : fault_names) os << '\t' << f;
+    os << '\n';
+    for (std::size_t r = 0; r < blocks.size(); ++r) {
+        os << block_names[r];
+        for (std::size_t c = 0; c < fault_names.size(); ++c)
+            os << '\t' << (covers[r][c] ? '1' : '0');
+        os << '\n';
+    }
+    return os.str();
+}
+
+CoverageMatrix build_coverage_matrix(const MarchTest& test,
+                                     const std::vector<FaultKind>& kinds,
+                                     const sim::RunOptions& opts) {
+    CoverageMatrix matrix;
+    matrix.blocks = sim::read_sites(test);
+    for (const ReadSite& site : matrix.blocks) {
+        std::ostringstream name;
+        name << 'E' << site.element << ".op" << site.op << '('
+             << test[static_cast<std::size_t>(site.element)]
+                    .ops[static_cast<std::size_t>(site.op)]
+                    .str()
+             << ')';
+        matrix.block_names.push_back(name.str());
+    }
+
+    const std::vector<FaultInstance> instances = fault::instantiate(kinds);
+    matrix.covers.assign(matrix.blocks.size(),
+                         std::vector<bool>(instances.size(), false));
+    for (std::size_t c = 0; c < instances.size(); ++c) {
+        matrix.fault_names.push_back(instances[c].name());
+        const InjectedFault injected = place(instances[c], opts.memory_size);
+        const std::vector<ReadSite> failing =
+            sim::guaranteed_failing_reads(test, injected, opts);
+        for (std::size_t r = 0; r < matrix.blocks.size(); ++r) {
+            if (std::find(failing.begin(), failing.end(), matrix.blocks[r]) !=
+                failing.end())
+                matrix.covers[r][c] = true;
+        }
+    }
+    return matrix;
+}
+
+RedundancyReport analyse_redundancy(const CoverageMatrix& matrix) {
+    RedundancyReport report;
+
+    // Partition reads into observing blocks (cover >= 1 column) and
+    // support operations (cover none — excitations of the next block).
+    BoolMatrix observing;
+    std::vector<int> original_index;
+    for (std::size_t r = 0; r < matrix.covers.size(); ++r) {
+        const bool observes =
+            std::any_of(matrix.covers[r].begin(), matrix.covers[r].end(),
+                        [](bool b) { return b; });
+        if (observes) {
+            observing.push_back(matrix.covers[r]);
+            original_index.push_back(static_cast<int>(r));
+        } else {
+            report.support_blocks.push_back(static_cast<int>(r));
+        }
+    }
+
+    report.block_count = static_cast<int>(observing.size());
+    const auto cover = minimum_cover(observing);
+    report.complete = cover.has_value() && !observing.empty();
+    if (matrix.fault_names.empty()) report.complete = true;
+    if (cover) {
+        report.min_cover_size = static_cast<int>(cover->size());
+        report.non_redundant = report.min_cover_size == report.block_count;
+    }
+    for (int row : individually_removable_rows(observing))
+        report.removable_blocks.push_back(
+            original_index[static_cast<std::size_t>(row)]);
+    return report;
+}
+
+RedundancyReport analyse_redundancy(const MarchTest& test,
+                                    const std::vector<FaultKind>& kinds,
+                                    const sim::RunOptions& opts) {
+    return analyse_redundancy(build_coverage_matrix(test, kinds, opts));
+}
+
+}  // namespace mtg::setcover

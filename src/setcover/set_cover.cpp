@@ -1,0 +1,233 @@
+#include "setcover/set_cover.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace mtg::setcover {
+
+namespace {
+
+/// Column bitmask view of the matrix: per row, the set of covered columns
+/// packed into 64-bit blocks.
+struct Packed {
+    int rows{0};
+    int cols{0};
+    int blocks{0};
+    std::vector<std::uint64_t> bits;  // rows * blocks
+
+    explicit Packed(const BoolMatrix& m) {
+        rows = static_cast<int>(m.size());
+        cols = rows ? static_cast<int>(m[0].size()) : 0;
+        blocks = (cols + 63) / 64;
+        bits.assign(static_cast<std::size_t>(rows * blocks), 0);
+        for (int r = 0; r < rows; ++r) {
+            MTG_EXPECTS(static_cast<int>(m[static_cast<std::size_t>(r)].size()) == cols);
+            for (int c = 0; c < cols; ++c)
+                if (m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)])
+                    bits[static_cast<std::size_t>(r * blocks + c / 64)] |=
+                        1ULL << (c % 64);
+        }
+    }
+
+    [[nodiscard]] const std::uint64_t* row(int r) const {
+        return bits.data() + static_cast<std::size_t>(r * blocks);
+    }
+};
+
+using Mask = std::vector<std::uint64_t>;
+
+bool all_zero(const Mask& m) {
+    for (auto b : m)
+        if (b) return false;
+    return true;
+}
+
+int popcount(const Mask& m) {
+    int n = 0;
+    for (auto b : m) n += __builtin_popcountll(b);
+    return n;
+}
+
+/// Depth-first branch and bound.
+class Solver {
+public:
+    explicit Solver(const Packed& p) : p_(p) {}
+
+    std::optional<std::vector<int>> solve() {
+        // Feasibility: every column covered by some row.
+        Mask all(static_cast<std::size_t>(p_.blocks), 0);
+        for (int c = 0; c < p_.cols; ++c)
+            all[static_cast<std::size_t>(c / 64)] |= 1ULL << (c % 64);
+        Mask reachable(static_cast<std::size_t>(p_.blocks), 0);
+        for (int r = 0; r < p_.rows; ++r)
+            for (int b = 0; b < p_.blocks; ++b)
+                reachable[static_cast<std::size_t>(b)] |=
+                    p_.row(r)[b];
+        for (int b = 0; b < p_.blocks; ++b)
+            if ((reachable[static_cast<std::size_t>(b)] &
+                 all[static_cast<std::size_t>(b)]) !=
+                all[static_cast<std::size_t>(b)])
+                return std::nullopt;
+
+        // Greedy incumbent.
+        best_ = greedy(all);
+        std::vector<int> chosen;
+        dfs(all, chosen);
+        return best_;
+    }
+
+private:
+    const Packed& p_;
+    std::optional<std::vector<int>> best_;
+
+    std::optional<std::vector<int>> greedy(Mask uncovered) const {
+        std::vector<int> picked;
+        while (!all_zero(uncovered)) {
+            int best_row = -1, best_gain = -1;
+            for (int r = 0; r < p_.rows; ++r) {
+                int gain = 0;
+                for (int b = 0; b < p_.blocks; ++b)
+                    gain += __builtin_popcountll(
+                        p_.row(r)[b] & uncovered[static_cast<std::size_t>(b)]);
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_row = r;
+                }
+            }
+            if (best_gain <= 0) return std::nullopt;
+            picked.push_back(best_row);
+            for (int b = 0; b < p_.blocks; ++b)
+                uncovered[static_cast<std::size_t>(b)] &= ~p_.row(best_row)[b];
+        }
+        std::sort(picked.begin(), picked.end());
+        return picked;
+    }
+
+    /// Lower bound: ceil(uncovered / max row coverage).
+    int lower_bound(const Mask& uncovered) const {
+        const int remaining = popcount(uncovered);
+        if (remaining == 0) return 0;
+        int best_row_cover = 0;
+        for (int r = 0; r < p_.rows; ++r) {
+            int cover = 0;
+            for (int b = 0; b < p_.blocks; ++b)
+                cover += __builtin_popcountll(
+                    p_.row(r)[b] & uncovered[static_cast<std::size_t>(b)]);
+            best_row_cover = std::max(best_row_cover, cover);
+        }
+        if (best_row_cover == 0) return p_.rows + 1;  // infeasible branch
+        return (remaining + best_row_cover - 1) / best_row_cover;
+    }
+
+    void dfs(const Mask& uncovered, std::vector<int>& chosen) {
+        if (all_zero(uncovered)) {
+            if (!best_ || chosen.size() < best_->size()) {
+                best_ = chosen;
+                std::sort(best_->begin(), best_->end());
+            }
+            return;
+        }
+        if (best_ && static_cast<int>(chosen.size()) + lower_bound(uncovered) >=
+                         static_cast<int>(best_->size()))
+            return;
+
+        // Branch on the uncovered column with the fewest covering rows.
+        int branch_col = -1, fewest = p_.rows + 1;
+        for (int c = 0; c < p_.cols; ++c) {
+            if (!(uncovered[static_cast<std::size_t>(c / 64)] >> (c % 64) & 1ULL))
+                continue;
+            int covering = 0;
+            for (int r = 0; r < p_.rows; ++r)
+                if (p_.row(r)[c / 64] >> (c % 64) & 1ULL) ++covering;
+            if (covering < fewest) {
+                fewest = covering;
+                branch_col = c;
+            }
+        }
+        MTG_ASSERT(branch_col >= 0);
+
+        for (int r = 0; r < p_.rows; ++r) {
+            if (!(p_.row(r)[branch_col / 64] >> (branch_col % 64) & 1ULL))
+                continue;
+            Mask next = uncovered;
+            for (int b = 0; b < p_.blocks; ++b)
+                next[static_cast<std::size_t>(b)] &= ~p_.row(r)[b];
+            chosen.push_back(r);
+            dfs(next, chosen);
+            chosen.pop_back();
+        }
+    }
+};
+
+}  // namespace
+
+std::optional<std::vector<int>> minimum_cover(const BoolMatrix& covers) {
+    if (covers.empty()) return std::vector<int>{};
+    if (covers[0].empty()) return std::vector<int>{};
+    Packed packed(covers);
+    Solver solver(packed);
+    return solver.solve();
+}
+
+std::optional<std::vector<int>> greedy_cover(const BoolMatrix& covers) {
+    if (covers.empty()) return std::vector<int>{};
+    if (covers[0].empty()) return std::vector<int>{};
+    const int rows = static_cast<int>(covers.size());
+    const int cols = static_cast<int>(covers[0].size());
+    std::vector<bool> covered(static_cast<std::size_t>(cols), false);
+    std::vector<int> picked;
+    int remaining = cols;
+    while (remaining > 0) {
+        int best_row = -1, best_gain = 0;
+        for (int r = 0; r < rows; ++r) {
+            int gain = 0;
+            for (int c = 0; c < cols; ++c)
+                if (!covered[static_cast<std::size_t>(c)] &&
+                    covers[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)])
+                    ++gain;
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_row = r;
+            }
+        }
+        if (best_row < 0) return std::nullopt;
+        picked.push_back(best_row);
+        for (int c = 0; c < cols; ++c)
+            if (covers[static_cast<std::size_t>(best_row)][static_cast<std::size_t>(c)] &&
+                !covered[static_cast<std::size_t>(c)]) {
+                covered[static_cast<std::size_t>(c)] = true;
+                --remaining;
+            }
+    }
+    std::sort(picked.begin(), picked.end());
+    return picked;
+}
+
+std::vector<int> individually_removable_rows(const BoolMatrix& covers) {
+    std::vector<int> removable;
+    if (covers.empty() || covers[0].empty()) return removable;
+    const int rows = static_cast<int>(covers.size());
+    const int cols = static_cast<int>(covers[0].size());
+    for (int drop = 0; drop < rows; ++drop) {
+        bool still_covered = true;
+        for (int c = 0; c < cols && still_covered; ++c) {
+            bool any = false;
+            for (int r = 0; r < rows; ++r) {
+                if (r == drop) continue;
+                if (covers[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]) {
+                    any = true;
+                    break;
+                }
+            }
+            // Columns covered only by `drop` forbid its removal; columns
+            // covered by nobody (infeasible input) are ignored here.
+            if (!any && covers[static_cast<std::size_t>(drop)][static_cast<std::size_t>(c)])
+                still_covered = false;
+        }
+        if (still_covered) removable.push_back(drop);
+    }
+    return removable;
+}
+
+}  // namespace mtg::setcover

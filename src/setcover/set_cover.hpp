@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file set_cover.hpp
+/// Set-covering solvers used for the paper-§6 non-redundancy analysis: the
+/// March test is non-redundant iff the minimum number of coverage-matrix
+/// rows needed to cover all columns equals the total number of rows.
+
+#include <optional>
+#include <vector>
+
+namespace mtg::setcover {
+
+/// A 0/1 covering matrix: entry (r, c) true when row r covers column c.
+using BoolMatrix = std::vector<std::vector<bool>>;
+
+/// Exact minimum set cover by branch and bound (branching on the hardest
+/// uncovered column, greedy upper bound, simple lower bound pruning).
+/// Returns the chosen row indices, or nullopt when some column is covered
+/// by no row (infeasible). Intended for the moderate sizes of coverage
+/// matrices (tens of rows/columns).
+[[nodiscard]] std::optional<std::vector<int>> minimum_cover(
+    const BoolMatrix& covers);
+
+/// Classical greedy heuristic (pick the row covering the most uncovered
+/// columns). Returns nullopt when infeasible.
+[[nodiscard]] std::optional<std::vector<int>> greedy_cover(
+    const BoolMatrix& covers);
+
+/// Rows that can each be dropped individually while the remaining rows
+/// still cover everything (empty for a non-redundant matrix). Infeasible
+/// matrices yield an empty list.
+[[nodiscard]] std::vector<int> individually_removable_rows(
+    const BoolMatrix& covers);
+
+}  // namespace mtg::setcover

@@ -1,0 +1,232 @@
+#include "sim/march_runner.hpp"
+
+#include <algorithm>
+
+namespace mtg::sim {
+
+using march::AddressOrder;
+using march::MarchOp;
+using march::MarchTest;
+using march::OpKind;
+
+std::vector<ReadSite> read_sites(const MarchTest& test) {
+    std::vector<ReadSite> sites;
+    for (std::size_t e = 0; e < test.size(); ++e) {
+        const auto& ops = test[e].ops;
+        for (std::size_t o = 0; o < ops.size(); ++o)
+            if (ops[o].kind == OpKind::Read)
+                sites.push_back({static_cast<int>(e), static_cast<int>(o)});
+    }
+    return sites;
+}
+
+namespace {
+
+/// Number of ⇕ elements of a test.
+int any_count(const MarchTest& test) {
+    int k = 0;
+    for (const auto& e : test.elements())
+        if (e.order == AddressOrder::Any) ++k;
+    return k;
+}
+
+/// Concrete visiting order for one element given the ⇕ choice bit.
+bool runs_descending(AddressOrder order, bool any_desc) {
+    if (order == AddressOrder::Descending) return true;
+    if (order == AddressOrder::Ascending) return false;
+    return any_desc;
+}
+
+}  // namespace
+
+RunTrace run_once(const MarchTest& test, const std::vector<InjectedFault>& faults,
+                  unsigned any_choices, const RunOptions& opts) {
+    SimMemory memory(opts.memory_size);
+    for (const auto& f : faults) memory.inject(f);
+
+    RunTrace trace;
+    int any_seen = 0;
+    for (std::size_t e = 0; e < test.size(); ++e) {
+        const auto& element = test[e];
+        bool desc = false;
+        if (element.order == AddressOrder::Any) {
+            desc = runs_descending(element.order,
+                                   ((any_choices >> any_seen) & 1u) != 0);
+            ++any_seen;
+        } else {
+            desc = runs_descending(element.order, false);
+        }
+
+        const int n = memory.size();
+        for (int step = 0; step < n; ++step) {
+            const int cell = desc ? n - 1 - step : step;
+            for (std::size_t o = 0; o < element.ops.size(); ++o) {
+                const MarchOp& op = element.ops[o];
+                switch (op.kind) {
+                    case OpKind::Write:
+                        memory.write(cell, op.value);
+                        break;
+                    case OpKind::Wait:
+                        memory.wait();
+                        break;
+                    case OpKind::Read: {
+                        const Trit got = memory.read(cell);
+                        // An unknown value cannot be *guaranteed* to
+                        // mismatch, so only definite mismatches detect.
+                        if (is_known(got) && trit_bit(got) != op.value) {
+                            trace.detected = true;
+                            const ReadSite site{static_cast<int>(e),
+                                                static_cast<int>(o)};
+                            if (std::find(trace.failing_reads.begin(),
+                                          trace.failing_reads.end(),
+                                          site) == trace.failing_reads.end())
+                                trace.failing_reads.push_back(site);
+                            const Observation obs{site, cell};
+                            if (std::find(trace.failing_observations.begin(),
+                                          trace.failing_observations.end(),
+                                          obs) ==
+                                trace.failing_observations.end())
+                                trace.failing_observations.push_back(obs);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return trace;
+}
+
+namespace {
+
+/// Enumerates the ⇕ expansions to test: all 2^k when k <= cap, otherwise
+/// the two uniform (all-ascending / all-descending) choices.
+std::vector<unsigned> expansions(const MarchTest& test, const RunOptions& opts) {
+    const int k = any_count(test);
+    if (k <= opts.max_any_expansion) {
+        std::vector<unsigned> all;
+        for (unsigned c = 0; c < (1u << k); ++c) all.push_back(c);
+        return all;
+    }
+    return {0u, ~0u};
+}
+
+}  // namespace
+
+bool detects(const MarchTest& test, const InjectedFault& fault,
+             const RunOptions& opts) {
+    for (unsigned choice : expansions(test, opts)) {
+        if (!run_once(test, {fault}, choice, opts).detected) return false;
+    }
+    return true;
+}
+
+bool covers_everywhere(const MarchTest& test, fault::FaultKind kind,
+                       const RunOptions& opts) {
+    const int n = opts.memory_size;
+    if (fault::is_two_cell(kind)) {
+        for (int a = 0; a < n; ++a) {
+            for (int v = 0; v < n; ++v) {
+                if (a == v) continue;
+                if (!detects(test, InjectedFault::coupling(kind, a, v), opts))
+                    return false;
+            }
+        }
+        return true;
+    }
+    for (int c = 0; c < n; ++c) {
+        if (!detects(test, InjectedFault::single(kind, c), opts)) return false;
+    }
+    return true;
+}
+
+std::optional<fault::FaultKind> first_uncovered(
+    const MarchTest& test, const std::vector<fault::FaultKind>& kinds,
+    const RunOptions& opts) {
+    for (fault::FaultKind k : kinds)
+        if (!covers_everywhere(test, k, opts)) return k;
+    return std::nullopt;
+}
+
+bool is_well_formed(const MarchTest& test, const RunOptions& opts) {
+    for (unsigned choice : expansions(test, opts)) {
+        SimMemory memory(opts.memory_size);
+        int any_seen = 0;
+        for (const auto& element : test.elements()) {
+            bool desc = false;
+            if (element.order == AddressOrder::Any) {
+                desc = ((choice >> any_seen) & 1u) != 0;
+                ++any_seen;
+            } else {
+                desc = element.order == AddressOrder::Descending;
+            }
+            const int n = memory.size();
+            for (int step = 0; step < n; ++step) {
+                const int cell = desc ? n - 1 - step : step;
+                for (const MarchOp& op : element.ops) {
+                    switch (op.kind) {
+                        case OpKind::Write: memory.write(cell, op.value); break;
+                        case OpKind::Wait: memory.wait(); break;
+                        case OpKind::Read: {
+                            const Trit got = memory.read(cell);
+                            if (!is_known(got) || trit_bit(got) != op.value)
+                                return false;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<Observation> guaranteed_failing_observations(
+    const MarchTest& test, const InjectedFault& fault,
+    const RunOptions& opts) {
+    std::vector<Observation> guaranteed;
+    bool first = true;
+    for (unsigned choice : expansions(test, opts)) {
+        const RunTrace trace = run_once(test, {fault}, choice, opts);
+        if (first) {
+            guaranteed = trace.failing_observations;
+            first = false;
+        } else {
+            std::vector<Observation> kept;
+            for (const auto& obs : guaranteed)
+                if (std::find(trace.failing_observations.begin(),
+                              trace.failing_observations.end(),
+                              obs) != trace.failing_observations.end())
+                    kept.push_back(obs);
+            guaranteed = std::move(kept);
+        }
+        if (guaranteed.empty()) break;
+    }
+    return guaranteed;
+}
+
+std::vector<ReadSite> guaranteed_failing_reads(const MarchTest& test,
+                                               const InjectedFault& fault,
+                                               const RunOptions& opts) {
+    std::vector<ReadSite> guaranteed;
+    bool first = true;
+    for (unsigned choice : expansions(test, opts)) {
+        const RunTrace trace = run_once(test, {fault}, choice, opts);
+        if (first) {
+            guaranteed = trace.failing_reads;
+            first = false;
+        } else {
+            std::vector<ReadSite> kept;
+            for (const auto& site : guaranteed)
+                if (std::find(trace.failing_reads.begin(),
+                              trace.failing_reads.end(),
+                              site) != trace.failing_reads.end())
+                    kept.push_back(site);
+            guaranteed = std::move(kept);
+        }
+        if (guaranteed.empty()) break;
+    }
+    return guaranteed;
+}
+
+}  // namespace mtg::sim

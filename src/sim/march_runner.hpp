@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file march_runner.hpp
+/// Executes March tests against the fault simulator and decides detection.
+///
+/// ⇕ (either-order) elements are expanded: the test only *guarantees*
+/// detection if every combination of order choices detects the fault, so
+/// the runner enumerates all 2^k combinations (k = number of ⇕ elements,
+/// capped; beyond the cap the two uniform choices are used).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "march/march_test.hpp"
+#include "sim/memory.hpp"
+
+namespace mtg::sim {
+
+/// Static identity of a read operation inside a March test.
+struct ReadSite {
+    int element{0};  ///< index of the March element
+    int op{0};       ///< index of the read op within the element
+
+    friend bool operator==(const ReadSite&, const ReadSite&) = default;
+};
+
+/// All read sites of a test, in textual order.
+[[nodiscard]] std::vector<ReadSite> read_sites(const march::MarchTest& test);
+
+/// Options for the runner.
+struct RunOptions {
+    int memory_size{8};        ///< number of cells of the simulated memory
+    int max_any_expansion{6};  ///< expand up to 2^k order choices for ⇕
+};
+
+/// One observed mismatch: which read of the test failed, at which address.
+/// The (site, cell) pair is the unit of output tracing used for diagnosis.
+struct Observation {
+    ReadSite site;
+    int cell{0};
+
+    friend bool operator==(const Observation&, const Observation&) = default;
+};
+
+/// Result of one full execution under fixed order choices.
+struct RunTrace {
+    bool detected{false};
+    std::vector<ReadSite> failing_reads;  ///< sites where a mismatch occurred
+    std::vector<Observation> failing_observations;  ///< with addresses
+};
+
+/// Runs the test once on a fresh memory with the given fault(s), with every
+/// ⇕ element resolved by `any_choices` (bit k = element-k-of-the-⇕-elements
+/// runs descending). Returns which reads failed.
+[[nodiscard]] RunTrace run_once(const march::MarchTest& test,
+                                const std::vector<InjectedFault>& faults,
+                                unsigned any_choices, const RunOptions& opts = {});
+
+/// True when the test detects the fault under EVERY ⇕ expansion.
+[[nodiscard]] bool detects(const march::MarchTest& test,
+                           const InjectedFault& fault,
+                           const RunOptions& opts = {});
+
+/// Places the fault at every cell (single-cell) or every ordered cell pair
+/// (two-cell) of the memory and requires detection everywhere. This is the
+/// paper-§6 notion of a March test "covering" a fault model.
+[[nodiscard]] bool covers_everywhere(const march::MarchTest& test,
+                                     fault::FaultKind kind,
+                                     const RunOptions& opts = {});
+
+/// Checks every primitive of a fault list. Returns the first kind NOT
+/// covered, or nullopt when the list is fully covered.
+[[nodiscard]] std::optional<fault::FaultKind> first_uncovered(
+    const march::MarchTest& test, const std::vector<fault::FaultKind>& kinds,
+    const RunOptions& opts = {});
+
+/// Sanity property: on a fault-free memory every read must observe a known,
+/// matching value in every ⇕ expansion (no read of uninitialised cells, no
+/// wrong expected values). All library and generated tests must satisfy it.
+[[nodiscard]] bool is_well_formed(const march::MarchTest& test,
+                                  const RunOptions& opts = {});
+
+/// Read sites that mismatch for `fault` in EVERY ⇕ expansion — the sites
+/// with *guaranteed* observation, used as coverage-matrix entries.
+[[nodiscard]] std::vector<ReadSite> guaranteed_failing_reads(
+    const march::MarchTest& test, const InjectedFault& fault,
+    const RunOptions& opts = {});
+
+/// (site, address) observations that mismatch in EVERY ⇕ expansion — the
+/// address-aware output trace used by the diagnosis dictionary.
+[[nodiscard]] std::vector<Observation> guaranteed_failing_observations(
+    const march::MarchTest& test, const InjectedFault& fault,
+    const RunOptions& opts = {});
+
+}  // namespace mtg::sim

@@ -1,0 +1,195 @@
+#include "sim/memory.hpp"
+
+namespace mtg::sim {
+
+using fault::FaultKind;
+
+SimMemory::SimMemory(int cell_count)
+    : cells_(static_cast<std::size_t>(cell_count), Trit::X) {
+    MTG_EXPECTS(cell_count > 0);
+}
+
+void SimMemory::inject(const InjectedFault& fault) {
+    check_addr(fault.cell_a);
+    if (fault.cell_b >= 0) check_addr(fault.cell_b);
+    faults_.push_back(fault);
+}
+
+void SimMemory::check_addr(int addr) const {
+    MTG_EXPECTS(addr >= 0 && addr < size());
+}
+
+void SimMemory::enforce_static_coupling() {
+    for (const auto& f : faults_) {
+        int sv = 0, fv = 0;
+        switch (f.kind) {
+            case FaultKind::CfstS0F0: sv = 0; fv = 0; break;
+            case FaultKind::CfstS0F1: sv = 0; fv = 1; break;
+            case FaultKind::CfstS1F0: sv = 1; fv = 0; break;
+            case FaultKind::CfstS1F1: sv = 1; fv = 1; break;
+            default: continue;
+        }
+        const Trit a = cells_[static_cast<std::size_t>(f.cell_a)];
+        if (is_known(a) && trit_bit(a) == sv)
+            cells_[static_cast<std::size_t>(f.cell_b)] = trit_from_bit(fv);
+    }
+}
+
+void SimMemory::write(int addr, int d) {
+    check_addr(addr);
+
+    // Decoder-map faults redirect the whole access: the faulty address
+    // operates on the victim's cell and leaves its own cell untouched.
+    for (const auto& f : faults_) {
+        if (f.kind == FaultKind::AfMap && f.cell_a == addr) {
+            cells_[static_cast<std::size_t>(f.cell_b)] = trit_from_bit(d);
+            enforce_static_coupling();
+            return;
+        }
+    }
+
+    const Trit old = cells_[static_cast<std::size_t>(addr)];
+    Trit effective = trit_from_bit(d);
+
+    // Single-cell effects on the written cell itself.
+    for (const auto& f : faults_) {
+        if (f.cell_a != addr || fault::is_two_cell(f.kind)) continue;
+        switch (f.kind) {
+            case FaultKind::Saf0: effective = Trit::Zero; break;
+            case FaultKind::Saf1: effective = Trit::One; break;
+            case FaultKind::TfUp:
+                // 0 -> 1 transition fails; also fails from unknown state
+                // conservatively only when the old value is a known 0.
+                if (d == 1 && old == Trit::Zero) effective = Trit::Zero;
+                break;
+            case FaultKind::TfDown:
+                if (d == 0 && old == Trit::One) effective = Trit::One;
+                break;
+            case FaultKind::Wdf0:
+                if (d == 0 && old == Trit::Zero) effective = Trit::One;
+                break;
+            case FaultKind::Wdf1:
+                if (d == 1 && old == Trit::One) effective = Trit::Zero;
+                break;
+            default: break;
+        }
+    }
+    cells_[static_cast<std::size_t>(addr)] = effective;
+
+    // Coupling effects where this write addresses the aggressor. The
+    // transition is judged on the *stored* values (old -> effective).
+    for (const auto& f : faults_) {
+        if (!fault::is_two_cell(f.kind) || f.cell_a != addr) continue;
+        const bool rising = old == Trit::Zero && effective == Trit::One;
+        const bool falling = old == Trit::One && effective == Trit::Zero;
+        auto& victim = cells_[static_cast<std::size_t>(f.cell_b)];
+        switch (f.kind) {
+            case FaultKind::CfinUp:
+                if (rising) victim = trit_not(victim);
+                break;
+            case FaultKind::CfinDown:
+                if (falling) victim = trit_not(victim);
+                break;
+            case FaultKind::CfidUp0:
+                if (rising) victim = Trit::Zero;
+                break;
+            case FaultKind::CfidUp1:
+                if (rising) victim = Trit::One;
+                break;
+            case FaultKind::CfidDown0:
+                if (falling) victim = Trit::Zero;
+                break;
+            case FaultKind::CfidDown1:
+                if (falling) victim = Trit::One;
+                break;
+            case FaultKind::Af:
+                // Shorted decoder: the write lands on the victim as well.
+                victim = effective;
+                break;
+            default: break;
+        }
+    }
+
+    enforce_static_coupling();
+}
+
+Trit SimMemory::read(int addr) {
+    check_addr(addr);
+
+    for (const auto& f : faults_) {
+        if (f.kind == FaultKind::AfMap && f.cell_a == addr) {
+            // The decoder selects the victim's cell instead.
+            enforce_static_coupling();
+            return cells_[static_cast<std::size_t>(f.cell_b)];
+        }
+    }
+
+    Trit value = cells_[static_cast<std::size_t>(addr)];
+
+    for (const auto& f : faults_) {
+        if (f.cell_a != addr || fault::is_two_cell(f.kind)) continue;
+        switch (f.kind) {
+            case FaultKind::Saf0: value = Trit::Zero; break;
+            case FaultKind::Saf1: value = Trit::One; break;
+            case FaultKind::Rdf0:
+                if (value == Trit::Zero) {
+                    cells_[static_cast<std::size_t>(addr)] = Trit::One;
+                    value = Trit::One;
+                }
+                break;
+            case FaultKind::Rdf1:
+                if (value == Trit::One) {
+                    cells_[static_cast<std::size_t>(addr)] = Trit::Zero;
+                    value = Trit::Zero;
+                }
+                break;
+            case FaultKind::Drdf0:
+                if (value == Trit::Zero)
+                    cells_[static_cast<std::size_t>(addr)] = Trit::One;
+                break;  // returned value stays correct (deceptive)
+            case FaultKind::Drdf1:
+                if (value == Trit::One)
+                    cells_[static_cast<std::size_t>(addr)] = Trit::Zero;
+                break;
+            case FaultKind::Irf0:
+                if (value == Trit::Zero) value = Trit::One;
+                break;
+            case FaultKind::Irf1:
+                if (value == Trit::One) value = Trit::Zero;
+                break;
+            default: break;
+        }
+    }
+
+    enforce_static_coupling();
+    return value;
+}
+
+void SimMemory::wait() {
+    for (const auto& f : faults_) {
+        auto& cell = cells_[static_cast<std::size_t>(f.cell_a)];
+        switch (f.kind) {
+            case FaultKind::Drf0:
+                if (cell == Trit::One) cell = Trit::Zero;
+                break;
+            case FaultKind::Drf1:
+                if (cell == Trit::Zero) cell = Trit::One;
+                break;
+            default: break;
+        }
+    }
+    enforce_static_coupling();
+}
+
+Trit SimMemory::peek(int addr) const {
+    check_addr(addr);
+    return cells_[static_cast<std::size_t>(addr)];
+}
+
+void SimMemory::poke(int addr, Trit v) {
+    check_addr(addr);
+    cells_[static_cast<std::size_t>(addr)] = v;
+    enforce_static_coupling();
+}
+
+}  // namespace mtg::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file memory.hpp
+/// Behavioural model of an n-cell bit-oriented RAM with injected faults —
+/// the reproduction of the paper's "ad hoc memory fault simulator" (§6).
+///
+/// Fault semantics here are implemented *independently* of the FSM fault
+/// models in src/fault: the simulator acts as ground truth against which the
+/// generator's FSM-based models are cross-validated (see
+/// tests/cross_validation_test.cpp).
+
+#include <vector>
+
+#include "fault/kinds.hpp"
+#include "util/contracts.hpp"
+#include "util/trit.hpp"
+
+namespace mtg::sim {
+
+/// A fault primitive bound to concrete cell addresses.
+struct InjectedFault {
+    fault::FaultKind kind{fault::FaultKind::Saf0};
+    int cell_a{0};   ///< faulty cell (single-cell) or aggressor (two-cell)
+    int cell_b{-1};  ///< victim for two-cell faults; -1 otherwise
+
+    /// Single-cell fault at `cell`.
+    static InjectedFault single(fault::FaultKind k, int cell) {
+        MTG_EXPECTS(!fault::is_two_cell(k));
+        return {k, cell, -1};
+    }
+    /// Two-cell fault with aggressor `a` and victim `v` (a != v).
+    static InjectedFault coupling(fault::FaultKind k, int a, int v) {
+        MTG_EXPECTS(fault::is_two_cell(k));
+        MTG_EXPECTS(a != v);
+        return {k, a, v};
+    }
+};
+
+/// n-cell RAM; cells start uninitialised (X). Zero or more faults may be
+/// injected before use.
+class SimMemory {
+public:
+    explicit SimMemory(int cell_count);
+
+    [[nodiscard]] int size() const { return static_cast<int>(cells_.size()); }
+
+    /// Adds a fault. Multiple faults are legal; effects compose in
+    /// injection order.
+    void inject(const InjectedFault& fault);
+
+    /// Write value d (0/1) to `addr`, applying fault effects.
+    void write(int addr, int d);
+
+    /// Read `addr`, applying fault effects (read disturbs); X when the
+    /// returned value is unknown (uninitialised cell).
+    [[nodiscard]] Trit read(int addr);
+
+    /// Elapse the data-retention period (the paper's `T` input).
+    void wait();
+
+    /// Raw cell value without triggering read faults (for tests).
+    [[nodiscard]] Trit peek(int addr) const;
+
+    /// Directly sets a cell, bypassing fault effects (for tests).
+    void poke(int addr, Trit v);
+
+private:
+    std::vector<Trit> cells_;
+    std::vector<InjectedFault> faults_;
+
+    void check_addr(int addr) const;
+    /// Applies CFst forcing invariants after any state change.
+    void enforce_static_coupling();
+};
+
+}  // namespace mtg::sim

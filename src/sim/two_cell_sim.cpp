@@ -1,0 +1,72 @@
+#include "sim/two_cell_sim.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mtg::sim {
+
+using fsm::AbstractOp;
+using fsm::AbstractOpKind;
+using fsm::Input;
+using fsm::MemoryFsm;
+using fsm::PairState;
+
+namespace {
+
+/// Converts an abstract op to the FSM input symbol.
+Input op_input(const AbstractOp& op) {
+    switch (op.kind) {
+        case AbstractOpKind::Read: return fsm::read_input(op.cell);
+        case AbstractOpKind::Write: return fsm::write_input(op.cell, op.value);
+        case AbstractOpKind::Wait: return Input::T;
+    }
+    MTG_ASSERT(false && "unreachable");
+    return Input::T;
+}
+
+/// Runs the word from one concrete power-up state; true when a verify-read
+/// mismatches.
+bool run_from(const std::vector<AbstractOp>& ops, const MemoryFsm& machine,
+              PairState start, bool* read_of_unknown) {
+    PairState state = start;
+    bool detected = false;
+    for (const AbstractOp& op : ops) {
+        const Input in = op_input(op);
+        if (op.is_read()) {
+            const Trit out = machine.output(state, in);
+            if (!is_known(out)) {
+                if (read_of_unknown) *read_of_unknown = true;
+            } else if (trit_bit(out) != op.value) {
+                detected = true;
+            }
+        }
+        state = machine.next(state, in);
+    }
+    return detected;
+}
+
+}  // namespace
+
+bool gts_detects(const std::vector<AbstractOp>& ops, const MemoryFsm& faulty) {
+    // Guaranteed detection: mismatch under every power-up completion.
+    for (const PairState& start : fsm::all_known_states()) {
+        if (!run_from(ops, faulty, start, nullptr)) return false;
+    }
+    return true;
+}
+
+bool gts_detects(const std::vector<AbstractOp>& ops,
+                 const fault::FaultInstance& instance) {
+    return gts_detects(ops, fault::faulty_machine(instance));
+}
+
+bool gts_well_formed(const std::vector<AbstractOp>& ops) {
+    const MemoryFsm good = MemoryFsm::good();
+    for (const PairState& start : fsm::all_known_states()) {
+        bool read_unknown = false;
+        const bool mismatch = run_from(ops, good, start, &read_unknown);
+        if (mismatch || read_unknown) return false;
+    }
+    return true;
+}
+
+}  // namespace mtg::sim

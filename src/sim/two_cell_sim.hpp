@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file two_cell_sim.hpp
+/// Simulation of abstract operation sequences (GTS fragments) on the
+/// two-cell memory model. Used to prove that the rewrite phases of §4.1/4.2
+/// preserve fault coverage: a Global Test Sequence detects a fault instance
+/// iff some verify-read observes a value different from its expectation when
+/// the sequence runs on the faulty machine.
+///
+/// Cells start uninitialised; unknown components are handled by enumerating
+/// every consistent completion and requiring detection in all of them
+/// (guaranteed detection).
+
+#include <vector>
+
+#include "fault/instance.hpp"
+#include "fsm/abstract_op.hpp"
+#include "fsm/memory_fsm.hpp"
+
+namespace mtg::sim {
+
+/// Runs `ops` on the machine from an all-unknown start. Verify-reads
+/// compare the machine's output with the op's expected value. Returns true
+/// iff a mismatch occurs in EVERY completion of the initially-unknown cell
+/// values (i.e. detection is guaranteed regardless of power-up contents).
+[[nodiscard]] bool gts_detects(const std::vector<fsm::AbstractOp>& ops,
+                               const fsm::MemoryFsm& faulty);
+
+/// Convenience overload building the machine from a fault instance.
+[[nodiscard]] bool gts_detects(const std::vector<fsm::AbstractOp>& ops,
+                               const fault::FaultInstance& instance);
+
+/// True when every verify-read of `ops` sees its expected value on the
+/// *good* machine from any power-up state (the sequence never reads an
+/// uninitialised or wrongly-predicted value). Generated GTSs must satisfy
+/// this before and after every rewrite phase.
+[[nodiscard]] bool gts_well_formed(const std::vector<fsm::AbstractOp>& ops);
+
+}  // namespace mtg::sim

@@ -1,0 +1,14 @@
+#include "util/contracts.hpp"
+
+#include <sstream>
+
+namespace mtg {
+
+void contract_fail(const char* kind, const char* condition, const char* file,
+                   int line) {
+    std::ostringstream os;
+    os << kind << " failed: (" << condition << ") at " << file << ':' << line;
+    throw ContractViolation(os.str());
+}
+
+}  // namespace mtg

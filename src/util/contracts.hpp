@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file contracts.hpp
+/// Lightweight precondition / postcondition / assertion support in the style
+/// of the C++ Core Guidelines `Expects()` / `Ensures()` (I.5, I.7).
+/// Violations throw mtg::ContractViolation so tests can assert on misuse.
+
+#include <stdexcept>
+#include <string>
+
+namespace mtg {
+
+/// Thrown when a precondition, postcondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+public:
+    explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Builds the diagnostic message and throws ContractViolation.
+[[noreturn]] void contract_fail(const char* kind, const char* condition,
+                                const char* file, int line);
+
+}  // namespace mtg
+
+/// Precondition check: argument validation at API boundaries.
+#define MTG_EXPECTS(cond)                                                  \
+    do {                                                                   \
+        if (!(cond)) ::mtg::contract_fail("Precondition", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+/// Postcondition check.
+#define MTG_ENSURES(cond)                                                  \
+    do {                                                                   \
+        if (!(cond)) ::mtg::contract_fail("Postcondition", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+/// Internal invariant check.
+#define MTG_ASSERT(cond)                                                   \
+    do {                                                                   \
+        if (!(cond)) ::mtg::contract_fail("Assertion", #cond, __FILE__, __LINE__); \
+    } while (false)

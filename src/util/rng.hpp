@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file rng.hpp
+/// Small deterministic pseudo-random generator (SplitMix64) used by
+/// property-based tests and the benchmark workload generators. Deterministic
+/// seeding keeps every experiment reproducible run-to-run.
+
+#include <cstdint>
+
+namespace mtg {
+
+/// SplitMix64: tiny, fast, well-distributed 64-bit PRNG.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /// Next raw 64-bit value.
+    constexpr std::uint64_t next() {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform value in [0, bound). bound must be > 0.
+    constexpr std::uint64_t below(std::uint64_t bound) {
+        return next() % bound;
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    constexpr int range(int lo, int hi) {
+        return lo + static_cast<int>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Fair coin.
+    constexpr bool coin() { return (next() & 1u) != 0; }
+
+private:
+    std::uint64_t state_;
+};
+
+}  // namespace mtg

@@ -1,0 +1,49 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mtg {
+
+void TextTable::set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+}
+
+std::string TextTable::str() const {
+    // Compute per-column widths over header and all rows.
+    std::size_t ncols = header_.size();
+    for (const auto& row : rows_) ncols = std::max(ncols, row.size());
+    std::vector<std::size_t> width(ncols, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < ncols; ++c) {
+            const std::string cell = c < row.size() ? row[c] : std::string{};
+            os << cell << std::string(width[c] - cell.size(), ' ');
+            if (c + 1 < ncols) os << " | ";
+        }
+        os << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        for (std::size_t c = 0; c < ncols; ++c) {
+            os << std::string(width[c], '-');
+            if (c + 1 < ncols) os << "-+-";
+        }
+        os << '\n';
+    }
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+}  // namespace mtg

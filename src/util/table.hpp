@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file table.hpp
+/// Minimal ASCII table formatter used by the benchmark binaries to print the
+/// paper's tables (e.g. Table 3) in a readable, aligned form.
+
+#include <string>
+#include <vector>
+
+namespace mtg {
+
+/// Collects rows of strings and renders them as an aligned ASCII table.
+class TextTable {
+public:
+    /// Sets the header row.
+    void set_header(std::vector<std::string> header);
+
+    /// Appends a data row. Rows may have fewer columns than the header.
+    void add_row(std::vector<std::string> row);
+
+    /// Renders the table, including a separator under the header.
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mtg

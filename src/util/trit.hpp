@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file trit.hpp
+/// Three-valued logic used throughout the library: a memory cell (or a bit of
+/// an abstract two-cell state) is either 0, 1, or unknown/don't-care (X).
+/// The paper's memory model (f.2.1) uses the symbol `-` for the value of a
+/// non-initialised cell; we call it Trit::X.
+
+#include <cstdint>
+
+#include "util/contracts.hpp"
+
+namespace mtg {
+
+/// A three-valued bit: 0, 1 or unknown / don't-care.
+enum class Trit : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+/// Converts a plain bit (0 or 1) to a Trit.
+constexpr Trit trit_from_bit(int bit) {
+    return bit == 0 ? Trit::Zero : Trit::One;
+}
+
+/// True when the trit carries a definite 0/1 value.
+constexpr bool is_known(Trit t) { return t != Trit::X; }
+
+/// Definite value of a known trit as 0/1.
+constexpr int trit_bit(Trit t) {
+    return t == Trit::One ? 1 : 0;
+}
+
+/// Logical negation; X stays X.
+constexpr Trit trit_not(Trit t) {
+    switch (t) {
+        case Trit::Zero: return Trit::One;
+        case Trit::One: return Trit::Zero;
+        case Trit::X: return Trit::X;
+    }
+    return Trit::X;
+}
+
+/// True when the two trits cannot be distinguished: equal values, or at
+/// least one side is a don't-care.
+constexpr bool trits_compatible(Trit a, Trit b) {
+    return a == Trit::X || b == Trit::X || a == b;
+}
+
+/// Printable character: '0', '1' or 'x'.
+constexpr char trit_char(Trit t) {
+    switch (t) {
+        case Trit::Zero: return '0';
+        case Trit::One: return '1';
+        case Trit::X: return 'x';
+    }
+    return '?';
+}
+
+/// Parses '0', '1', 'x'/'X'/'-' into a Trit; anything else is a
+/// precondition violation.
+inline Trit trit_parse(char c) {
+    switch (c) {
+        case '0': return Trit::Zero;
+        case '1': return Trit::One;
+        case 'x':
+        case 'X':
+        case '-': return Trit::X;
+        default: MTG_EXPECTS(false && "invalid trit character"); return Trit::X;
+    }
+}
+
+}  // namespace mtg

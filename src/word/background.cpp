@@ -1,0 +1,64 @@
+#include "word/background.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mtg::word {
+
+int Background::bit(int b) const {
+    MTG_EXPECTS(b >= 0 && b < width);
+    return static_cast<int>((bits >> b) & 1u);
+}
+
+Background Background::complement() const {
+    const std::uint64_t mask =
+        width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    return Background{width, ~bits & mask};
+}
+
+std::string Background::str() const {
+    std::string out;
+    for (int b = width - 1; b >= 0; --b)
+        out.push_back(static_cast<char>('0' + bit(b)));
+    return out;
+}
+
+std::vector<Background> counting_backgrounds(int width) {
+    MTG_EXPECTS(width >= 1 && width <= 64);
+    MTG_EXPECTS((width & (width - 1)) == 0 && "width must be a power of two");
+    std::vector<Background> set;
+    set.push_back(Background{width, 0});  // solid
+    // Alternating blocks of size 1, 2, 4, ... width/2: bit b of pattern k
+    // is ((b >> k) & 1).
+    for (int k = 0; (1 << k) < width; ++k) {
+        std::uint64_t bits = 0;
+        for (int b = 0; b < width; ++b)
+            if ((b >> k) & 1) bits |= 1ULL << b;
+        set.push_back(Background{width, bits});
+    }
+    return set;
+}
+
+std::vector<Background> solid_background(int width) {
+    MTG_EXPECTS(width >= 1 && width <= 64);
+    return {Background{width, 0}};
+}
+
+bool separates_all_bit_pairs(const std::vector<Background>& set) {
+    if (set.empty()) return false;
+    const int width = set.front().width;
+    for (int i = 0; i < width; ++i) {
+        for (int j = i + 1; j < width; ++j) {
+            bool separated = false;
+            for (const Background& bg : set) {
+                if (bg.bit(i) != bg.bit(j)) {
+                    separated = true;
+                    break;
+                }
+            }
+            if (!separated) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace mtg::word

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file background.hpp
+/// Data backgrounds for word-oriented memories.
+///
+/// The paper's model (like all March theory) is bit-oriented; real SRAMs
+/// read and write W-bit words. The standard lift [van de Goor & van de
+/// Wiel] re-runs a bit-oriented March test once per *data background* b:
+/// every w0 becomes "write b", w1 "write ~b", r0 "read, expect b", r1
+/// "read, expect ~b". Intra-word coupling faults between bits i and j are
+/// sensitised only under a background with b_i != b_j, so the background
+/// set must distinguish every bit pair: the log2(W)+1 "binary counting"
+/// backgrounds (solid 0, 0101.., 0011.., 00001111..) are the classical
+/// minimal such set.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtg::word {
+
+/// A W-bit data background, LSB = bit 0.
+struct Background {
+    int width{1};
+    std::uint64_t bits{0};
+
+    /// Value of bit `b` (0 or 1).
+    [[nodiscard]] int bit(int b) const;
+
+    /// Bitwise complement within the word width.
+    [[nodiscard]] Background complement() const;
+
+    /// "00001111" (MSB first).
+    [[nodiscard]] std::string str() const;
+
+    friend bool operator==(const Background&, const Background&) = default;
+};
+
+/// The binary-counting background set for word width W (a power of two,
+/// 1..64): the solid background plus log2(W) alternating patterns.
+/// Guarantees: for every bit pair (i, j), some background separates them.
+[[nodiscard]] std::vector<Background> counting_backgrounds(int width);
+
+/// Just the solid all-zero background (the naive, insufficient choice).
+[[nodiscard]] std::vector<Background> solid_background(int width);
+
+/// True when for every pair of distinct bit positions some background in
+/// the set assigns them different values — the condition for intra-word
+/// coupling coverage.
+[[nodiscard]] bool separates_all_bit_pairs(const std::vector<Background>& set);
+
+}  // namespace mtg::word

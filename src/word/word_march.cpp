@@ -1,0 +1,160 @@
+#include "word/word_march.hpp"
+
+namespace mtg::word {
+
+using march::AddressOrder;
+using march::MarchOp;
+using march::MarchTest;
+using march::OpKind;
+
+int word_complexity(const MarchTest& test,
+                    const std::vector<Background>& backgrounds) {
+    return test.complexity() * static_cast<int>(backgrounds.size());
+}
+
+namespace {
+
+int any_count(const MarchTest& test) {
+    int k = 0;
+    for (const auto& e : test.elements())
+        if (e.order == AddressOrder::Any) ++k;
+    return k;
+}
+
+/// Runs the test under one background; returns true on any definite
+/// mismatch, false otherwise; `well_formed` (when non-null) is cleared if a
+/// read returns an unknown bit or a fault-free expectation would fail.
+bool run_background(const MarchTest& test, const Background& background,
+                    WordMemory& memory, unsigned any_choices) {
+    const std::uint64_t b0 = background.bits;
+    const std::uint64_t b1 = background.complement().bits;
+
+    bool detected = false;
+    int any_seen = 0;
+    for (const auto& element : test.elements()) {
+        bool desc = element.order == AddressOrder::Descending;
+        if (element.order == AddressOrder::Any) {
+            desc = ((any_choices >> any_seen) & 1u) != 0;
+            ++any_seen;
+        }
+        const int n = memory.words();
+        for (int step = 0; step < n; ++step) {
+            const int word = desc ? n - 1 - step : step;
+            for (const MarchOp& op : element.ops) {
+                switch (op.kind) {
+                    case OpKind::Write:
+                        memory.write(word, op.value ? b1 : b0);
+                        break;
+                    case OpKind::Wait:
+                        memory.wait();
+                        break;
+                    case OpKind::Read: {
+                        const std::uint64_t expected = op.value ? b1 : b0;
+                        const std::vector<Trit> got = memory.read(word);
+                        for (int bit = 0; bit < memory.width(); ++bit) {
+                            const Trit t = got[static_cast<std::size_t>(bit)];
+                            const int want =
+                                static_cast<int>((expected >> bit) & 1u);
+                            if (is_known(t) && trit_bit(t) != want)
+                                detected = true;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return detected;
+}
+
+}  // namespace
+
+bool run_once_detects(const MarchTest& test,
+                      const std::vector<Background>& backgrounds,
+                      const InjectedBitFault& fault, unsigned any_choices,
+                      const WordRunOptions& opts) {
+    WordMemory memory(opts.words, opts.width);
+    memory.inject(fault);
+    bool detected = false;
+    for (const Background& background : backgrounds)
+        detected = run_background(test, background, memory, any_choices) ||
+                   detected;
+    return detected;
+}
+
+bool detects(const MarchTest& test, const std::vector<Background>& backgrounds,
+             const InjectedBitFault& fault, const WordRunOptions& opts) {
+    const int k = any_count(test);
+    const bool expand = k <= opts.max_any_expansion;
+    const unsigned limit = expand ? (1u << k) : 2u;
+    for (unsigned c = 0; c < limit; ++c) {
+        const unsigned choice = expand ? c : (c == 0 ? 0u : ~0u);
+        if (!run_once_detects(test, backgrounds, fault, choice, opts))
+            return false;
+    }
+    return true;
+}
+
+bool covers_everywhere(const MarchTest& test,
+                       const std::vector<Background>& backgrounds,
+                       fault::FaultKind kind, const WordRunOptions& opts) {
+    if (!fault::is_two_cell(kind)) {
+        for (int w = 0; w < opts.words; ++w)
+            for (int b = 0; b < opts.width; ++b)
+                if (!detects(test, backgrounds,
+                             InjectedBitFault::single(kind, {w, b}), opts))
+                    return false;
+        return true;
+    }
+    // Intra-word: every ordered bit pair of a representative word.
+    const int word = opts.words / 2;
+    for (int a = 0; a < opts.width; ++a) {
+        for (int v = 0; v < opts.width; ++v) {
+            if (a == v) continue;
+            if (!detects(test, backgrounds,
+                         InjectedBitFault::coupling(kind, {word, a}, {word, v}),
+                         opts))
+                return false;
+        }
+    }
+    // Inter-word: every ordered word pair on a representative bit, plus a
+    // cross-bit pair to exercise bit-position asymmetry.
+    const int bit = opts.width / 2;
+    for (int wa = 0; wa < opts.words; ++wa) {
+        for (int wv = 0; wv < opts.words; ++wv) {
+            if (wa == wv) continue;
+            if (!detects(test, backgrounds,
+                         InjectedBitFault::coupling(kind, {wa, bit}, {wv, bit}),
+                         opts))
+                return false;
+        }
+    }
+    if (opts.width >= 2 &&
+        !detects(test, backgrounds,
+                 InjectedBitFault::coupling(kind, {0, 0},
+                                            {opts.words - 1, opts.width - 1}),
+                 opts))
+        return false;
+    return true;
+}
+
+bool is_well_formed(const MarchTest& test,
+                    const std::vector<Background>& backgrounds,
+                    const WordRunOptions& opts) {
+    const int k = any_count(test);
+    const bool expand = k <= opts.max_any_expansion;
+    const unsigned limit = expand ? (1u << k) : 2u;
+    for (unsigned c = 0; c < limit; ++c) {
+        const unsigned choice = expand ? c : (c == 0 ? 0u : ~0u);
+        WordMemory memory(opts.words, opts.width);
+        // A fault-free run must produce no mismatch and no unknown read
+        // after initialisation; reuse run_background and additionally
+        // demand zero detections.
+        for (const Background& background : backgrounds) {
+            if (run_background(test, background, memory, choice)) return false;
+        }
+    }
+    return true;
+}
+
+}  // namespace mtg::word

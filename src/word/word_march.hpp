@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file word_march.hpp
+/// Word-oriented March execution: a bit-oriented March test plus a data
+/// background set defines a word test — the test is run once per
+/// background b with w0/r0 meaning write/expect b and w1/r1 meaning
+/// write/expect ~b.
+
+#include <optional>
+
+#include "march/march_test.hpp"
+#include "word/background.hpp"
+#include "word/word_memory.hpp"
+
+namespace mtg::word {
+
+/// Execution options.
+struct WordRunOptions {
+    int words{8};
+    int width{8};
+    int max_any_expansion{4};  ///< 2^k ⇕ expansions per background run
+};
+
+/// Complexity of the expanded word test: per-word operations summed over
+/// all backgrounds.
+[[nodiscard]] int word_complexity(const march::MarchTest& test,
+                                  const std::vector<Background>& backgrounds);
+
+/// Runs the word test once (fixed ⇕ choices) against a fresh memory with
+/// the fault injected; true when some read mismatches its expected word.
+[[nodiscard]] bool run_once_detects(const march::MarchTest& test,
+                                    const std::vector<Background>& backgrounds,
+                                    const InjectedBitFault& fault,
+                                    unsigned any_choices,
+                                    const WordRunOptions& opts = {});
+
+/// Guaranteed detection: every ⇕ expansion detects.
+[[nodiscard]] bool detects(const march::MarchTest& test,
+                           const std::vector<Background>& backgrounds,
+                           const InjectedBitFault& fault,
+                           const WordRunOptions& opts = {});
+
+/// Exhaustive placement check for a fault kind:
+///  - single-bit kinds: every (word, bit);
+///  - two-cell kinds: every intra-word bit pair (both orders) in a
+///    representative word AND every inter-word pair of representative bits
+///    (both orders).
+[[nodiscard]] bool covers_everywhere(const march::MarchTest& test,
+                                     const std::vector<Background>& backgrounds,
+                                     fault::FaultKind kind,
+                                     const WordRunOptions& opts = {});
+
+/// Sanity: on a fault-free memory every read sees its expected word under
+/// every background and ⇕ expansion.
+[[nodiscard]] bool is_well_formed(const march::MarchTest& test,
+                                  const std::vector<Background>& backgrounds,
+                                  const WordRunOptions& opts = {});
+
+}  // namespace mtg::word

@@ -1,0 +1,201 @@
+#include "word/word_memory.hpp"
+
+namespace mtg::word {
+
+using fault::FaultKind;
+
+WordMemory::WordMemory(int words, int width)
+    : words_(words),
+      width_(width),
+      bits_(static_cast<std::size_t>(words) * static_cast<std::size_t>(width),
+            Trit::X) {
+    MTG_EXPECTS(words > 0);
+    MTG_EXPECTS(width >= 1 && width <= 64);
+}
+
+std::size_t WordMemory::index(BitAddr at) const {
+    MTG_EXPECTS(at.word >= 0 && at.word < words_);
+    MTG_EXPECTS(at.bit >= 0 && at.bit < width_);
+    return static_cast<std::size_t>(at.word) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(at.bit);
+}
+
+Trit& WordMemory::cell(BitAddr at) { return bits_[index(at)]; }
+
+void WordMemory::inject(const InjectedBitFault& fault) {
+    (void)index(fault.a);
+    if (fault::is_two_cell(fault.kind)) (void)index(fault.b);
+    faults_.push_back(fault);
+}
+
+void WordMemory::enforce_static_coupling() {
+    for (const auto& f : faults_) {
+        int sv = 0, fv = 0;
+        switch (f.kind) {
+            case FaultKind::CfstS0F0: sv = 0; fv = 0; break;
+            case FaultKind::CfstS0F1: sv = 0; fv = 1; break;
+            case FaultKind::CfstS1F0: sv = 1; fv = 0; break;
+            case FaultKind::CfstS1F1: sv = 1; fv = 1; break;
+            default: continue;
+        }
+        const Trit a = bits_[index(f.a)];
+        if (is_known(a) && trit_bit(a) == sv) cell(f.b) = trit_from_bit(fv);
+    }
+}
+
+void WordMemory::write(int word, std::uint64_t value) {
+    MTG_EXPECTS(word >= 0 && word < words_);
+
+    // Decoder-map faults redirect whole-word accesses when any bit of the
+    // word is the aggressor of an AfMap (modelled at word granularity:
+    // word-level decoders fail for whole words).
+    for (const auto& f : faults_) {
+        if (f.kind == FaultKind::AfMap && f.a.word == word &&
+            !f.intra_word()) {
+            write(f.b.word, value);
+            return;
+        }
+    }
+
+    // Phase 1: per-bit effective values (single-bit effects on own bit).
+    std::vector<Trit> old(static_cast<std::size_t>(width_));
+    for (int b = 0; b < width_; ++b)
+        old[static_cast<std::size_t>(b)] = bits_[index({word, b})];
+
+    for (int b = 0; b < width_; ++b) {
+        const int d = static_cast<int>((value >> b) & 1u);
+        const Trit before = old[static_cast<std::size_t>(b)];
+        Trit effective = trit_from_bit(d);
+        for (const auto& f : faults_) {
+            if (fault::is_two_cell(f.kind) || !(f.a == BitAddr{word, b}))
+                continue;
+            switch (f.kind) {
+                case FaultKind::Saf0: effective = Trit::Zero; break;
+                case FaultKind::Saf1: effective = Trit::One; break;
+                case FaultKind::TfUp:
+                    if (d == 1 && before == Trit::Zero) effective = Trit::Zero;
+                    break;
+                case FaultKind::TfDown:
+                    if (d == 0 && before == Trit::One) effective = Trit::One;
+                    break;
+                case FaultKind::Wdf0:
+                    if (d == 0 && before == Trit::Zero) effective = Trit::One;
+                    break;
+                case FaultKind::Wdf1:
+                    if (d == 1 && before == Trit::One) effective = Trit::Zero;
+                    break;
+                default: break;
+            }
+        }
+        cell({word, b}) = effective;
+    }
+
+    // Phase 2: coupling effects of aggressor-bit transitions, applied after
+    // the whole word is stored (simultaneously-written intra-word victims
+    // get corrupted after their own write).
+    for (const auto& f : faults_) {
+        if (!fault::is_two_cell(f.kind) || f.a.word != word) continue;
+        const Trit before = old[static_cast<std::size_t>(f.a.bit)];
+        const Trit after = bits_[index(f.a)];
+        const bool rising = before == Trit::Zero && after == Trit::One;
+        const bool falling = before == Trit::One && after == Trit::Zero;
+        Trit& victim = cell(f.b);
+        switch (f.kind) {
+            case FaultKind::CfinUp:
+                if (rising) victim = trit_not(victim);
+                break;
+            case FaultKind::CfinDown:
+                if (falling) victim = trit_not(victim);
+                break;
+            case FaultKind::CfidUp0:
+                if (rising) victim = Trit::Zero;
+                break;
+            case FaultKind::CfidUp1:
+                if (rising) victim = Trit::One;
+                break;
+            case FaultKind::CfidDown0:
+                if (falling) victim = Trit::Zero;
+                break;
+            case FaultKind::CfidDown1:
+                if (falling) victim = Trit::One;
+                break;
+            case FaultKind::Af:
+                victim = after;
+                break;
+            default: break;
+        }
+    }
+
+    enforce_static_coupling();
+}
+
+std::vector<Trit> WordMemory::read(int word) {
+    MTG_EXPECTS(word >= 0 && word < words_);
+
+    for (const auto& f : faults_) {
+        if (f.kind == FaultKind::AfMap && f.a.word == word &&
+            !f.intra_word()) {
+            return read(f.b.word);
+        }
+    }
+
+    std::vector<Trit> out(static_cast<std::size_t>(width_));
+    for (int b = 0; b < width_; ++b) {
+        Trit value = bits_[index({word, b})];
+        for (const auto& f : faults_) {
+            if (fault::is_two_cell(f.kind) || !(f.a == BitAddr{word, b}))
+                continue;
+            switch (f.kind) {
+                case FaultKind::Saf0: value = Trit::Zero; break;
+                case FaultKind::Saf1: value = Trit::One; break;
+                case FaultKind::Rdf0:
+                    if (value == Trit::Zero) {
+                        cell({word, b}) = Trit::One;
+                        value = Trit::One;
+                    }
+                    break;
+                case FaultKind::Rdf1:
+                    if (value == Trit::One) {
+                        cell({word, b}) = Trit::Zero;
+                        value = Trit::Zero;
+                    }
+                    break;
+                case FaultKind::Drdf0:
+                    if (value == Trit::Zero) cell({word, b}) = Trit::One;
+                    break;
+                case FaultKind::Drdf1:
+                    if (value == Trit::One) cell({word, b}) = Trit::Zero;
+                    break;
+                case FaultKind::Irf0:
+                    if (value == Trit::Zero) value = Trit::One;
+                    break;
+                case FaultKind::Irf1:
+                    if (value == Trit::One) value = Trit::Zero;
+                    break;
+                default: break;
+            }
+        }
+        out[static_cast<std::size_t>(b)] = value;
+    }
+    enforce_static_coupling();
+    return out;
+}
+
+void WordMemory::wait() {
+    for (const auto& f : faults_) {
+        switch (f.kind) {
+            case FaultKind::Drf0:
+                if (bits_[index(f.a)] == Trit::One) cell(f.a) = Trit::Zero;
+                break;
+            case FaultKind::Drf1:
+                if (bits_[index(f.a)] == Trit::Zero) cell(f.a) = Trit::One;
+                break;
+            default: break;
+        }
+    }
+    enforce_static_coupling();
+}
+
+Trit WordMemory::peek(BitAddr at) const { return bits_[index(at)]; }
+
+}  // namespace mtg::word

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file word_memory.hpp
+/// Behavioural model of a word-oriented RAM (n words of W bits) with
+/// bit-granular fault injection. Word accesses are atomic: a word write
+/// first resolves every bit's own value (single-bit fault effects), stores
+/// the word, and only then applies coupling effects of the aggressor-bit
+/// transitions — so an intra-word victim written in the same cycle is
+/// corrupted *after* its own write, the standard sensitisation model for
+/// intra-word coupling faults.
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/kinds.hpp"
+#include "util/contracts.hpp"
+#include "util/trit.hpp"
+
+namespace mtg::word {
+
+/// A bit position in the memory.
+struct BitAddr {
+    int word{0};
+    int bit{0};
+
+    friend bool operator==(const BitAddr&, const BitAddr&) = default;
+};
+
+/// A fault primitive bound to concrete bit positions. Two-cell primitives
+/// may couple bits of the same word (intra-word) or different words.
+struct InjectedBitFault {
+    fault::FaultKind kind{fault::FaultKind::Saf0};
+    BitAddr a;       ///< faulty / aggressor bit
+    BitAddr b;       ///< victim bit (two-cell only)
+
+    static InjectedBitFault single(fault::FaultKind k, BitAddr at) {
+        MTG_EXPECTS(!fault::is_two_cell(k));
+        return {k, at, {}};
+    }
+    static InjectedBitFault coupling(fault::FaultKind k, BitAddr aggressor,
+                                     BitAddr victim) {
+        MTG_EXPECTS(fault::is_two_cell(k));
+        MTG_EXPECTS(!(aggressor == victim));
+        return {k, aggressor, victim};
+    }
+
+    [[nodiscard]] bool intra_word() const { return a.word == b.word; }
+};
+
+/// The memory. Words start fully unknown.
+class WordMemory {
+public:
+    WordMemory(int words, int width);
+
+    [[nodiscard]] int words() const { return words_; }
+    [[nodiscard]] int width() const { return width_; }
+
+    void inject(const InjectedBitFault& fault);
+
+    /// Writes a W-bit value to `word`.
+    void write(int word, std::uint64_t value);
+
+    /// Reads `word`; each returned trit is a bit (X when unknown). Read
+    /// faults (RDF/IRF/...) apply per affected bit.
+    [[nodiscard]] std::vector<Trit> read(int word);
+
+    /// Elapses the retention period.
+    void wait();
+
+    /// Raw bit value without read side effects.
+    [[nodiscard]] Trit peek(BitAddr at) const;
+
+private:
+    int words_;
+    int width_;
+    std::vector<Trit> bits_;  // word-major
+    std::vector<InjectedBitFault> faults_;
+
+    [[nodiscard]] std::size_t index(BitAddr at) const;
+    Trit& cell(BitAddr at);
+    void enforce_static_coupling();
+};
+
+}  // namespace mtg::word

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "atsp/branch_bound.hpp"
+#include "atsp/heuristics.hpp"
+#include "atsp/hungarian.hpp"
+#include "atsp/path.hpp"
+#include "util/rng.hpp"
+
+namespace mtg::atsp {
+namespace {
+
+CostMatrix random_instance(int n, SplitMix64& rng, Cost max_cost = 50) {
+    CostMatrix m(n);
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            if (i != j)
+                m.set(i, j, static_cast<Cost>(rng.below(
+                                static_cast<std::uint64_t>(max_cost) + 1)));
+    return m;
+}
+
+TEST(CostMatrix, DiagonalForbidden) {
+    CostMatrix m(3, 7);
+    EXPECT_TRUE(m.is_forbidden(1, 1));
+    EXPECT_EQ(m.at(0, 1), 7);
+    m.forbid(0, 1);
+    EXPECT_TRUE(m.is_forbidden(0, 1));
+}
+
+TEST(Tour, CostAndFeasibility) {
+    CostMatrix m(3, 1);
+    m.set(0, 1, 2);
+    m.set(1, 2, 3);
+    m.set(2, 0, 4);
+    EXPECT_EQ(tour_cost(m, {0, 1, 2}), 9);
+    EXPECT_TRUE(tour_feasible(m, {0, 1, 2}));
+    EXPECT_FALSE(tour_feasible(m, {0, 1}));       // not a permutation
+    EXPECT_FALSE(tour_feasible(m, {0, 1, 1}));    // duplicate
+    m.forbid(1, 2);
+    EXPECT_FALSE(tour_feasible(m, {0, 1, 2}));
+}
+
+TEST(Tour, RotateToFront) {
+    EXPECT_EQ(rotate_to_front({3, 1, 4, 2}, 4), (std::vector<int>{4, 2, 3, 1}));
+}
+
+TEST(Hungarian, SolvesTextbookAssignment) {
+    CostMatrix m(3, 0);
+    // Row i assigned column (i+1)%3 is optimal here.
+    const Cost costs[3][3] = {{10, 1, 10}, {10, 10, 1}, {1, 10, 10}};
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            if (i != j) m.set(i, j, costs[i][j]);
+    // Diagonal entries stay forbidden; the optimum avoids them anyway.
+    const Assignment ap = solve_assignment(m);
+    EXPECT_TRUE(ap.feasible);
+    EXPECT_EQ(ap.cost, 3);
+    EXPECT_EQ(ap.to[0], 1);
+    EXPECT_EQ(ap.to[1], 2);
+    EXPECT_EQ(ap.to[2], 0);
+}
+
+TEST(Hungarian, AssignmentIsLowerBoundOfTour) {
+    SplitMix64 rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = rng.range(3, 8);
+        const CostMatrix m = random_instance(n, rng);
+        const Assignment ap = solve_assignment(m);
+        const auto tour = solve_brute_force(m);
+        ASSERT_TRUE(tour.has_value());
+        EXPECT_LE(ap.cost, tour->cost) << "trial " << trial;
+    }
+}
+
+TEST(Hungarian, CycleDecomposition) {
+    // Permutation (0->1->0)(2->3->4->2).
+    const auto cycles = assignment_cycles({1, 0, 3, 4, 2});
+    ASSERT_EQ(cycles.size(), 2u);
+    EXPECT_EQ(cycles[0].size(), 2u);
+    EXPECT_EQ(cycles[1].size(), 3u);
+}
+
+TEST(Heuristics, NearestNeighbourProducesValidTour) {
+    SplitMix64 rng(11);
+    const CostMatrix m = random_instance(6, rng);
+    const auto tour = nearest_neighbour(m, 0);
+    ASSERT_TRUE(tour.has_value());
+    EXPECT_TRUE(tour_feasible(m, tour->order));
+    EXPECT_EQ(tour->cost, tour_cost(m, tour->order));
+}
+
+TEST(Heuristics, OrOptNeverWorsens) {
+    SplitMix64 rng(13);
+    for (int trial = 0; trial < 10; ++trial) {
+        const CostMatrix m = random_instance(8, rng);
+        const auto nn = best_nearest_neighbour(m);
+        ASSERT_TRUE(nn.has_value());
+        const Tour improved = or_opt(m, *nn);
+        EXPECT_LE(improved.cost, nn->cost);
+        EXPECT_TRUE(tour_feasible(m, improved.order));
+    }
+}
+
+TEST(Exact, MatchesBruteForceOnRandomInstances) {
+    SplitMix64 rng(2002);
+    for (int trial = 0; trial < 40; ++trial) {
+        const int n = rng.range(3, 8);
+        const CostMatrix m = random_instance(n, rng);
+        const auto exact = solve_exact(m);
+        const auto brute = solve_brute_force(m);
+        ASSERT_EQ(exact.has_value(), brute.has_value()) << "trial " << trial;
+        if (exact) {
+            EXPECT_EQ(exact->cost, brute->cost) << "trial " << trial;
+            EXPECT_TRUE(tour_feasible(m, exact->order));
+        }
+    }
+}
+
+TEST(Exact, HandlesForbiddenArcs) {
+    SplitMix64 rng(5);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int n = rng.range(4, 7);
+        CostMatrix m = random_instance(n, rng);
+        // Forbid a third of the arcs.
+        for (int i = 0; i < n; ++i)
+            for (int j = 0; j < n; ++j)
+                if (i != j && rng.below(3) == 0) m.forbid(i, j);
+        const auto exact = solve_exact(m);
+        const auto brute = solve_brute_force(m);
+        ASSERT_EQ(exact.has_value(), brute.has_value()) << "trial " << trial;
+        if (exact) EXPECT_EQ(exact->cost, brute->cost) << "trial " << trial;
+    }
+}
+
+TEST(Exact, ReportsSearchStats) {
+    SplitMix64 rng(17);
+    const CostMatrix m = random_instance(9, rng);
+    SolveStats stats;
+    (void)solve_exact(m, &stats);
+    EXPECT_GT(stats.nodes_explored, 0);
+    EXPECT_GT(stats.ap_solves, 0);
+}
+
+TEST(Exact, SingleNodeDegenerate) {
+    CostMatrix m(1);
+    const auto tour = solve_exact(m);
+    ASSERT_TRUE(tour.has_value());
+    EXPECT_EQ(tour->cost, 0);
+}
+
+TEST(Exact, InfeasibleInstanceReturnsNullopt) {
+    CostMatrix m(3, 2);
+    // Node 2 has no outgoing arcs.
+    m.forbid(2, 0);
+    m.forbid(2, 1);
+    EXPECT_FALSE(solve_exact(m).has_value());
+}
+
+/// Oracle for the path solver: brute-force over all permutations.
+std::optional<std::pair<std::vector<int>, Cost>> brute_path(
+    const CostMatrix& m, const PathOptions& options) {
+    const int n = m.size();
+    std::vector<int> perm(static_cast<std::size_t>(n));
+    for (int v = 0; v < n; ++v) perm[static_cast<std::size_t>(v)] = v;
+    std::optional<std::pair<std::vector<int>, Cost>> best;
+    do {
+        if (!options.allowed_starts.empty() &&
+            std::find(options.allowed_starts.begin(),
+                      options.allowed_starts.end(),
+                      perm[0]) == options.allowed_starts.end())
+            continue;
+        Cost cost = options.start_cost.empty()
+                        ? 0
+                        : options.start_cost[static_cast<std::size_t>(perm[0])];
+        bool ok = true;
+        for (int k = 0; k + 1 < n && ok; ++k) {
+            if (m.is_forbidden(perm[static_cast<std::size_t>(k)],
+                               perm[static_cast<std::size_t>(k + 1)]))
+                ok = false;
+            else
+                cost += m.at(perm[static_cast<std::size_t>(k)],
+                             perm[static_cast<std::size_t>(k + 1)]);
+        }
+        if (ok && (!best || cost < best->second)) best = {{perm}, cost};
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    return best;
+}
+
+TEST(Path, MatchesBruteForce) {
+    SplitMix64 rng(23);
+    for (int trial = 0; trial < 25; ++trial) {
+        const int n = rng.range(2, 7);
+        const CostMatrix m = random_instance(n, rng);
+        PathOptions options;
+        for (int v = 0; v < n; ++v)
+            options.start_cost.push_back(
+                static_cast<Cost>(rng.below(4)));
+        const auto path = solve_shortest_path(m, options);
+        const auto brute = brute_path(m, options);
+        ASSERT_EQ(path.has_value(), brute.has_value()) << "trial " << trial;
+        if (path) EXPECT_EQ(path->cost, brute->second) << "trial " << trial;
+    }
+}
+
+TEST(Path, HonoursAllowedStarts) {
+    SplitMix64 rng(29);
+    const int n = 6;
+    const CostMatrix m = random_instance(n, rng);
+    PathOptions options;
+    options.allowed_starts = {3, 5};
+    const auto path = solve_shortest_path(m, options);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_TRUE(path->order.front() == 3 || path->order.front() == 5);
+    const auto brute = brute_path(m, options);
+    EXPECT_EQ(path->cost, brute->second);
+}
+
+TEST(Path, EmptyAllowedStartSetMeansUnconstrained) {
+    SplitMix64 rng(31);
+    const CostMatrix m = random_instance(5, rng);
+    EXPECT_TRUE(solve_shortest_path(m, {}).has_value());
+}
+
+TEST(Path, SingleNode) {
+    CostMatrix m(1);
+    PathOptions options;
+    options.start_cost = {2};
+    const auto path = solve_shortest_path(m, options);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->cost, 2);
+    EXPECT_EQ(path->order, std::vector<int>{0});
+}
+
+}  // namespace
+}  // namespace mtg::atsp

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "diagnosis/dictionary.hpp"
+#include "march/library.hpp"
+#include "march/parser.hpp"
+
+namespace mtg::diagnosis {
+namespace {
+
+using fault::FaultKind;
+
+TEST(Signature, PrintsSitesAndEscape) {
+    Signature escape;
+    EXPECT_FALSE(escape.detected());
+    EXPECT_EQ(escape.str(), "(escape)");
+
+    Signature sig{{{{1, 0}, 2}, {{4, 2}, 5}}};
+    EXPECT_TRUE(sig.detected());
+    EXPECT_EQ(sig.str(), "E1.0@c2 E4.2@c5");
+}
+
+TEST(Signature, OfConcreteFault) {
+    const auto test = march::parse_march("{~(w0); ~(r0); ~(w1); ~(r1)}");
+    const Signature sig = signature_of(
+        test, sim::InjectedFault::single(FaultKind::Saf1, 3));
+    // SAF1 fails the r0 of element 1 at its own address only.
+    ASSERT_EQ(sig.failing.size(), 1u);
+    EXPECT_EQ(sig.failing[0], (sim::Observation{{1, 0}, 3}));
+}
+
+TEST(Dictionary, AccountsForEveryInstance) {
+    const auto kinds = fault::parse_fault_kinds("SAF,TF");
+    const auto dict = FaultDictionary::build(march::mats_plus_plus(), kinds);
+    EXPECT_EQ(dict.instance_count(), 4);
+    EXPECT_EQ(dict.detected_count(), 4);  // MATS++ covers SAF+TF
+    int total = 0;
+    for (const auto& entry : dict.entries())
+        total += static_cast<int>(entry.instances.size());
+    EXPECT_EQ(total, dict.instance_count());
+}
+
+TEST(Dictionary, EscapesLandInTheEscapeBucket) {
+    // MATS misses TF<v>: its instance must map to the empty signature.
+    const auto kinds = fault::parse_fault_kinds("SAF,TF<v>");
+    const auto dict = FaultDictionary::build(march::mats(), kinds);
+    EXPECT_EQ(dict.detected_count(), 2);  // SAF0, SAF1
+    const auto escapes = dict.diagnose(Signature{});
+    ASSERT_EQ(escapes.size(), 1u);
+    EXPECT_EQ(escapes[0].kind, FaultKind::TfDown);
+}
+
+TEST(Dictionary, DiagnoseReturnsCompatibleInstances) {
+    const auto kinds = fault::parse_fault_kinds("SAF");
+    const auto dict = FaultDictionary::build(march::march_c_minus(), kinds);
+    for (const auto& entry : dict.entries()) {
+        EXPECT_EQ(dict.diagnose(entry.signature), entry.instances);
+    }
+    // Unknown signature -> no candidates.
+    EXPECT_TRUE(dict.diagnose(Signature{{{0, 99}}}).empty());
+}
+
+TEST(Dictionary, ResolutionBounds) {
+    const auto kinds = fault::parse_fault_kinds("SAF,TF,CFin,CFid");
+    for (const char* name : {"MATS++", "March C-", "PMOVI", "March SS"}) {
+        const auto dict =
+            FaultDictionary::build(march::find_march_test(name).test, kinds);
+        EXPECT_GE(dict.resolution(), 0.0) << name;
+        EXPECT_LE(dict.resolution(), 1.0) << name;
+        EXPECT_LE(dict.distinguished_count(), dict.detected_count()) << name;
+    }
+}
+
+/// The classic diagnosis claim [6]: tests with more observation points
+/// distinguish more faults. March SS (9 reads) must resolve at least as
+/// well as MATS++ (3 reads) on the static fault set it covers.
+TEST(Dictionary, MoreReadsNeverHurtResolution) {
+    const auto kinds = fault::parse_fault_kinds("SAF,TF");
+    const auto coarse = FaultDictionary::build(march::mats_plus_plus(), kinds);
+    const auto fine = FaultDictionary::build(march::march_ss(), kinds);
+    EXPECT_GE(fine.distinguished_count(), coarse.distinguished_count());
+}
+
+TEST(Dictionary, RenderingListsEveryEntry) {
+    const auto kinds = fault::parse_fault_kinds("SAF");
+    const auto dict = FaultDictionary::build(march::mats(), kinds);
+    const std::string text = dict.str();
+    EXPECT_NE(text.find("SAF0@i"), std::string::npos);
+    EXPECT_NE(text.find("SAF1@i"), std::string::npos);
+}
+
+/// AF2 integration: decoder-map faults are detected, and the two roles are
+/// *behaviourally equivalent* — both alias the same address pair, and
+/// which physical cell backs the pair is unobservable — so they must land
+/// in the same dictionary bucket rather than being distinguished.
+TEST(Dictionary, Af2RolesAreEquivalentUnderOutputTracing) {
+    const auto kinds = fault::parse_fault_kinds("AF2");
+    const auto dict = FaultDictionary::build(march::march_c_minus(), kinds);
+    EXPECT_EQ(dict.instance_count(), 2);
+    EXPECT_EQ(dict.detected_count(), 2);
+    EXPECT_EQ(dict.distinguished_count(), 0);
+    ASSERT_EQ(dict.entries().size(), 1u);
+    EXPECT_EQ(dict.entries().front().instances.size(), 2u);
+}
+
+/// Address-aware signatures separate faults that plain read-site traces
+/// conflate: the two roles of an idempotent coupling fault fail the same
+/// element reads but at different victim addresses.
+TEST(Dictionary, AddressAwarenessSeparatesCouplingRoles) {
+    const auto kinds = fault::parse_fault_kinds("CFid<^,0>");
+    const auto dict = FaultDictionary::build(march::march_c_minus(), kinds);
+    EXPECT_EQ(dict.detected_count(), 2);
+    EXPECT_EQ(dict.distinguished_count(), 2);
+}
+
+}  // namespace
+}  // namespace mtg::diagnosis

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fault/fault_list.hpp"
+#include "fault/instance.hpp"
+#include "fault/kinds.hpp"
+#include "fault/test_pattern.hpp"
+
+namespace mtg::fault {
+namespace {
+
+using fsm::Cell;
+using fsm::Input;
+using fsm::MemoryFsm;
+using fsm::PairState;
+
+TEST(Kinds, FamilyExpansion) {
+    EXPECT_EQ(expand_fault_family("SAF").size(), 2u);
+    EXPECT_EQ(expand_fault_family("TF").size(), 2u);
+    EXPECT_EQ(expand_fault_family("CFid").size(), 4u);
+    EXPECT_EQ(expand_fault_family("CFst").size(), 4u);
+    EXPECT_EQ(expand_fault_family("ADF"), expand_fault_family("AF"));
+    EXPECT_THROW((void)expand_fault_family("XYZ"), std::invalid_argument);
+}
+
+TEST(Kinds, ParseListDeduplicates) {
+    const auto kinds = parse_fault_kinds("SAF, TF, SAF");
+    EXPECT_EQ(kinds.size(), 4u);  // SAF0, SAF1, TF<^>, TF<v>
+}
+
+TEST(Kinds, ParseSinglePrimitives) {
+    EXPECT_EQ(parse_fault_kinds("SAF0"), std::vector<FaultKind>{FaultKind::Saf0});
+    EXPECT_EQ(parse_fault_kinds("CFid<^,1>"),
+              std::vector<FaultKind>{FaultKind::CfidUp1});
+}
+
+TEST(Kinds, NamesRoundTripThroughParser) {
+    for (FaultKind k : all_fault_kinds()) {
+        const auto parsed = expand_fault_family(fault_kind_name(k));
+        ASSERT_EQ(parsed.size(), 1u) << fault_kind_name(k);
+        EXPECT_EQ(parsed[0], k);
+    }
+}
+
+TEST(Kinds, TwoCellClassification) {
+    EXPECT_FALSE(is_two_cell(FaultKind::Saf0));
+    EXPECT_FALSE(is_two_cell(FaultKind::Drf1));
+    EXPECT_TRUE(is_two_cell(FaultKind::CfinUp));
+    EXPECT_TRUE(is_two_cell(FaultKind::Af));
+    EXPECT_TRUE(needs_wait(FaultKind::Drf0));
+    EXPECT_FALSE(needs_wait(FaultKind::Saf0));
+}
+
+TEST(Instances, SingleCellGetsOneRole) {
+    const auto instances = instantiate({FaultKind::Saf0});
+    ASSERT_EQ(instances.size(), 1u);
+    EXPECT_EQ(instances[0].aggressor, Cell::I);
+    EXPECT_EQ(instances[0].name(), "SAF0@i");
+}
+
+TEST(Instances, CouplingGetsBothRoles) {
+    const auto instances = instantiate({FaultKind::CfidUp0});
+    ASSERT_EQ(instances.size(), 2u);
+    EXPECT_EQ(instances[0].name(), "CFid<^,0>@i>j");
+    EXPECT_EQ(instances[1].name(), "CFid<^,0>@j>i");
+    EXPECT_EQ(instances[0].victim(), Cell::J);
+    EXPECT_EQ(instances[1].victim(), Cell::I);
+}
+
+/// Figure 2: the M1 machine for CFid ⟨↑,0⟩ differs from M0 by the two
+/// bolded edges — one per aggressor role. Our per-instance machines carry
+/// one each.
+TEST(FaultyMachine, CfidUp0MatchesFigure2) {
+    const MemoryFsm m0 = MemoryFsm::good();
+
+    const MemoryFsm aggressor_i =
+        faulty_machine({FaultKind::CfidUp0, Cell::I});
+    auto bfes = aggressor_i.diff(m0);
+    ASSERT_EQ(bfes.size(), 1u);
+    EXPECT_EQ(bfes[0].state.str(), "01");
+    EXPECT_EQ(bfes[0].input, Input::W1i);
+    EXPECT_EQ(bfes[0].faulty_next.str(), "10");  // victim j forced to 0
+
+    const MemoryFsm aggressor_j =
+        faulty_machine({FaultKind::CfidUp0, Cell::J});
+    bfes = aggressor_j.diff(m0);
+    ASSERT_EQ(bfes.size(), 1u);
+    EXPECT_EQ(bfes[0].state.str(), "10");
+    EXPECT_EQ(bfes[0].input, Input::W1j);
+    EXPECT_EQ(bfes[0].faulty_next.str(), "01");
+}
+
+TEST(FaultyMachine, Saf0PerturbsWritesAndReads) {
+    const MemoryFsm m0 = MemoryFsm::good();
+    const MemoryFsm faulty = faulty_machine({FaultKind::Saf0, Cell::I});
+    // w1i fails from i==0 states; reads of i==1 states return 0.
+    EXPECT_EQ(faulty.next(PairState::parse("00"), Input::W1i).str(), "00");
+    EXPECT_EQ(faulty.next(PairState::parse("01"), Input::W1i).str(), "01");
+    EXPECT_EQ(faulty.output(PairState::parse("10"), Input::Ri), Trit::Zero);
+    EXPECT_EQ(faulty.output(PairState::parse("11"), Input::Ri), Trit::Zero);
+    EXPECT_EQ(faulty.perturbation_count(m0), 4);
+}
+
+TEST(FaultyMachine, TfUpOnlyBlocksRisingWrites) {
+    const MemoryFsm faulty = faulty_machine({FaultKind::TfUp, Cell::J});
+    EXPECT_EQ(faulty.next(PairState::parse("00"), Input::W1j).str(), "00");
+    EXPECT_EQ(faulty.next(PairState::parse("10"), Input::W1j).str(), "10");
+    // Falling writes and reads untouched.
+    EXPECT_EQ(faulty.next(PairState::parse("01"), Input::W0j).str(), "00");
+    EXPECT_EQ(faulty.output(PairState::parse("01"), Input::Rj), Trit::One);
+}
+
+TEST(FaultyMachine, DrfDecaysOnWait) {
+    const MemoryFsm faulty = faulty_machine({FaultKind::Drf0, Cell::I});
+    EXPECT_EQ(faulty.next(PairState::parse("10"), Input::T).str(), "00");
+    EXPECT_EQ(faulty.next(PairState::parse("11"), Input::T).str(), "01");
+    EXPECT_EQ(faulty.next(PairState::parse("00"), Input::T).str(), "00");
+}
+
+TEST(FaultyMachine, RdfFlipsAndLies) {
+    const MemoryFsm faulty = faulty_machine({FaultKind::Rdf0, Cell::I});
+    EXPECT_EQ(faulty.next(PairState::parse("00"), Input::Ri).str(), "10");
+    EXPECT_EQ(faulty.output(PairState::parse("00"), Input::Ri), Trit::One);
+}
+
+TEST(FaultyMachine, DrdfFlipsButTellsTruth) {
+    const MemoryFsm faulty = faulty_machine({FaultKind::Drdf0, Cell::I});
+    EXPECT_EQ(faulty.next(PairState::parse("00"), Input::Ri).str(), "10");
+    EXPECT_EQ(faulty.output(PairState::parse("00"), Input::Ri), Trit::Zero);
+}
+
+/// Paper §3: the two BFEs of CFid ⟨↑,0⟩ are tested by TP1 = (01, w1i, r1j)
+/// and TP2 = (10, w1j, r1i).
+TEST(TestPatterns, CfidUp0MatchesPaperExample) {
+    const TpClass class_i = extract_tp_class({FaultKind::CfidUp0, Cell::I});
+    ASSERT_EQ(class_i.alternatives.size(), 1u);
+    EXPECT_EQ(class_i.alternatives[0].str(), "(01, w1i, r1j)");
+
+    const TpClass class_j = extract_tp_class({FaultKind::CfidUp0, Cell::J});
+    ASSERT_EQ(class_j.alternatives.size(), 1u);
+    EXPECT_EQ(class_j.alternatives[0].str(), "(10, w1j, r1i)");
+}
+
+/// Paper §4: ⟨↑,1⟩ is tested by TP3 = (00, w1i, r0j) / TP4 = (00, w1j, r0i).
+TEST(TestPatterns, CfidUp1MatchesPaperExample) {
+    EXPECT_EQ(extract_tp_class({FaultKind::CfidUp1, Cell::I}).alternatives[0].str(),
+              "(00, w1i, r0j)");
+    EXPECT_EQ(extract_tp_class({FaultKind::CfidUp1, Cell::J}).alternatives[0].str(),
+              "(00, w1j, r0i)");
+}
+
+/// Paper §5: an inversion CF splits into two BFEs, but either TP covers the
+/// fault — a two-alternative equivalence class.
+TEST(TestPatterns, CfinFormsEquivalenceClass) {
+    const TpClass cls = extract_tp_class({FaultKind::CfinUp, Cell::I});
+    ASSERT_EQ(cls.alternatives.size(), 2u);
+    std::vector<std::string> tps = {cls.alternatives[0].str(),
+                                    cls.alternatives[1].str()};
+    std::sort(tps.begin(), tps.end());
+    EXPECT_EQ(tps[0], "(00, w1i, r0j)");
+    EXPECT_EQ(tps[1], "(01, w1i, r1j)");
+}
+
+/// Don't-care merging: TF⟨↑⟩'s two BFEs collapse into one pattern with the
+/// companion cell unconstrained.
+TEST(TestPatterns, TfMergesToDontCare) {
+    const TpClass cls = extract_tp_class({FaultKind::TfUp, Cell::I});
+    ASSERT_EQ(cls.alternatives.size(), 1u);
+    EXPECT_EQ(cls.alternatives[0].str(), "(0x, w1i, r1i)");
+}
+
+TEST(TestPatterns, SafHasExciteAndDirectObserveAlternatives) {
+    const TpClass cls = extract_tp_class({FaultKind::Saf0, Cell::I});
+    ASSERT_EQ(cls.alternatives.size(), 2u);
+    std::vector<std::string> tps = {cls.alternatives[0].str(),
+                                    cls.alternatives[1].str()};
+    std::sort(tps.begin(), tps.end());
+    EXPECT_EQ(tps[0], "(0x, w1i, r1i)");   // δ alternative
+    EXPECT_EQ(tps[1], "(1x, -, r1i)");     // λ alternative (verify-read only)
+}
+
+TEST(TestPatterns, DrfUsesWaitExcitation) {
+    const TpClass cls = extract_tp_class({FaultKind::Drf0, Cell::I});
+    ASSERT_EQ(cls.alternatives.size(), 1u);
+    EXPECT_EQ(cls.alternatives[0].str(), "(1x, T, r1i)");
+}
+
+TEST(TestPatterns, ObservationStateFollowsExcite) {
+    const TestPattern tp = extract_tp_class({FaultKind::CfidUp1, Cell::I})
+                               .alternatives.front();
+    EXPECT_EQ(tp.init.str(), "00");
+    EXPECT_EQ(tp.observation_state().str(), "10");
+    EXPECT_EQ(tp.init_cost(), 2);
+}
+
+TEST(TestPatterns, AfClassesHaveTwoPolarities) {
+    const TpClass cls = extract_tp_class({FaultKind::Af, Cell::I});
+    ASSERT_EQ(cls.alternatives.size(), 2u);
+    std::vector<std::string> tps = {cls.alternatives[0].str(),
+                                    cls.alternatives[1].str()};
+    std::sort(tps.begin(), tps.end());
+    EXPECT_EQ(tps[0], "(x0, w1i, r0j)");
+    EXPECT_EQ(tps[1], "(x1, w0i, r1j)");
+}
+
+TEST(FaultLists, Table3RowsAreWellFormed) {
+    const auto& rows = table3_fault_lists();
+    ASSERT_EQ(rows.size(), 6u);
+    EXPECT_EQ(rows[0].name, "SAF");
+    EXPECT_EQ(rows[0].known_equivalent, "MATS");
+    EXPECT_EQ(rows[4].paper_complexity, 10);
+    for (const auto& row : rows) EXPECT_FALSE(row.kinds.empty());
+}
+
+}  // namespace
+}  // namespace mtg::fault

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "fsm/memory_fsm.hpp"
+
+namespace mtg::fsm {
+namespace {
+
+TEST(AbstractOp, Printing) {
+    EXPECT_EQ(AbstractOp::write(Cell::I, 0).str(), "w0i");
+    EXPECT_EQ(AbstractOp::write(Cell::J, 1).str(), "w1j");
+    EXPECT_EQ(AbstractOp::read(Cell::I, 1).str(), "r1i");
+    EXPECT_EQ(AbstractOp::wait().str(), "T");
+}
+
+TEST(PairState, IndexRoundTrips) {
+    for (int idx = 0; idx < 4; ++idx)
+        EXPECT_EQ(PairState::from_index(idx).index(), idx);
+}
+
+TEST(PairState, ParseAndPrint) {
+    EXPECT_EQ(PairState::parse("01").str(), "01");
+    EXPECT_EQ(PairState::parse("x1").str(), "x1");
+    EXPECT_EQ(PairState::parse("1-").str(), "1x");
+}
+
+TEST(PairState, AfterAppliesWritesOnly) {
+    const PairState s = PairState::parse("0x");
+    EXPECT_EQ(s.after(AbstractOp::write(Cell::J, 1)).str(), "01");
+    EXPECT_EQ(s.after(AbstractOp::read(Cell::I, 0)).str(), "0x");
+    EXPECT_EQ(s.after(AbstractOp::wait()).str(), "0x");
+}
+
+TEST(PairState, SatisfiesHonoursDontCares) {
+    EXPECT_TRUE(PairState::parse("01").satisfies(PairState::parse("0x")));
+    EXPECT_TRUE(PairState::parse("01").satisfies(PairState::parse("xx")));
+    EXPECT_FALSE(PairState::parse("01").satisfies(PairState::parse("11")));
+    EXPECT_FALSE(PairState::parse("x1").satisfies(PairState::parse("01")));
+}
+
+/// f.4.1: weight = hamming distance between fully known states.
+TEST(WriteDistance, MatchesHammingOnKnownStates) {
+    EXPECT_EQ(write_distance(PairState::parse("00"), PairState::parse("00")), 0);
+    EXPECT_EQ(write_distance(PairState::parse("00"), PairState::parse("01")), 1);
+    EXPECT_EQ(write_distance(PairState::parse("01"), PairState::parse("10")), 2);
+    EXPECT_EQ(write_distance(PairState::parse("11"), PairState::parse("00")), 2);
+}
+
+TEST(WriteDistance, GeneralisedForDontCares) {
+    // Unconstrained target cells are free.
+    EXPECT_EQ(write_distance(PairState::parse("00"), PairState::parse("xx")), 0);
+    EXPECT_EQ(write_distance(PairState::parse("00"), PairState::parse("1x")), 1);
+    // Unknown source cells must be written when the target is constrained.
+    EXPECT_EQ(write_distance(PairState::parse("xx"), PairState::parse("00")), 2);
+    EXPECT_EQ(write_distance(PairState::parse("0x"), PairState::parse("01")), 1);
+}
+
+/// Figure 1: the fault-free machine M0.
+TEST(MemoryFsm, GoodMachineTransitionTable) {
+    const MemoryFsm m0 = MemoryFsm::good();
+    // Writes move between states as in Figure 1.
+    EXPECT_EQ(m0.next(PairState::parse("00"), Input::W1i).str(), "10");
+    EXPECT_EQ(m0.next(PairState::parse("00"), Input::W1j).str(), "01");
+    EXPECT_EQ(m0.next(PairState::parse("01"), Input::W1i).str(), "11");
+    EXPECT_EQ(m0.next(PairState::parse("10"), Input::W1j).str(), "11");
+    EXPECT_EQ(m0.next(PairState::parse("11"), Input::W0i).str(), "01");
+    EXPECT_EQ(m0.next(PairState::parse("11"), Input::W0j).str(), "10");
+    // Idempotent writes and waits are self-loops.
+    for (const auto& s : all_known_states()) {
+        EXPECT_EQ(m0.next(s, Input::T), s);
+        EXPECT_EQ(m0.next(s, Input::Ri), s);
+        EXPECT_EQ(m0.next(s, Input::Rj), s);
+    }
+}
+
+TEST(MemoryFsm, GoodMachineOutputTable) {
+    const MemoryFsm m0 = MemoryFsm::good();
+    EXPECT_EQ(m0.output(PairState::parse("10"), Input::Ri), Trit::One);
+    EXPECT_EQ(m0.output(PairState::parse("10"), Input::Rj), Trit::Zero);
+    EXPECT_EQ(m0.output(PairState::parse("01"), Input::Ri), Trit::Zero);
+    EXPECT_EQ(m0.output(PairState::parse("01"), Input::Rj), Trit::One);
+    // Writes and waits output '-' (X).
+    EXPECT_EQ(m0.output(PairState::parse("00"), Input::W1i), Trit::X);
+    EXPECT_EQ(m0.output(PairState::parse("11"), Input::T), Trit::X);
+}
+
+TEST(MemoryFsm, RunCollectsOutputs) {
+    const MemoryFsm m0 = MemoryFsm::good();
+    std::vector<Trit> outputs;
+    const PairState end = m0.run(PairState::parse("00"),
+                                 {Input::W1i, Input::Ri, Input::Rj}, &outputs);
+    EXPECT_EQ(end.str(), "10");
+    ASSERT_EQ(outputs.size(), 3u);
+    EXPECT_EQ(outputs[0], Trit::X);
+    EXPECT_EQ(outputs[1], Trit::One);
+    EXPECT_EQ(outputs[2], Trit::Zero);
+}
+
+TEST(MemoryFsm, GoodMachineHasNoSelfDiff) {
+    const MemoryFsm m0 = MemoryFsm::good();
+    EXPECT_TRUE(m0.diff(m0).empty());
+    EXPECT_EQ(m0.perturbation_count(m0), 0);
+}
+
+TEST(MemoryFsm, PerturbationShowsUpInDiff) {
+    const MemoryFsm m0 = MemoryFsm::good();
+    MemoryFsm faulty = m0;
+    faulty.set_next(PairState::parse("01"), Input::W1i, PairState::parse("10"));
+    const auto bfes = faulty.diff(m0);
+    ASSERT_EQ(bfes.size(), 1u);
+    EXPECT_TRUE(bfes[0].is_delta_fault());
+    EXPECT_FALSE(bfes[0].is_lambda_fault());
+    EXPECT_EQ(bfes[0].state.str(), "01");
+    EXPECT_EQ(bfes[0].input, Input::W1i);
+    EXPECT_EQ(bfes[0].good_next.str(), "11");
+    EXPECT_EQ(bfes[0].faulty_next.str(), "10");
+}
+
+TEST(MemoryFsm, InputHelpers) {
+    EXPECT_EQ(write_input(Cell::I, 1), Input::W1i);
+    EXPECT_EQ(write_input(Cell::J, 0), Input::W0j);
+    EXPECT_EQ(read_input(Cell::J), Input::Rj);
+    EXPECT_EQ(input_cell(Input::W0j), Cell::J);
+    EXPECT_EQ(input_value(Input::W1i), 1);
+    EXPECT_TRUE(is_read(Input::Ri));
+    EXPECT_TRUE(is_write(Input::W0i));
+    EXPECT_FALSE(is_write(Input::T));
+}
+
+TEST(MemoryFsm, TableDumpMentionsEveryState) {
+    const std::string table = MemoryFsm::good().table_str();
+    for (const char* state : {"00", "01", "10", "11"})
+        EXPECT_NE(table.find(state), std::string::npos) << state;
+}
+
+}  // namespace
+}  // namespace mtg::fsm

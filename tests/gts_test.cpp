@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/gts.hpp"
+#include "core/test_pattern_graph.hpp"
+#include "sim/two_cell_sim.hpp"
+
+namespace mtg::core {
+namespace {
+
+using fault::FaultInstance;
+using fault::FaultKind;
+using fault::TestPattern;
+using fsm::AbstractOp;
+using fsm::Cell;
+using fsm::PairState;
+
+std::vector<TestPattern> paper_chain() {
+    // The §4 example tour: TP3, TP2, TP4, TP1.
+    TestPattern tp3{PairState::parse("00"), AbstractOp::write(Cell::I, 1),
+                    AbstractOp::read(Cell::J, 0)};
+    TestPattern tp2{PairState::parse("10"), AbstractOp::write(Cell::J, 1),
+                    AbstractOp::read(Cell::I, 1)};
+    TestPattern tp4{PairState::parse("00"), AbstractOp::write(Cell::J, 1),
+                    AbstractOp::read(Cell::I, 0)};
+    TestPattern tp1{PairState::parse("01"), AbstractOp::write(Cell::I, 1),
+                    AbstractOp::read(Cell::J, 1)};
+    return {tp3, tp2, tp4, tp1};
+}
+
+/// §4: concatenating the tour TP3,TP2,TP4,TP1 yields exactly
+///   GTS = w0i,w0j, w1i,r0j, w1j,r1i, w0i,w0j, w1j,r0i, w1i,r1j
+TEST(Gts, PaperWorkedExampleConcatenation) {
+    const Gts gts = concatenate_tps(paper_chain());
+    const std::vector<std::string> expected = {
+        "w0i", "w0j", "w1i", "r0j", "w1j", "r1i",
+        "w0i", "w0j", "w1j", "r0i", "w1i", "r1j"};
+    ASSERT_EQ(gts.symbols.size(), expected.size());
+    for (std::size_t k = 0; k < expected.size(); ++k)
+        EXPECT_EQ(gts.symbols[k].op.str(), expected[k]) << "symbol " << k;
+    EXPECT_EQ(gts.op_count(), 12);
+}
+
+TEST(Gts, RolesTrackTpStructure) {
+    const Gts gts = concatenate_tps(paper_chain());
+    EXPECT_EQ(gts.symbols[0].role, SymbolRole::InitWrite);
+    EXPECT_EQ(gts.symbols[1].role, SymbolRole::InitWrite);
+    EXPECT_EQ(gts.symbols[2].role, SymbolRole::Excite);
+    EXPECT_EQ(gts.symbols[3].role, SymbolRole::Observe);
+    // TP2 chains with zero writes (the 0-weight edge of Figure 4).
+    EXPECT_EQ(gts.symbols[4].role, SymbolRole::Excite);
+    EXPECT_EQ(gts.symbols[4].tp_index, 1);
+}
+
+TEST(Gts, ZeroWeightEdgesEmitNoInitWrites) {
+    const Gts gts = concatenate_tps(paper_chain());
+    int init_writes = 0;
+    for (const auto& s : gts.symbols)
+        if (s.role == SymbolRole::InitWrite) ++init_writes;
+    EXPECT_EQ(init_writes, 4);  // 2 cold start + 2 for the TP2->TP4 hop
+}
+
+TEST(Gts, SequenceIsWellFormedAndDetectsChain) {
+    const Gts gts = concatenate_tps(paper_chain());
+    EXPECT_TRUE(sim::gts_well_formed(gts.ops()));
+    for (FaultKind kind : {FaultKind::CfidUp0, FaultKind::CfidUp1})
+        for (Cell role : {Cell::I, Cell::J})
+            EXPECT_TRUE(sim::gts_detects(gts.ops(), FaultInstance{kind, role}))
+                << fault_kind_name(kind);
+}
+
+TEST(Gts, LambdaTpEmitsNoExcite) {
+    TestPattern lambda_tp{PairState::parse("1x"), std::nullopt,
+                          AbstractOp::read(Cell::I, 1)};
+    const Gts gts = concatenate_tps({lambda_tp});
+    ASSERT_EQ(gts.symbols.size(), 2u);
+    EXPECT_EQ(gts.symbols[0].op.str(), "w1i");
+    EXPECT_EQ(gts.symbols[1].op.str(), "r1i");
+}
+
+TEST(Gts, WaitExciteEmitsT) {
+    TestPattern drf_tp{PairState::parse("1x"), AbstractOp::wait(),
+                       AbstractOp::read(Cell::I, 1)};
+    const Gts gts = concatenate_tps({drf_tp});
+    ASSERT_EQ(gts.symbols.size(), 3u);
+    EXPECT_EQ(gts.symbols[1].op.str(), "T");
+    EXPECT_EQ(gts.op_count(), 2);  // T not a memory operation
+}
+
+TEST(Gts, PrintingShowsAnnotations) {
+    Gts gts = concatenate_tps(paper_chain());
+    gts.symbols[3].colour = Colour::Blue;
+    gts.symbols[2].terminal = true;
+    const std::string text = gts.str();
+    EXPECT_NE(text.find("[r0j]B"), std::string::npos);
+    EXPECT_NE(text.find("^w1i"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtg::core

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "march/march_test.hpp"
+#include "march/parser.hpp"
+
+namespace mtg::march {
+namespace {
+
+TEST(MarchOp, Printing) {
+    EXPECT_EQ(MarchOp::r(0).str(), "r0");
+    EXPECT_EQ(MarchOp::r(1).str(), "r1");
+    EXPECT_EQ(MarchOp::w(0).str(), "w0");
+    EXPECT_EQ(MarchOp::w(1).str(), "w1");
+    EXPECT_EQ(MarchOp::del().str(), "del");
+}
+
+TEST(MarchElement, OpCountExcludesWait) {
+    MarchElement e(AddressOrder::Any,
+                   {MarchOp::w(0), MarchOp::del(), MarchOp::r(0)});
+    EXPECT_EQ(e.op_count(), 2);
+}
+
+TEST(MarchElement, EmptyElementRejected) {
+    EXPECT_THROW(MarchElement(AddressOrder::Any, std::vector<MarchOp>{}),
+                 ContractViolation);
+}
+
+TEST(MarchTest, ComplexityIsTotalOpsPerCell) {
+    MarchTest mats{{AddressOrder::Any, {MarchOp::w(0)}},
+                   {AddressOrder::Any, {MarchOp::r(0), MarchOp::w(1)}},
+                   {AddressOrder::Any, {MarchOp::r(1)}}};
+    EXPECT_EQ(mats.complexity(), 4);
+    EXPECT_EQ(mats.read_count(), 2);
+    EXPECT_FALSE(mats.has_wait());
+}
+
+TEST(MarchTest, PrintAscii) {
+    MarchTest test{{AddressOrder::Any, {MarchOp::w(0)}},
+                   {AddressOrder::Ascending, {MarchOp::r(0), MarchOp::w(1)}},
+                   {AddressOrder::Descending, {MarchOp::r(1), MarchOp::w(0)}}};
+    EXPECT_EQ(test.str(), "{~(w0); ^(r0,w1); v(r1,w0)}");
+}
+
+TEST(MarchTest, PrintUnicodeArrows) {
+    MarchTest test{{AddressOrder::Ascending, {MarchOp::r(0)}}};
+    EXPECT_EQ(test.str(Notation::Unicode), "{⇑(r0)}");
+}
+
+TEST(Opposite, FlipsConcreteOrders) {
+    EXPECT_EQ(opposite(AddressOrder::Ascending), AddressOrder::Descending);
+    EXPECT_EQ(opposite(AddressOrder::Descending), AddressOrder::Ascending);
+    EXPECT_THROW(opposite(AddressOrder::Any), ContractViolation);
+}
+
+TEST(Parser, ParsesMatsPlus) {
+    const MarchTest test = parse_march("{~(w0); ^(r0,w1); v(r1,w0)}");
+    ASSERT_EQ(test.size(), 3u);
+    EXPECT_EQ(test[0].order, AddressOrder::Any);
+    EXPECT_EQ(test[1].order, AddressOrder::Ascending);
+    EXPECT_EQ(test[2].order, AddressOrder::Descending);
+    EXPECT_EQ(test.complexity(), 5);
+}
+
+TEST(Parser, AcceptsUnicodeArrows) {
+    const MarchTest test = parse_march("{⇕(w0); ⇑(r0,w1); ⇓(r1)}");
+    EXPECT_EQ(test.complexity(), 4);
+    EXPECT_EQ(test[1].order, AddressOrder::Ascending);
+}
+
+TEST(Parser, AcceptsBracelessAndWhitespace) {
+    const MarchTest test = parse_march("  ~( w0 ) ; ^(r0, w1) ");
+    EXPECT_EQ(test.size(), 2u);
+}
+
+TEST(Parser, ParsesDelays) {
+    const MarchTest test = parse_march("{~(w0); ~(del); ~(r0)}");
+    EXPECT_TRUE(test.has_wait());
+    EXPECT_EQ(test.complexity(), 2);  // del not counted
+}
+
+TEST(Parser, RoundTripsThroughPrint) {
+    const char* sources[] = {
+        "{~(w0); ^(r0,w1); v(r1,w0,r0)}",
+        "{v(w0); ^(r0,w1,r1,w0); ^(r0,r0); ^(w1); v(r1,w0,r0,w1); v(r1,r1)}",
+        "{~(w0); ~(del); ~(r0)}",
+    };
+    for (const char* source : sources) {
+        const MarchTest parsed = parse_march(source);
+        EXPECT_EQ(parse_march(parsed.str()), parsed) << source;
+    }
+}
+
+TEST(Parser, RejectsMalformedInput) {
+    EXPECT_THROW((void)parse_march(""), ParseError);
+    EXPECT_THROW((void)parse_march("{}"), ParseError);
+    EXPECT_THROW((void)parse_march("{~()}"), ParseError);
+    EXPECT_THROW((void)parse_march("{x(r0)}"), ParseError);
+    EXPECT_THROW((void)parse_march("{~(r2)}"), ParseError);
+    EXPECT_THROW((void)parse_march("{~(q0)}"), ParseError);
+    EXPECT_THROW((void)parse_march("{~(r0) extra"), ParseError);
+    EXPECT_FALSE(is_valid_march_syntax("{~(r0,)}"));
+    EXPECT_TRUE(is_valid_march_syntax("{~(r0)}"));
+}
+
+TEST(Parser, ReportsErrorPosition) {
+    try {
+        (void)parse_march("{~(r2)}");
+        FAIL();
+    } catch (const ParseError& e) {
+        EXPECT_GT(e.position(), 0u);
+    }
+}
+
+}  // namespace
+}  // namespace mtg::march

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "march/library.hpp"
+#include "march/parser.hpp"
+
+namespace mtg::march {
+namespace {
+
+/// Complexities as tabulated in van de Goor's survey — the baseline data
+/// the paper's Table 3 compares against.
+TEST(Library, DocumentedComplexities) {
+    EXPECT_EQ(scan().complexity(), 4);
+    EXPECT_EQ(mats().complexity(), 4);
+    EXPECT_EQ(mats_plus().complexity(), 5);
+    EXPECT_EQ(mats_plus_plus().complexity(), 6);
+    EXPECT_EQ(march_x().complexity(), 6);
+    EXPECT_EQ(march_y().complexity(), 8);
+    EXPECT_EQ(march_c_minus().complexity(), 10);
+    EXPECT_EQ(march_c().complexity(), 11);
+    EXPECT_EQ(march_a().complexity(), 15);
+    EXPECT_EQ(march_b().complexity(), 17);
+    EXPECT_EQ(march_u().complexity(), 13);
+    EXPECT_EQ(march_lr().complexity(), 14);
+    EXPECT_EQ(march_sr().complexity(), 14);
+    EXPECT_EQ(march_ss().complexity(), 22);
+    EXPECT_EQ(pmovi().complexity(), 13);
+}
+
+TEST(Library, RegistryIsConsistent) {
+    const auto& tests = known_march_tests();
+    ASSERT_GE(tests.size(), 15u);
+    for (const auto& named : tests) {
+        EXPECT_FALSE(named.name.empty());
+        EXPECT_FALSE(named.test.empty()) << named.name;
+        EXPECT_FALSE(named.coverage.empty()) << named.name;
+        // Every library test round-trips through the parser.
+        EXPECT_EQ(parse_march(named.test.str()), named.test) << named.name;
+    }
+}
+
+TEST(Library, FindByName) {
+    EXPECT_EQ(find_march_test("MATS+").test, mats_plus());
+    EXPECT_EQ(find_march_test("March C-").test, march_c_minus());
+    EXPECT_THROW((void)find_march_test("March ZZZ"), std::invalid_argument);
+}
+
+TEST(Library, MarchCMinusStructure) {
+    const MarchTest test = march_c_minus();
+    ASSERT_EQ(test.size(), 6u);
+    EXPECT_EQ(test[0].order, AddressOrder::Any);
+    EXPECT_EQ(test[1].order, AddressOrder::Ascending);
+    EXPECT_EQ(test[2].order, AddressOrder::Ascending);
+    EXPECT_EQ(test[3].order, AddressOrder::Descending);
+    EXPECT_EQ(test[4].order, AddressOrder::Descending);
+    EXPECT_EQ(test[5].order, AddressOrder::Any);
+}
+
+TEST(Library, RetentionVariantHasDelays) {
+    EXPECT_TRUE(mats_plus_retention().has_wait());
+    EXPECT_EQ(mats_plus_retention().complexity(), 6);
+}
+
+}  // namespace
+}  // namespace mtg::march

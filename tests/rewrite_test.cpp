@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/gts.hpp"
+#include "core/rewrite.hpp"
+#include "core/test_pattern_graph.hpp"
+#include "sim/two_cell_sim.hpp"
+
+namespace mtg::core {
+namespace {
+
+using fault::FaultInstance;
+using fault::FaultKind;
+using fault::TestPattern;
+using fsm::AbstractOp;
+using fsm::Cell;
+using fsm::PairState;
+
+/// Validator requiring well-formedness plus detection of the given
+/// instances — the gate the generator uses.
+GtsValidator gate_for(std::vector<FaultInstance> instances) {
+    return [instances = std::move(instances)](const Gts& gts) {
+        const auto ops = gts.ops();
+        if (!sim::gts_well_formed(ops)) return false;
+        for (const auto& inst : instances)
+            if (!sim::gts_detects(ops, inst)) return false;
+        return true;
+    };
+}
+
+Gts cfid_example_gts() {
+    TestPattern tp3{PairState::parse("00"), AbstractOp::write(Cell::I, 1),
+                    AbstractOp::read(Cell::J, 0)};
+    TestPattern tp2{PairState::parse("10"), AbstractOp::write(Cell::J, 1),
+                    AbstractOp::read(Cell::I, 1)};
+    TestPattern tp4{PairState::parse("00"), AbstractOp::write(Cell::J, 1),
+                    AbstractOp::read(Cell::I, 0)};
+    TestPattern tp1{PairState::parse("01"), AbstractOp::write(Cell::I, 1),
+                    AbstractOp::read(Cell::J, 1)};
+    return concatenate_tps({tp3, tp2, tp4, tp1});
+}
+
+std::vector<FaultInstance> cfid_instances() {
+    return {{FaultKind::CfidUp1, Cell::I},
+            {FaultKind::CfidUp1, Cell::J},
+            {FaultKind::CfidUp0, Cell::I},
+            {FaultKind::CfidUp0, Cell::J}};
+}
+
+TEST(Reorder, SortsInitRunsCellIFirst) {
+    // Build a chain whose second TP needs j then i writes in one run.
+    TestPattern a{PairState::parse("11"), AbstractOp::write(Cell::I, 0),
+                  AbstractOp::read(Cell::I, 0)};
+    TestPattern b{PairState::parse("10"), std::nullopt,
+                  AbstractOp::read(Cell::I, 1)};
+    Gts gts = concatenate_tps({a, b});
+    // After TP a: state 01 — TP b needs i=1 and j=0: two init writes.
+    Gts reordered = reorder(gts);
+    std::vector<std::string> ops;
+    for (const auto& s : reordered.symbols) ops.push_back(s.op.str());
+    // The init run for b must come out i-first.
+    bool found = false;
+    for (std::size_t k = 0; k + 1 < ops.size(); ++k) {
+        if (ops[k] == "w1i" && ops[k + 1] == "w0j") found = true;
+    }
+    EXPECT_TRUE(found) << reordered.str();
+}
+
+TEST(Reorder, ColoursCrossCellPairs) {
+    const Gts reordered = reorder(cfid_example_gts());
+    int reds = 0, blues = 0;
+    for (const auto& s : reordered.symbols) {
+        if (s.colour == Colour::Red) {
+            ++reds;
+            EXPECT_EQ(s.role, SymbolRole::Excite);
+        }
+        if (s.colour == Colour::Blue) {
+            ++blues;
+            EXPECT_EQ(s.role, SymbolRole::Observe);
+        }
+    }
+    EXPECT_EQ(reds, 4);   // all four TPs are cross-cell
+    EXPECT_EQ(blues, 4);
+}
+
+TEST(Reorder, LeavesSingleCellPairsUncoloured) {
+    TestPattern tf{PairState::parse("0x"), AbstractOp::write(Cell::I, 1),
+                   AbstractOp::read(Cell::I, 1)};
+    const Gts reordered = reorder(concatenate_tps({tf}));
+    for (const auto& s : reordered.symbols)
+        EXPECT_EQ(s.colour, Colour::None);
+}
+
+TEST(Reorder, MarksAllSymbolsTerminal) {
+    const Gts reordered = reorder(cfid_example_gts());
+    for (const auto& s : reordered.symbols) EXPECT_TRUE(s.terminal);
+}
+
+TEST(Reorder, PreservesDetection) {
+    const Gts reordered = reorder(cfid_example_gts());
+    EXPECT_TRUE(gate_for(cfid_instances())(reordered));
+}
+
+TEST(Minimise, RemovesNothingFromTightSequence) {
+    // The paper example GTS is already write-minimal at GTS level: each
+    // init write is needed by some TP.
+    const Gts gts = reorder(cfid_example_gts());
+    const auto gate = gate_for(cfid_instances());
+    const Gts minimised = minimise(gts, gate);
+    EXPECT_EQ(minimised.op_count(), gts.op_count());
+    EXPECT_TRUE(is_minimal(minimised, gate));
+}
+
+TEST(Minimise, DropsGenuinelyRedundantInitWrites) {
+    // Chain two identical TF<^> patterns: the second TP's re-init w0i is
+    // redundant (one excitation already detects the instance).
+    TestPattern tf{PairState::parse("0x"), AbstractOp::write(Cell::I, 1),
+                   AbstractOp::read(Cell::I, 1)};
+    Gts gts = reorder(concatenate_tps({tf, tf}));
+    ASSERT_EQ(gts.op_count(), 6);  // w0i w1i r1i w0i w1i r1i
+    const auto gate = gate_for({{FaultKind::TfUp, Cell::I}});
+    const Gts minimised = minimise(gts, gate);
+    EXPECT_LT(minimised.op_count(), 6);
+    EXPECT_TRUE(gate(minimised));
+    EXPECT_TRUE(is_minimal(minimised, gate));
+}
+
+TEST(Minimise, NeverTouchesExcitesOrObserves) {
+    Gts gts = reorder(cfid_example_gts());
+    const Gts minimised = minimise(gts, gate_for(cfid_instances()));
+    int excites = 0, observes = 0;
+    for (const auto& s : minimised.symbols) {
+        excites += s.role == SymbolRole::Excite;
+        observes += s.role == SymbolRole::Observe;
+    }
+    EXPECT_EQ(excites, 4);
+    EXPECT_EQ(observes, 4);
+}
+
+TEST(Minimise, RejectsInvalidInput) {
+    Gts empty;
+    const auto gate = [](const Gts&) { return false; };
+    EXPECT_THROW((void)minimise(empty, gate), ContractViolation);
+}
+
+}  // namespace
+}  // namespace mtg::core

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "fault/kinds.hpp"
+#include "march/library.hpp"
+#include "setcover/coverage_matrix.hpp"
+#include "setcover/set_cover.hpp"
+#include "util/rng.hpp"
+
+namespace mtg::setcover {
+namespace {
+
+TEST(SetCover, TrivialCases) {
+    EXPECT_EQ(minimum_cover({}).value().size(), 0u);
+    // Single row covering a single column.
+    EXPECT_EQ(minimum_cover({{true}}).value(), std::vector<int>{0});
+}
+
+TEST(SetCover, InfeasibleWhenColumnUncovered) {
+    const BoolMatrix m = {{true, false}, {true, false}};
+    EXPECT_FALSE(minimum_cover(m).has_value());
+    EXPECT_FALSE(greedy_cover(m).has_value());
+}
+
+TEST(SetCover, PrefersSingleCoveringRow) {
+    const BoolMatrix m = {
+        {true, false, false},
+        {false, true, true},
+        {true, true, true},
+    };
+    EXPECT_EQ(minimum_cover(m).value(), std::vector<int>{2});
+}
+
+TEST(SetCover, ExactBeatsGreedyOnClassicTrap) {
+    // Greedy picks the big middle row first and needs 3 rows; optimum is 2.
+    const BoolMatrix m = {
+        {true, true, true, false, false, false},
+        {false, false, false, true, true, true},
+        {false, true, true, true, true, false},
+    };
+    const auto exact = minimum_cover(m).value();
+    const auto greedy = greedy_cover(m).value();
+    EXPECT_EQ(exact.size(), 2u);
+    EXPECT_GE(greedy.size(), exact.size());
+}
+
+TEST(SetCover, ExactMatchesBruteForceOnRandomInstances) {
+    SplitMix64 rng(2002);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int rows = rng.range(2, 7);
+        const int cols = rng.range(1, 9);
+        BoolMatrix m(static_cast<std::size_t>(rows),
+                     std::vector<bool>(static_cast<std::size_t>(cols)));
+        for (auto& row : m)
+            for (std::size_t c = 0; c < row.size(); ++c) row[c] = rng.coin();
+
+        // Brute force over all row subsets.
+        int best = -1;
+        for (int mask = 0; mask < (1 << rows); ++mask) {
+            bool covers_all = true;
+            for (int c = 0; c < cols && covers_all; ++c) {
+                bool covered = false;
+                for (int r = 0; r < rows; ++r)
+                    if ((mask >> r & 1) &&
+                        m[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]) {
+                        covered = true;
+                        break;
+                    }
+                covers_all = covered;
+            }
+            if (covers_all &&
+                (best < 0 || __builtin_popcount(static_cast<unsigned>(mask)) < best))
+                best = __builtin_popcount(static_cast<unsigned>(mask));
+        }
+
+        const auto exact = minimum_cover(m);
+        if (best < 0) {
+            EXPECT_FALSE(exact.has_value()) << "trial " << trial;
+        } else {
+            ASSERT_TRUE(exact.has_value()) << "trial " << trial;
+            EXPECT_EQ(static_cast<int>(exact->size()), best) << "trial " << trial;
+        }
+    }
+}
+
+TEST(SetCover, RemovableRowsDetected) {
+    const BoolMatrix m = {
+        {true, false},
+        {false, true},
+        {true, true},  // removable: rows 0+1 suffice... and 2 overlaps both
+    };
+    const auto removable = individually_removable_rows(m);
+    // Each row is individually removable here (the other two still cover).
+    EXPECT_EQ(removable.size(), 3u);
+
+    const BoolMatrix tight = {{true, false}, {false, true}};
+    EXPECT_TRUE(individually_removable_rows(tight).empty());
+}
+
+/// §6 on a real case: March C- against its full fault list is complete and
+/// non-redundant — every elementary block is needed.
+TEST(CoverageMatrix, MarchCMinusIsNonRedundant) {
+    const auto kinds = fault::parse_fault_kinds("SAF,TF,ADF,CFin,CFid");
+    const auto matrix =
+        build_coverage_matrix(march::march_c_minus(), kinds);
+    EXPECT_EQ(matrix.blocks.size(), 5u);  // five reads in March C-
+    const auto report = analyse_redundancy(matrix);
+    EXPECT_TRUE(report.complete);
+    EXPECT_TRUE(report.non_redundant);
+    EXPECT_EQ(report.min_cover_size, report.block_count);
+    EXPECT_TRUE(report.removable_blocks.empty());
+}
+
+/// March C (the original) carries a deliberately redundant ~(r0) element:
+/// the set-covering analysis must flag it.
+TEST(CoverageMatrix, MarchCIsRedundant) {
+    const auto kinds = fault::parse_fault_kinds("SAF,TF,ADF,CFin,CFid");
+    const auto report =
+        analyse_redundancy(march::march_c(), kinds);
+    EXPECT_TRUE(report.complete);
+    EXPECT_FALSE(report.non_redundant);
+    EXPECT_LT(report.min_cover_size, report.block_count);
+}
+
+/// An under-powered test yields an incomplete matrix.
+TEST(CoverageMatrix, IncompleteWhenTestTooWeak) {
+    const auto kinds = fault::parse_fault_kinds("CFid");
+    const auto report = analyse_redundancy(march::mats(), kinds);
+    EXPECT_FALSE(report.complete);
+}
+
+TEST(CoverageMatrix, LabelsAreInformative) {
+    const auto matrix = build_coverage_matrix(
+        march::mats(), fault::parse_fault_kinds("SAF"));
+    ASSERT_EQ(matrix.blocks.size(), 2u);
+    EXPECT_EQ(matrix.block_names[0], "E1.op0(r0)");
+    EXPECT_EQ(matrix.fault_names[0], "SAF0@i");
+    EXPECT_NE(matrix.str().find("E1.op0(r0)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtg::setcover

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory.hpp"
+
+namespace mtg::sim {
+namespace {
+
+using fault::FaultKind;
+
+TEST(SimMemory, StartsUninitialised) {
+    SimMemory memory(4);
+    for (int c = 0; c < 4; ++c) EXPECT_EQ(memory.peek(c), Trit::X);
+}
+
+TEST(SimMemory, FaultFreeReadsBackWrites) {
+    SimMemory memory(4);
+    memory.write(0, 1);
+    memory.write(3, 0);
+    EXPECT_EQ(memory.read(0), Trit::One);
+    EXPECT_EQ(memory.read(3), Trit::Zero);
+    EXPECT_EQ(memory.read(1), Trit::X);  // never written
+}
+
+TEST(SimMemory, AddressBoundsEnforced) {
+    SimMemory memory(2);
+    EXPECT_THROW(memory.write(2, 0), ContractViolation);
+    EXPECT_THROW((void)memory.read(-1), ContractViolation);
+}
+
+TEST(SimMemory, StuckAt0IgnoresWritesOf1) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::single(FaultKind::Saf0, 1));
+    memory.write(1, 1);
+    EXPECT_EQ(memory.read(1), Trit::Zero);
+    memory.write(1, 0);
+    EXPECT_EQ(memory.read(1), Trit::Zero);
+}
+
+TEST(SimMemory, StuckAt1IgnoresWritesOf0) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::single(FaultKind::Saf1, 2));
+    memory.write(2, 0);
+    EXPECT_EQ(memory.read(2), Trit::One);
+}
+
+TEST(SimMemory, TransitionFaultBlocksOnlyOneDirection) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::single(FaultKind::TfUp, 0));
+    memory.write(0, 0);
+    memory.write(0, 1);  // 0 -> 1 fails
+    EXPECT_EQ(memory.read(0), Trit::Zero);
+
+    SimMemory memory2(4);
+    memory2.inject(InjectedFault::single(FaultKind::TfDown, 0));
+    memory2.write(0, 1);
+    memory2.write(0, 0);  // 1 -> 0 fails
+    EXPECT_EQ(memory2.read(0), Trit::One);
+    memory2.write(0, 1);  // up transitions fine (already 1: idempotent)
+    EXPECT_EQ(memory2.read(0), Trit::One);
+}
+
+TEST(SimMemory, WriteDisturbFlipsOnNonTransitionWrite) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::single(FaultKind::Wdf0, 0));
+    memory.write(0, 0);  // establishes 0 (from X: no disturb, old unknown...)
+    memory.poke(0, Trit::Zero);
+    memory.write(0, 0);  // w0 on 0 flips
+    EXPECT_EQ(memory.read(0), Trit::One);
+}
+
+TEST(SimMemory, ReadDisturbFlipsAndReturnsWrongValue) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::single(FaultKind::Rdf0, 0));
+    memory.write(0, 0);
+    EXPECT_EQ(memory.read(0), Trit::One);   // wrong value returned
+    EXPECT_EQ(memory.peek(0), Trit::One);   // and the cell flipped
+}
+
+TEST(SimMemory, DeceptiveReadDisturbReturnsCorrectThenCorrupts) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::single(FaultKind::Drdf1, 0));
+    memory.write(0, 1);
+    EXPECT_EQ(memory.read(0), Trit::One);   // first read looks fine
+    EXPECT_EQ(memory.peek(0), Trit::Zero);  // but the cell flipped
+    EXPECT_EQ(memory.read(0), Trit::Zero);  // second read reveals it
+}
+
+TEST(SimMemory, IncorrectReadFaultLiesWithoutFlipping) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::single(FaultKind::Irf0, 0));
+    memory.write(0, 0);
+    EXPECT_EQ(memory.read(0), Trit::One);
+    EXPECT_EQ(memory.peek(0), Trit::Zero);
+}
+
+TEST(SimMemory, RetentionFaultDecaysOnWait) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::single(FaultKind::Drf0, 0));
+    memory.write(0, 1);
+    EXPECT_EQ(memory.read(0), Trit::One);  // holds before the delay
+    memory.wait();
+    EXPECT_EQ(memory.read(0), Trit::Zero);
+}
+
+TEST(SimMemory, InversionCouplingOnRisingAggressor) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::coupling(FaultKind::CfinUp, 1, 3));
+    memory.write(3, 1);
+    memory.write(1, 0);
+    memory.write(1, 1);  // rising aggressor -> victim inverts
+    EXPECT_EQ(memory.read(3), Trit::Zero);
+    memory.write(1, 1);  // idempotent write: no transition, no inversion
+    EXPECT_EQ(memory.read(3), Trit::Zero);
+}
+
+TEST(SimMemory, IdempotentCouplingForcesValue) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::coupling(FaultKind::CfidDown1, 0, 2));
+    memory.write(2, 0);
+    memory.write(0, 1);
+    memory.write(0, 0);  // falling aggressor -> victim forced to 1
+    EXPECT_EQ(memory.read(2), Trit::One);
+    // Forcing to the value it already has changes nothing.
+    memory.write(0, 1);
+    memory.write(0, 0);
+    EXPECT_EQ(memory.read(2), Trit::One);
+}
+
+TEST(SimMemory, StateCouplingHoldsVictimWhileAggressorInState) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::coupling(FaultKind::CfstS1F0, 0, 1));
+    memory.write(0, 1);  // aggressor enters state 1
+    memory.write(1, 1);  // victim write is overridden to 0
+    EXPECT_EQ(memory.read(1), Trit::Zero);
+    memory.write(0, 0);  // aggressor leaves state 1
+    memory.write(1, 1);  // now the victim can hold 1
+    EXPECT_EQ(memory.read(1), Trit::One);
+}
+
+TEST(SimMemory, AddressFaultWritesThrough) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::coupling(FaultKind::Af, 0, 2));
+    memory.write(2, 1);
+    memory.write(0, 0);  // also lands on cell 2
+    EXPECT_EQ(memory.read(2), Trit::Zero);
+    EXPECT_EQ(memory.read(0), Trit::Zero);
+}
+
+TEST(SimMemory, FaultsAreLocalToTheirCells) {
+    SimMemory memory(4);
+    memory.inject(InjectedFault::single(FaultKind::Saf0, 1));
+    memory.inject(InjectedFault::coupling(FaultKind::CfinUp, 2, 3));
+    memory.write(0, 1);
+    EXPECT_EQ(memory.read(0), Trit::One);  // untouched by either fault
+}
+
+TEST(SimMemory, InjectedFaultFactoriesValidateArity) {
+    EXPECT_THROW((void)InjectedFault::single(FaultKind::CfinUp, 0),
+                 ContractViolation);
+    EXPECT_THROW((void)InjectedFault::coupling(FaultKind::Saf0, 0, 1),
+                 ContractViolation);
+    EXPECT_THROW((void)InjectedFault::coupling(FaultKind::CfinUp, 1, 1),
+                 ContractViolation);
+}
+
+}  // namespace
+}  // namespace mtg::sim

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "core/test_pattern_graph.hpp"
+#include "fault/test_pattern.hpp"
+
+namespace mtg::core {
+namespace {
+
+using fault::FaultKind;
+using fault::TestPattern;
+using fsm::AbstractOp;
+using fsm::Cell;
+using fsm::PairState;
+
+/// The paper's §4 running example: FaultList = {⟨↑,1⟩, ⟨↑,0⟩} giving
+///   TP1 = (01, w1i, r1j)   TP2 = (10, w1j, r1i)
+///   TP3 = (00, w1i, r0j)   TP4 = (00, w1j, r0i)
+std::vector<TestPattern> figure4_patterns() {
+    TestPattern tp1{PairState::parse("01"), AbstractOp::write(Cell::I, 1),
+                    AbstractOp::read(Cell::J, 1)};
+    TestPattern tp2{PairState::parse("10"), AbstractOp::write(Cell::J, 1),
+                    AbstractOp::read(Cell::I, 1)};
+    TestPattern tp3{PairState::parse("00"), AbstractOp::write(Cell::I, 1),
+                    AbstractOp::read(Cell::J, 0)};
+    TestPattern tp4{PairState::parse("00"), AbstractOp::write(Cell::J, 1),
+                    AbstractOp::read(Cell::I, 0)};
+    return {tp1, tp2, tp3, tp4};
+}
+
+/// The same patterns as extracted from the fault library (sanity: our
+/// front-end reproduces the paper's TP list for this fault list).
+TEST(Figure4, ExtractionMatchesPaperTps) {
+    const auto classes = fault::extract_tp_classes(
+        {FaultKind::CfidUp1, FaultKind::CfidUp0});
+    ASSERT_EQ(classes.size(), 4u);
+    for (const auto& cls : classes) EXPECT_EQ(cls.alternatives.size(), 1u);
+    EXPECT_EQ(classes[0].alternatives[0].str(), "(00, w1i, r0j)");  // TP3
+    EXPECT_EQ(classes[1].alternatives[0].str(), "(00, w1j, r0i)");  // TP4
+    EXPECT_EQ(classes[2].alternatives[0].str(), "(01, w1i, r1j)");  // TP1
+    EXPECT_EQ(classes[3].alternatives[0].str(), "(10, w1j, r1i)");  // TP2
+}
+
+/// Observation states: TP1: 01-w1i->11, TP2: 10-w1j->11, TP3: 00-w1i->10,
+/// TP4: 00-w1j->01.
+TEST(Figure4, ObservationStates) {
+    const auto tps = figure4_patterns();
+    EXPECT_EQ(tps[0].observation_state().str(), "11");
+    EXPECT_EQ(tps[1].observation_state().str(), "11");
+    EXPECT_EQ(tps[2].observation_state().str(), "10");
+    EXPECT_EQ(tps[3].observation_state().str(), "01");
+}
+
+/// Figure 4 edge weights (f.4.1): hamming distance from the source's
+/// observation state to the target's initialisation state.
+TEST(Figure4, EdgeWeights) {
+    const TestPatternGraph tpg(figure4_patterns());
+    // Indices: 0=TP1, 1=TP2, 2=TP3, 3=TP4.
+    // From TP1 (obs 11): to TP2 (init 10) = 1; TP3 (00) = 2; TP4 (00) = 2.
+    EXPECT_EQ(tpg.weight(0, 1), 1);
+    EXPECT_EQ(tpg.weight(0, 2), 2);
+    EXPECT_EQ(tpg.weight(0, 3), 2);
+    // From TP2 (obs 11): to TP1 (init 01) = 1.
+    EXPECT_EQ(tpg.weight(1, 0), 1);
+    // The two zero-weight chains of the figure: TP3 -> TP2 and TP4 -> TP1.
+    EXPECT_EQ(tpg.weight(2, 1), 0);
+    EXPECT_EQ(tpg.weight(3, 0), 0);
+    // From TP3 (obs 10): TP1 (01) = 2, TP4 (00) = 1.
+    EXPECT_EQ(tpg.weight(2, 0), 2);
+    EXPECT_EQ(tpg.weight(2, 3), 1);
+    // From TP4 (obs 01): TP2 (10) = 2, TP3 (00) = 1.
+    EXPECT_EQ(tpg.weight(3, 1), 2);
+    EXPECT_EQ(tpg.weight(3, 2), 1);
+}
+
+TEST(Figure4, StartCostsAndConstraint) {
+    const TestPatternGraph tpg(figure4_patterns());
+    for (int v = 0; v < 4; ++v) EXPECT_EQ(tpg.start_cost(v), 2);
+    // f.4.4: only uniform-background initialisations may start the tour.
+    EXPECT_FALSE(tpg.uniform_start(0));  // 01
+    EXPECT_FALSE(tpg.uniform_start(1));  // 10
+    EXPECT_TRUE(tpg.uniform_start(2));   // 00
+    EXPECT_TRUE(tpg.uniform_start(3));   // 00
+}
+
+/// The minimum-weight Hamiltonian path: the paper's GTS chains
+/// TP3 -> TP2 (0), then two writes to 00, TP4 -> TP1 (0): total
+/// 2 (cold start) + 0 + 2 + 0 = 4 which is 12 operations overall
+/// (4 writes + 4 excites + 4 observes).
+TEST(Figure4, OptimalPathCost) {
+    const TestPatternGraph tpg(figure4_patterns());
+    const auto path = tpg.solve(/*constrain_start=*/true);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->cost, 4);
+    // Start must honour f.4.4.
+    EXPECT_TRUE(tpg.uniform_start(path->order.front()));
+    // Unconstrained search cannot do better here.
+    const auto free_path = tpg.solve(false);
+    ASSERT_TRUE(free_path.has_value());
+    EXPECT_EQ(free_path->cost, 4);
+}
+
+TEST(Figure4, Rendering) {
+    const TestPatternGraph tpg(figure4_patterns());
+    const std::string text = tpg.str();
+    EXPECT_NE(text.find("TP1"), std::string::npos);
+    EXPECT_NE(text.find("TP4"), std::string::npos);
+    EXPECT_NE(text.find("weights"), std::string::npos);
+}
+
+TEST(TestPatternGraph, SingleNodeGraph) {
+    TestPattern tp{PairState::parse("0x"), AbstractOp::write(Cell::I, 1),
+                   AbstractOp::read(Cell::I, 1)};
+    const TestPatternGraph tpg({tp});
+    EXPECT_EQ(tpg.size(), 1);
+    EXPECT_EQ(tpg.start_cost(0), 1);
+    const auto path = tpg.solve(true);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->cost, 1);
+}
+
+TEST(TestPatternGraph, DontCareInitsReduceWeights) {
+    // A TP with unconstrained init is reachable for free from anywhere.
+    TestPattern strict{PairState::parse("01"), AbstractOp::write(Cell::I, 1),
+                       AbstractOp::read(Cell::J, 1)};
+    TestPattern loose{PairState::parse("xx"), std::nullopt,
+                      AbstractOp::read(Cell::I, 0)};
+    // Give `loose` a consistent observe: read i expecting 0 — make init 0x.
+    loose.init = PairState::parse("0x");
+    const TestPatternGraph tpg({strict, loose});
+    EXPECT_EQ(tpg.weight(0, 1), 1);  // obs 11 -> need i=0: one write
+    EXPECT_EQ(tpg.weight(1, 0), 1);  // obs 0x -> need 01: j unknown: one write
+}
+
+}  // namespace
+}  // namespace mtg::core

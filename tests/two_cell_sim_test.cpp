@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "sim/two_cell_sim.hpp"
+
+namespace mtg::sim {
+namespace {
+
+using fault::FaultInstance;
+using fault::FaultKind;
+using fsm::AbstractOp;
+using fsm::Cell;
+
+std::vector<AbstractOp> tp1_sequence() {
+    // TP1 of the paper's CFid<^,0> example: init 01, excite w1i, observe r1j.
+    return {AbstractOp::write(Cell::I, 0), AbstractOp::write(Cell::J, 1),
+            AbstractOp::write(Cell::I, 1), AbstractOp::read(Cell::J, 1)};
+}
+
+TEST(GtsDetects, Tp1DetectsItsTargetInstance) {
+    EXPECT_TRUE(gts_detects(tp1_sequence(),
+                            FaultInstance{FaultKind::CfidUp0, Cell::I}));
+}
+
+TEST(GtsDetects, Tp1MissesTheOppositeRole) {
+    EXPECT_FALSE(gts_detects(tp1_sequence(),
+                             FaultInstance{FaultKind::CfidUp0, Cell::J}));
+}
+
+TEST(GtsDetects, PaperWorkedExampleGtsCoversAllFourInstances) {
+    // §4: GTS = w0i,w0j,w1i,r0j,w1j,r1i,w0i,w0j,w1j,r0i,w1i,r1j covering
+    // {<^,1>, <^,0>} in both roles.
+    const std::vector<AbstractOp> gts = {
+        AbstractOp::write(Cell::I, 0), AbstractOp::write(Cell::J, 0),
+        AbstractOp::write(Cell::I, 1), AbstractOp::read(Cell::J, 0),
+        AbstractOp::write(Cell::J, 1), AbstractOp::read(Cell::I, 1),
+        AbstractOp::write(Cell::I, 0), AbstractOp::write(Cell::J, 0),
+        AbstractOp::write(Cell::J, 1), AbstractOp::read(Cell::I, 0),
+        AbstractOp::write(Cell::I, 1), AbstractOp::read(Cell::J, 1),
+    };
+    for (FaultKind kind : {FaultKind::CfidUp0, FaultKind::CfidUp1}) {
+        EXPECT_TRUE(gts_detects(gts, FaultInstance{kind, Cell::I}))
+            << fault::fault_kind_name(kind);
+        EXPECT_TRUE(gts_detects(gts, FaultInstance{kind, Cell::J}))
+            << fault::fault_kind_name(kind);
+    }
+    EXPECT_TRUE(gts_well_formed(gts));
+}
+
+TEST(GtsDetects, RequiresDetectionFromEveryPowerUpState) {
+    // w1i,r1i detects SAF0 only if the cell starts low... in fact a stuck-
+    // at-0 cell ignores the write from any start, so detection holds.
+    const std::vector<AbstractOp> ops = {AbstractOp::write(Cell::I, 1),
+                                         AbstractOp::read(Cell::I, 1)};
+    EXPECT_TRUE(gts_detects(ops, FaultInstance{FaultKind::Saf0, Cell::I}));
+    // But TF<^> needs the explicit 0 background: without w0i first, a
+    // power-up-high cell shows no transition failure.
+    EXPECT_FALSE(gts_detects(ops, FaultInstance{FaultKind::TfUp, Cell::I}));
+    const std::vector<AbstractOp> with_background = {
+        AbstractOp::write(Cell::I, 0), AbstractOp::write(Cell::I, 1),
+        AbstractOp::read(Cell::I, 1)};
+    EXPECT_TRUE(gts_detects(with_background,
+                            FaultInstance{FaultKind::TfUp, Cell::I}));
+}
+
+TEST(GtsWellFormed, RejectsReadsOfUninitialisedCells) {
+    EXPECT_FALSE(gts_well_formed({AbstractOp::read(Cell::I, 0)}));
+}
+
+TEST(GtsWellFormed, RejectsWrongExpectations) {
+    EXPECT_FALSE(gts_well_formed(
+        {AbstractOp::write(Cell::I, 0), AbstractOp::read(Cell::I, 1)}));
+}
+
+TEST(GtsWellFormed, AcceptsProperSequences) {
+    EXPECT_TRUE(gts_well_formed(
+        {AbstractOp::write(Cell::I, 0), AbstractOp::read(Cell::I, 0),
+         AbstractOp::write(Cell::J, 1), AbstractOp::read(Cell::J, 1),
+         AbstractOp::wait(), AbstractOp::read(Cell::J, 1)}));
+}
+
+TEST(GtsDetects, WaitSensitisesRetention) {
+    const std::vector<AbstractOp> ops = {AbstractOp::write(Cell::I, 1),
+                                         AbstractOp::wait(),
+                                         AbstractOp::read(Cell::I, 1)};
+    EXPECT_TRUE(gts_detects(ops, FaultInstance{FaultKind::Drf0, Cell::I}));
+    // Without the wait the decay never happens.
+    const std::vector<AbstractOp> without = {AbstractOp::write(Cell::I, 1),
+                                             AbstractOp::read(Cell::I, 1)};
+    EXPECT_FALSE(gts_detects(without, FaultInstance{FaultKind::Drf0, Cell::I}));
+}
+
+}  // namespace
+}  // namespace mtg::sim

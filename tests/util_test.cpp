@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "util/contracts.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/trit.hpp"
+
+namespace mtg {
+namespace {
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+    EXPECT_THROW(MTG_EXPECTS(1 == 2), ContractViolation);
+    EXPECT_NO_THROW(MTG_EXPECTS(1 == 1));
+}
+
+TEST(Contracts, MessageNamesKindAndCondition) {
+    try {
+        MTG_ASSERT(false && "broken invariant");
+        FAIL() << "should have thrown";
+    } catch (const ContractViolation& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("Assertion"), std::string::npos);
+        EXPECT_NE(what.find("broken invariant"), std::string::npos);
+    }
+}
+
+TEST(Trit, BitConversionRoundTrips) {
+    EXPECT_EQ(trit_from_bit(0), Trit::Zero);
+    EXPECT_EQ(trit_from_bit(1), Trit::One);
+    EXPECT_EQ(trit_bit(Trit::Zero), 0);
+    EXPECT_EQ(trit_bit(Trit::One), 1);
+}
+
+TEST(Trit, KnownnessAndNegation) {
+    EXPECT_TRUE(is_known(Trit::Zero));
+    EXPECT_TRUE(is_known(Trit::One));
+    EXPECT_FALSE(is_known(Trit::X));
+    EXPECT_EQ(trit_not(Trit::Zero), Trit::One);
+    EXPECT_EQ(trit_not(Trit::One), Trit::Zero);
+    EXPECT_EQ(trit_not(Trit::X), Trit::X);
+}
+
+TEST(Trit, CompatibilityTreatsXAsWildcard) {
+    EXPECT_TRUE(trits_compatible(Trit::X, Trit::One));
+    EXPECT_TRUE(trits_compatible(Trit::Zero, Trit::X));
+    EXPECT_TRUE(trits_compatible(Trit::One, Trit::One));
+    EXPECT_FALSE(trits_compatible(Trit::Zero, Trit::One));
+}
+
+TEST(Trit, ParseAcceptsPaperNotation) {
+    EXPECT_EQ(trit_parse('0'), Trit::Zero);
+    EXPECT_EQ(trit_parse('1'), Trit::One);
+    EXPECT_EQ(trit_parse('x'), Trit::X);
+    EXPECT_EQ(trit_parse('-'), Trit::X);  // the paper's uninitialised mark
+    EXPECT_THROW(trit_parse('2'), ContractViolation);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+    SplitMix64 a(42), b(42);
+    for (int k = 0; k < 100; ++k) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeStaysInBounds) {
+    SplitMix64 rng(7);
+    for (int k = 0; k < 1000; ++k) {
+        const int v = rng.range(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+    SplitMix64 rng(11);
+    bool seen[5] = {};
+    for (int k = 0; k < 200; ++k) seen[rng.below(5)] = true;
+    for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(TextTable, AlignsColumns) {
+    TextTable table;
+    table.set_header({"name", "value"});
+    table.add_row({"x", "1"});
+    table.add_row({"longer", "22"});
+    const std::string out = table.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+    TextTable table;
+    table.set_header({"a", "b", "c"});
+    table.add_row({"1"});
+    EXPECT_NO_THROW((void)table.str());
+}
+
+}  // namespace
+}  // namespace mtg
