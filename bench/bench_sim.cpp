@@ -5,10 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "fault/kinds.hpp"
 #include "march/library.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/march_runner.hpp"
 #include "util/table.hpp"
 
@@ -34,6 +36,60 @@ void print_summary() {
                  : "no"});
     }
     std::printf("Fault simulator sanity snapshot:\n\n%s\n", table.str().c_str());
+}
+
+/// Head-to-head: the per-fault scalar sweep versus one batched pass over
+/// the full two-cell fault population of an 8-cell memory — the exact
+/// workload covers_everywhere runs inside the generator's validation gate.
+/// Emits a machine-readable BENCH_sim.json summary line.
+void print_scalar_vs_batched() {
+    using clock = std::chrono::steady_clock;
+    const auto& test = march::march_c_minus();
+    const sim::RunOptions opts{.memory_size = 8, .max_any_expansion = 6};
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+
+    const auto seconds_per_sweep = [&](auto&& sweep) {
+        // One warm-up, then enough repetitions for a stable figure.
+        sweep();
+        int reps = 1;
+        for (;;) {
+            const auto start = clock::now();
+            for (int r = 0; r < reps; ++r) benchmark::DoNotOptimize(sweep());
+            const std::chrono::duration<double> elapsed = clock::now() - start;
+            if (elapsed.count() > 0.2)
+                return elapsed.count() / static_cast<double>(reps);
+            reps *= 4;
+        }
+    };
+
+    const double scalar_s = seconds_per_sweep([&] {
+        bool all = true;
+        for (const auto& fault : population)
+            all &= sim::detects(test, fault, opts);  // no short-circuit:
+        return all;  // every fault must be simulated for a fair faults/sec
+    });
+    const sim::BatchRunner runner(test, opts);
+    const double batched_s =
+        seconds_per_sweep([&] { return runner.detects(population); });
+
+    const auto faults = static_cast<double>(population.size());
+    const double scalar_fps = faults / scalar_s;
+    const double batched_fps = faults / batched_s;
+    std::printf(
+        "Scalar vs batched kernel (March C-, n=%d, %zu two-cell faults):\n"
+        "  scalar  : %12.0f faults/sec\n"
+        "  batched : %12.0f faults/sec\n"
+        "  speedup : %.1fx\n\n",
+        opts.memory_size, population.size(), scalar_fps, batched_fps,
+        batched_fps / scalar_fps);
+    std::printf(
+        "BENCH_sim.json {\"workload\":\"covers_everywhere\",\"march\":\"March "
+        "C-\",\"memory_size\":%d,\"population\":%zu,"
+        "\"scalar_faults_per_sec\":%.0f,\"batched_faults_per_sec\":%.0f,"
+        "\"speedup\":%.2f}\n\n",
+        opts.memory_size, population.size(), scalar_fps, batched_fps,
+        batched_fps / scalar_fps);
 }
 
 void BM_SingleRun(benchmark::State& state) {
@@ -73,6 +129,20 @@ void BM_CoversEverywhere(benchmark::State& state) {
 BENCHMARK(BM_CoversEverywhere)->Arg(4)->Arg(8)->Arg(16)
     ->Unit(benchmark::kMillisecond);
 
+void BM_BatchDetects(benchmark::State& state) {
+    const auto& test = march::march_c_minus();
+    sim::RunOptions opts;
+    opts.memory_size = static_cast<int>(state.range(0));
+    const sim::BatchRunner runner(test, opts);
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+    for (auto _ : state) benchmark::DoNotOptimize(runner.detects(population));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(population.size()));
+}
+BENCHMARK(BM_BatchDetects)->Arg(8)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_WellFormedCheck(benchmark::State& state) {
     const auto& test = march::find_march_test(
         state.range(0) == 0 ? "MATS" : "March SS").test;
@@ -85,6 +155,7 @@ BENCHMARK(BM_WellFormedCheck)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
     print_summary();
+    print_scalar_vs_batched();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

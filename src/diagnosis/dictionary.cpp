@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/batch_runner.hpp"
+
 namespace mtg::diagnosis {
 
 using fault::FaultInstance;
@@ -45,9 +47,21 @@ FaultDictionary FaultDictionary::build(const MarchTest& test,
                                        const std::vector<FaultKind>& kinds,
                                        const sim::RunOptions& opts) {
     FaultDictionary dictionary;
-    for (const FaultInstance& inst : fault::instantiate(kinds)) {
+    const std::vector<FaultInstance> instances = fault::instantiate(kinds);
+
+    // One batched pass over the placed population; each instance's
+    // guaranteed observations become its dictionary signature.
+    std::vector<InjectedFault> population;
+    population.reserve(instances.size());
+    for (const FaultInstance& inst : instances)
+        population.push_back(place(inst, opts.memory_size));
+    std::vector<sim::RunTrace> traces =
+        sim::BatchRunner(test, opts).run(population);
+
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        const FaultInstance& inst = instances[i];
         ++dictionary.instance_count_;
-        Signature sig = signature_of(test, place(inst, opts.memory_size), opts);
+        Signature sig{std::move(traces[i].failing_observations)};
         if (sig.detected()) ++dictionary.detected_count_;
         auto it = std::find_if(
             dictionary.entries_.begin(), dictionary.entries_.end(),

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "sim/batch_runner.hpp"
 #include "util/contracts.hpp"
 
 namespace mtg::setcover {
@@ -63,11 +64,19 @@ CoverageMatrix build_coverage_matrix(const MarchTest& test,
     const std::vector<FaultInstance> instances = fault::instantiate(kinds);
     matrix.covers.assign(matrix.blocks.size(),
                          std::vector<bool>(instances.size(), false));
+
+    // One batched pass over the whole placed population instead of one
+    // scalar sweep per instance.
+    std::vector<InjectedFault> population;
+    population.reserve(instances.size());
+    for (const FaultInstance& inst : instances) {
+        matrix.fault_names.push_back(inst.name());
+        population.push_back(place(inst, opts.memory_size));
+    }
+    const std::vector<sim::RunTrace> traces =
+        sim::BatchRunner(test, opts).run(population);
     for (std::size_t c = 0; c < instances.size(); ++c) {
-        matrix.fault_names.push_back(instances[c].name());
-        const InjectedFault injected = place(instances[c], opts.memory_size);
-        const std::vector<ReadSite> failing =
-            sim::guaranteed_failing_reads(test, injected, opts);
+        const auto& failing = traces[c].failing_reads;
         for (std::size_t r = 0; r < matrix.blocks.size(); ++r) {
             if (std::find(failing.begin(), failing.end(), matrix.blocks[r]) !=
                 failing.end())

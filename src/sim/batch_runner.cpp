@@ -1,0 +1,192 @@
+#include "sim/batch_runner.hpp"
+
+#include <algorithm>
+
+namespace mtg::sim {
+
+using march::AddressOrder;
+using march::MarchOp;
+using march::MarchTest;
+using march::OpKind;
+
+namespace {
+
+/// Faults packed per pass: 63 population lanes + the fault-free lane 0.
+constexpr int kChunk = kLaneCount - 1;
+
+/// Mask of the population lanes 1..count of a chunk.
+constexpr LaneMask used_lanes(int count) {
+    return (count == kChunk ? kAllLanes : (LaneMask{1} << (count + 1)) - 1) &
+           ~LaneMask{1};
+}
+
+}  // namespace
+
+BatchRunner::BatchRunner(const MarchTest& test, const RunOptions& opts)
+    : test_(test), opts_(opts), expansions_(expansion_choices(test, opts)),
+      sites_(read_sites(test)) {
+    MTG_EXPECTS(opts.memory_size > 0);
+    // Flat site id of each (element, op); -1 for writes/waits.
+    site_id_.resize(test_.size());
+    int next = 0;
+    for (std::size_t e = 0; e < test_.size(); ++e) {
+        site_id_[e].assign(test_[e].ops.size(), -1);
+        for (std::size_t o = 0; o < test_[e].ops.size(); ++o)
+            if (test_[e].ops[o].kind == OpKind::Read) site_id_[e][o] = next++;
+    }
+}
+
+BatchRunner::ChunkResult BatchRunner::run_chunk(const InjectedFault* faults,
+                                                int count,
+                                                bool want_traces) const {
+    MTG_EXPECTS(count > 0 && count <= kChunk);
+    const int n = opts_.memory_size;
+    const LaneMask used = used_lanes(count);
+
+    ChunkResult out;
+    out.detected = used;
+    out.site_fail.assign(sites_.size(), used);
+    if (want_traces)
+        out.observation_fail.assign(sites_.size() * static_cast<std::size_t>(n),
+                                    used);
+
+    std::vector<LaneMask> site_now(sites_.size());
+    std::vector<LaneMask> obs_now(
+        want_traces ? sites_.size() * static_cast<std::size_t>(n) : 0);
+
+    for (unsigned choice : expansions_) {
+        PackedSimMemory memory(n);
+        for (int i = 0; i < count; ++i)
+            memory.inject(faults[i], LaneMask{1} << (i + 1));
+        std::fill(site_now.begin(), site_now.end(), 0);
+        std::fill(obs_now.begin(), obs_now.end(), 0);
+
+        int any_seen = 0;
+        for (std::size_t e = 0; e < test_.size(); ++e) {
+            const auto& element = test_[e];
+            bool desc = element.order == AddressOrder::Descending;
+            if (element.order == AddressOrder::Any) {
+                desc = ((choice >> any_seen) & 1u) != 0;
+                ++any_seen;
+            }
+            for (int step = 0; step < n; ++step) {
+                const int cell = desc ? n - 1 - step : step;
+                for (std::size_t o = 0; o < element.ops.size(); ++o) {
+                    const MarchOp& op = element.ops[o];
+                    switch (op.kind) {
+                        case OpKind::Write:
+                            memory.write(cell, op.value);
+                            break;
+                        case OpKind::Wait:
+                            memory.wait();
+                            break;
+                        case OpKind::Read: {
+                            const auto got = memory.read(cell);
+                            const LaneMask expected =
+                                op.value ? kAllLanes : LaneMask{0};
+                            // Only definite mismatches detect (X cannot be
+                            // guaranteed to differ from the expected value).
+                            const LaneMask mismatch =
+                                got.known & (got.value ^ expected) & used;
+                            if (!mismatch) break;
+                            const auto sid = static_cast<std::size_t>(
+                                site_id_[e][o]);
+                            site_now[sid] |= mismatch;
+                            if (want_traces)
+                                obs_now[sid * static_cast<std::size_t>(n) +
+                                        static_cast<std::size_t>(cell)] |=
+                                    mismatch;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        LaneMask detected_now = 0;
+        for (std::size_t s = 0; s < sites_.size(); ++s) {
+            detected_now |= site_now[s];
+            out.site_fail[s] &= site_now[s];
+        }
+        out.detected &= detected_now;
+        for (std::size_t k = 0; k < obs_now.size(); ++k)
+            out.observation_fail[k] &= obs_now[k];
+        if (!want_traces && out.detected == 0) break;  // every lane escaped
+    }
+    return out;
+}
+
+std::vector<bool> BatchRunner::detects(
+    const std::vector<InjectedFault>& population) const {
+    std::vector<bool> result(population.size(), false);
+    for (std::size_t base = 0; base < population.size(); base += kChunk) {
+        const int count = static_cast<int>(
+            std::min<std::size_t>(kChunk, population.size() - base));
+        const ChunkResult chunk =
+            run_chunk(population.data() + base, count, /*want_traces=*/false);
+        for (int i = 0; i < count; ++i)
+            result[base + static_cast<std::size_t>(i)] =
+                ((chunk.detected >> (i + 1)) & 1u) != 0;
+    }
+    return result;
+}
+
+bool BatchRunner::detects_all(
+    const std::vector<InjectedFault>& population) const {
+    for (std::size_t base = 0; base < population.size(); base += kChunk) {
+        const int count = static_cast<int>(
+            std::min<std::size_t>(kChunk, population.size() - base));
+        const ChunkResult chunk =
+            run_chunk(population.data() + base, count, /*want_traces=*/false);
+        if (chunk.detected != used_lanes(count)) return false;
+    }
+    return true;
+}
+
+std::vector<RunTrace> BatchRunner::run(
+    const std::vector<InjectedFault>& population) const {
+    const int n = opts_.memory_size;
+    std::vector<RunTrace> result(population.size());
+    for (std::size_t base = 0; base < population.size(); base += kChunk) {
+        const int count = static_cast<int>(
+            std::min<std::size_t>(kChunk, population.size() - base));
+        const ChunkResult chunk =
+            run_chunk(population.data() + base, count, /*want_traces=*/true);
+        for (int i = 0; i < count; ++i) {
+            const LaneMask lane = LaneMask{1} << (i + 1);
+            RunTrace& trace = result[base + static_cast<std::size_t>(i)];
+            trace.detected = (chunk.detected & lane) != 0;
+            for (std::size_t s = 0; s < sites_.size(); ++s) {
+                if (chunk.site_fail[s] & lane)
+                    trace.failing_reads.push_back(sites_[s]);
+                for (int cell = 0; cell < n; ++cell)
+                    if (chunk.observation_fail[s * static_cast<std::size_t>(n) +
+                                               static_cast<std::size_t>(cell)] &
+                        lane)
+                        trace.failing_observations.push_back(
+                            {sites_[s], cell});
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<InjectedFault> full_population(fault::FaultKind kind,
+                                           int memory_size) {
+    std::vector<InjectedFault> population;
+    if (fault::is_two_cell(kind)) {
+        population.reserve(static_cast<std::size_t>(memory_size) *
+                           static_cast<std::size_t>(memory_size - 1));
+        for (int a = 0; a < memory_size; ++a)
+            for (int v = 0; v < memory_size; ++v)
+                if (a != v)
+                    population.push_back(InjectedFault::coupling(kind, a, v));
+    } else {
+        population.reserve(static_cast<std::size_t>(memory_size));
+        for (int c = 0; c < memory_size; ++c)
+            population.push_back(InjectedFault::single(kind, c));
+    }
+    return population;
+}
+
+}  // namespace mtg::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file batch_runner.hpp
+/// Evaluates one March test against a whole fault population per pass.
+///
+/// The runner packs up to 63 fault instances into the lanes of one
+/// PackedSimMemory (lane 0 stays fault-free as the reference), executes the
+/// test once per ⇕ expansion, and intersects the per-lane failing-read masks
+/// across expansions — exactly the guaranteed-detection semantics of the
+/// scalar march_runner, but one memory pass per 63 faults instead of one
+/// pass per fault.
+
+#include <vector>
+
+#include "march/march_test.hpp"
+#include "sim/march_runner.hpp"
+#include "sim/packed_memory.hpp"
+
+namespace mtg::sim {
+
+/// Reusable batched evaluator for one March test. Precomputes the ⇕
+/// expansion set and the read-site table once, then serves any number of
+/// populations.
+class BatchRunner {
+public:
+    explicit BatchRunner(const march::MarchTest& test,
+                         const RunOptions& opts = {});
+
+    /// Detection decided under EVERY ⇕ expansion (the `detects` semantics),
+    /// element i answering for population[i]. One packed pass handles 63
+    /// faults, so the cost is ceil(population/63) × expansions runs.
+    [[nodiscard]] std::vector<bool> detects(
+        const std::vector<InjectedFault>& population) const;
+
+    /// True when every population member is detected; stops at the first
+    /// chunk containing an escape (the fail-fast covers_everywhere needs).
+    [[nodiscard]] bool detects_all(
+        const std::vector<InjectedFault>& population) const;
+
+    /// Full guaranteed traces: element i holds the reads / (site, cell)
+    /// observations of population[i] that fail in EVERY ⇕ expansion, in
+    /// textual order — bit-identical to the scalar guaranteed_failing_reads
+    /// / guaranteed_failing_observations pair.
+    [[nodiscard]] std::vector<RunTrace> run(
+        const std::vector<InjectedFault>& population) const;
+
+    [[nodiscard]] const march::MarchTest& test() const { return test_; }
+    [[nodiscard]] const RunOptions& options() const { return opts_; }
+
+private:
+    march::MarchTest test_;
+    RunOptions opts_;
+    std::vector<unsigned> expansions_;
+    std::vector<ReadSite> sites_;
+    std::vector<std::vector<int>> site_id_;  ///< (element, op) -> flat site
+
+    /// Per-site × per-cell failing-lane masks of one population chunk,
+    /// already intersected across every ⇕ expansion.
+    struct ChunkResult {
+        LaneMask detected{0};
+        std::vector<LaneMask> site_fail;         ///< [site]
+        std::vector<LaneMask> observation_fail;  ///< [site * n + cell]
+    };
+    [[nodiscard]] ChunkResult run_chunk(const InjectedFault* faults, int count,
+                                        bool want_traces) const;
+};
+
+/// Every concrete placement of `kind` on an n-cell memory: n single-cell
+/// instances, or the n·(n-1) ordered (aggressor, victim) pairs. This is the
+/// population covers_everywhere sweeps.
+[[nodiscard]] std::vector<InjectedFault> full_population(fault::FaultKind kind,
+                                                         int memory_size);
+
+}  // namespace mtg::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/batch_runner.hpp"
+
 namespace mtg::sim {
 
 using march::AddressOrder;
@@ -97,11 +99,8 @@ RunTrace run_once(const MarchTest& test, const std::vector<InjectedFault>& fault
     return trace;
 }
 
-namespace {
-
-/// Enumerates the ⇕ expansions to test: all 2^k when k <= cap, otherwise
-/// the two uniform (all-ascending / all-descending) choices.
-std::vector<unsigned> expansions(const MarchTest& test, const RunOptions& opts) {
+std::vector<unsigned> expansion_choices(const MarchTest& test,
+                                        const RunOptions& opts) {
     const int k = any_count(test);
     if (k <= opts.max_any_expansion) {
         std::vector<unsigned> all;
@@ -111,11 +110,9 @@ std::vector<unsigned> expansions(const MarchTest& test, const RunOptions& opts) 
     return {0u, ~0u};
 }
 
-}  // namespace
-
 bool detects(const MarchTest& test, const InjectedFault& fault,
              const RunOptions& opts) {
-    for (unsigned choice : expansions(test, opts)) {
+    for (unsigned choice : expansion_choices(test, opts)) {
         if (!run_once(test, {fault}, choice, opts).detected) return false;
     }
     return true;
@@ -123,21 +120,8 @@ bool detects(const MarchTest& test, const InjectedFault& fault,
 
 bool covers_everywhere(const MarchTest& test, fault::FaultKind kind,
                        const RunOptions& opts) {
-    const int n = opts.memory_size;
-    if (fault::is_two_cell(kind)) {
-        for (int a = 0; a < n; ++a) {
-            for (int v = 0; v < n; ++v) {
-                if (a == v) continue;
-                if (!detects(test, InjectedFault::coupling(kind, a, v), opts))
-                    return false;
-            }
-        }
-        return true;
-    }
-    for (int c = 0; c < n; ++c) {
-        if (!detects(test, InjectedFault::single(kind, c), opts)) return false;
-    }
-    return true;
+    return BatchRunner(test, opts).detects_all(
+        full_population(kind, opts.memory_size));
 }
 
 std::optional<fault::FaultKind> first_uncovered(
@@ -149,7 +133,7 @@ std::optional<fault::FaultKind> first_uncovered(
 }
 
 bool is_well_formed(const MarchTest& test, const RunOptions& opts) {
-    for (unsigned choice : expansions(test, opts)) {
+    for (unsigned choice : expansion_choices(test, opts)) {
         SimMemory memory(opts.memory_size);
         int any_seen = 0;
         for (const auto& element : test.elements()) {
@@ -184,49 +168,13 @@ bool is_well_formed(const MarchTest& test, const RunOptions& opts) {
 std::vector<Observation> guaranteed_failing_observations(
     const MarchTest& test, const InjectedFault& fault,
     const RunOptions& opts) {
-    std::vector<Observation> guaranteed;
-    bool first = true;
-    for (unsigned choice : expansions(test, opts)) {
-        const RunTrace trace = run_once(test, {fault}, choice, opts);
-        if (first) {
-            guaranteed = trace.failing_observations;
-            first = false;
-        } else {
-            std::vector<Observation> kept;
-            for (const auto& obs : guaranteed)
-                if (std::find(trace.failing_observations.begin(),
-                              trace.failing_observations.end(),
-                              obs) != trace.failing_observations.end())
-                    kept.push_back(obs);
-            guaranteed = std::move(kept);
-        }
-        if (guaranteed.empty()) break;
-    }
-    return guaranteed;
+    return BatchRunner(test, opts).run({fault}).front().failing_observations;
 }
 
 std::vector<ReadSite> guaranteed_failing_reads(const MarchTest& test,
                                                const InjectedFault& fault,
                                                const RunOptions& opts) {
-    std::vector<ReadSite> guaranteed;
-    bool first = true;
-    for (unsigned choice : expansions(test, opts)) {
-        const RunTrace trace = run_once(test, {fault}, choice, opts);
-        if (first) {
-            guaranteed = trace.failing_reads;
-            first = false;
-        } else {
-            std::vector<ReadSite> kept;
-            for (const auto& site : guaranteed)
-                if (std::find(trace.failing_reads.begin(),
-                              trace.failing_reads.end(),
-                              site) != trace.failing_reads.end())
-                    kept.push_back(site);
-            guaranteed = std::move(kept);
-        }
-        if (guaranteed.empty()) break;
-    }
-    return guaranteed;
+    return BatchRunner(test, opts).run({fault}).front().failing_reads;
 }
 
 }  // namespace mtg::sim

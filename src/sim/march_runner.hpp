@@ -81,14 +81,24 @@ struct RunTrace {
 [[nodiscard]] bool is_well_formed(const march::MarchTest& test,
                                   const RunOptions& opts = {});
 
+/// The concrete ⇕ resolutions evaluated by detects() and the batched
+/// runner: all 2^k choices when the test has k <= opts.max_any_expansion ⇕
+/// elements, otherwise only the two uniform (all-ascending,
+/// all-descending) sweeps. Bit j of a choice resolves the j-th ⇕ element
+/// (set = descending).
+[[nodiscard]] std::vector<unsigned> expansion_choices(
+    const march::MarchTest& test, const RunOptions& opts = {});
+
 /// Read sites that mismatch for `fault` in EVERY ⇕ expansion — the sites
 /// with *guaranteed* observation, used as coverage-matrix entries.
+/// Canonical order: textual (element, op) order of the test.
 [[nodiscard]] std::vector<ReadSite> guaranteed_failing_reads(
     const march::MarchTest& test, const InjectedFault& fault,
     const RunOptions& opts = {});
 
 /// (site, address) observations that mismatch in EVERY ⇕ expansion — the
 /// address-aware output trace used by the diagnosis dictionary.
+/// Canonical order: textual site order, then ascending cell address.
 [[nodiscard]] std::vector<Observation> guaranteed_failing_observations(
     const march::MarchTest& test, const InjectedFault& fault,
     const RunOptions& opts = {});

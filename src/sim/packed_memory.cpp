@@ -1,0 +1,243 @@
+#include "sim/packed_memory.hpp"
+
+namespace mtg::sim {
+
+using fault::FaultKind;
+
+PackedSimMemory::PackedSimMemory(int cell_count)
+    : value_(static_cast<std::size_t>(cell_count), 0),
+      known_(static_cast<std::size_t>(cell_count), 0),
+      single_(static_cast<std::size_t>(cell_count)),
+      coupling_(static_cast<std::size_t>(cell_count)),
+      afmap_(static_cast<std::size_t>(cell_count)) {
+    MTG_EXPECTS(cell_count > 0);
+}
+
+void PackedSimMemory::check_addr(int addr) const {
+    MTG_EXPECTS(addr >= 0 && addr < size());
+}
+
+void PackedSimMemory::inject(const InjectedFault& fault, LaneMask lanes) {
+    check_addr(fault.cell_a);
+    if (fault.cell_b >= 0) check_addr(fault.cell_b);
+    MTG_EXPECTS((occupied_ & lanes) == 0);  // one fault per lane
+    occupied_ |= lanes;
+
+    auto& s = single_[static_cast<std::size_t>(fault.cell_a)];
+    switch (fault.kind) {
+        case FaultKind::Saf0: s.saf0 |= lanes; return;
+        case FaultKind::Saf1: s.saf1 |= lanes; return;
+        case FaultKind::TfUp: s.tf_up |= lanes; return;
+        case FaultKind::TfDown: s.tf_down |= lanes; return;
+        case FaultKind::Wdf0: s.wdf0 |= lanes; return;
+        case FaultKind::Wdf1: s.wdf1 |= lanes; return;
+        case FaultKind::Rdf0: s.rdf0 |= lanes; return;
+        case FaultKind::Rdf1: s.rdf1 |= lanes; return;
+        case FaultKind::Drdf0: s.drdf0 |= lanes; return;
+        case FaultKind::Drdf1: s.drdf1 |= lanes; return;
+        case FaultKind::Irf0: s.irf0 |= lanes; return;
+        case FaultKind::Irf1: s.irf1 |= lanes; return;
+        case FaultKind::Drf0: s.drf0 |= lanes; return;
+        case FaultKind::Drf1: s.drf1 |= lanes; return;
+        case FaultKind::CfinUp:
+        case FaultKind::CfinDown:
+        case FaultKind::CfidUp0:
+        case FaultKind::CfidUp1:
+        case FaultKind::CfidDown0:
+        case FaultKind::CfidDown1:
+        case FaultKind::Af:
+            coupling_[static_cast<std::size_t>(fault.cell_a)].push_back(
+                {fault.kind, fault.cell_b, lanes});
+            return;
+        case FaultKind::CfstS0F0:
+            static_.push_back({fault.cell_a, fault.cell_b, false, false, lanes});
+            return;
+        case FaultKind::CfstS0F1:
+            static_.push_back({fault.cell_a, fault.cell_b, false, true, lanes});
+            return;
+        case FaultKind::CfstS1F0:
+            static_.push_back({fault.cell_a, fault.cell_b, true, false, lanes});
+            return;
+        case FaultKind::CfstS1F1:
+            static_.push_back({fault.cell_a, fault.cell_b, true, true, lanes});
+            return;
+        case FaultKind::AfMap:
+            afmap_[static_cast<std::size_t>(fault.cell_a)].push_back(
+                {fault.cell_b, lanes});
+            return;
+    }
+    MTG_ASSERT(false && "unhandled fault kind");
+}
+
+void PackedSimMemory::enforce_static_coupling() {
+    for (const StaticEntry& s : static_) {
+        const LaneMask av = value_[static_cast<std::size_t>(s.aggressor)];
+        const LaneMask ak = known_[static_cast<std::size_t>(s.aggressor)];
+        const LaneMask match = s.lanes & ak & (s.sense ? av : ~av);
+        if (!match) continue;
+        auto& vv = value_[static_cast<std::size_t>(s.victim)];
+        vv = s.force ? (vv | match) : (vv & ~match);
+        known_[static_cast<std::size_t>(s.victim)] |= match;
+    }
+}
+
+void PackedSimMemory::write(int addr, int d) {
+    check_addr(addr);
+    const auto a = static_cast<std::size_t>(addr);
+    const LaneMask dmask = d ? kAllLanes : LaneMask{0};
+
+    // Decoder-map lanes: the whole access is redirected to the victim cell.
+    LaneMask redirected = 0;
+    for (const MapEntry& m : afmap_[a]) {
+        const auto v = static_cast<std::size_t>(m.victim);
+        value_[v] = (value_[v] & ~m.lanes) | (dmask & m.lanes);
+        known_[v] |= m.lanes;
+        redirected |= m.lanes;
+    }
+    const LaneMask active = ~redirected;
+
+    const LaneMask old_v = value_[a];
+    const LaneMask old_k = known_[a];
+    const LaneMask old0 = old_k & ~old_v;  // lanes with a known stored 0
+    const LaneMask old1 = old_k & old_v;   // lanes with a known stored 1
+
+    // Effective written value per lane. The single-cell masks are disjoint
+    // lane-wise (one fault per lane), so sequential application is exact.
+    const SingleCellMasks& s = single_[a];
+    LaneMask eff = dmask;
+    eff = (eff & ~s.saf0) | s.saf1;
+    if (d == 1) {
+        eff &= ~(s.tf_up & old0);  // 0 -> 1 transition fails
+        eff &= ~(s.wdf1 & old1);   // w1 over a 1 flips the cell to 0
+    } else {
+        eff |= s.tf_down & old1;   // 1 -> 0 transition fails
+        eff |= s.wdf0 & old0;      // w0 over a 0 flips the cell to 1
+    }
+
+    value_[a] = (old_v & ~active) | (eff & active);
+    known_[a] |= active;
+
+    // Coupling sensitised by the stored-value transition of this aggressor.
+    const LaneMask rising = active & old0 & eff;
+    const LaneMask falling = active & old1 & ~eff;
+    for (const CouplingEntry& c : coupling_[a]) {
+        const auto v = static_cast<std::size_t>(c.victim);
+        LaneMask t = 0;
+        switch (c.kind) {
+            case FaultKind::CfinUp:
+                t = c.lanes & rising;
+                value_[v] ^= t & known_[v];  // X victims stay X
+                continue;
+            case FaultKind::CfinDown:
+                t = c.lanes & falling;
+                value_[v] ^= t & known_[v];
+                continue;
+            case FaultKind::CfidUp0: t = c.lanes & rising; break;
+            case FaultKind::CfidUp1: t = c.lanes & rising; break;
+            case FaultKind::CfidDown0: t = c.lanes & falling; break;
+            case FaultKind::CfidDown1: t = c.lanes & falling; break;
+            case FaultKind::Af: t = c.lanes & active; break;
+            default: MTG_ASSERT(false && "not a coupling kind"); break;
+        }
+        if (!t) continue;
+        switch (c.kind) {
+            case FaultKind::CfidUp0:
+            case FaultKind::CfidDown0: value_[v] &= ~t; break;
+            case FaultKind::CfidUp1:
+            case FaultKind::CfidDown1: value_[v] |= t; break;
+            case FaultKind::Af:
+                // Shorted decoder: the write lands on the victim as well.
+                value_[v] = (value_[v] & ~t) | (eff & t);
+                break;
+            default: break;
+        }
+        known_[v] |= t;
+    }
+
+    enforce_static_coupling();
+}
+
+PackedSimMemory::ReadResult PackedSimMemory::read(int addr) {
+    check_addr(addr);
+    const auto a = static_cast<std::size_t>(addr);
+
+    // Decoder-map lanes observe the victim's cell instead.
+    ReadResult out;
+    LaneMask redirected = 0;
+    for (const MapEntry& m : afmap_[a]) {
+        const auto v = static_cast<std::size_t>(m.victim);
+        out.value |= value_[v] & m.lanes;
+        out.known |= known_[v] & m.lanes;
+        redirected |= m.lanes;
+    }
+    const LaneMask active = ~redirected;
+
+    const LaneMask cell_v = value_[a];
+    const LaneMask cell_k = known_[a];
+    const LaneMask is0 = cell_k & ~cell_v;
+    const LaneMask is1 = cell_k & cell_v;
+    const SingleCellMasks& s = single_[a];
+
+    LaneMask seen_v = cell_v;
+    LaneMask seen_k = cell_k;
+    // Stuck-at cells always read back the stuck value, even before any
+    // write has initialised them.
+    seen_v = (seen_v & ~s.saf0) | s.saf1;
+    seen_k |= s.saf0 | s.saf1;
+
+    LaneMask t;
+    t = s.rdf0 & is0;  // flips the cell and returns the wrong value
+    value_[a] |= t;
+    seen_v |= t;
+    t = s.rdf1 & is1;
+    value_[a] &= ~t;
+    seen_v &= ~t;
+    t = s.drdf0 & is0;  // deceptive: flips the cell, returns the old value
+    value_[a] |= t;
+    t = s.drdf1 & is1;
+    value_[a] &= ~t;
+    seen_v |= s.irf0 & is0;     // wrong value, no flip
+    seen_v &= ~(s.irf1 & is1);
+
+    out.value |= seen_v & active;
+    out.known |= seen_k & active;
+    out.value &= out.known;  // normalise: X lanes report 0
+
+    enforce_static_coupling();
+    return out;
+}
+
+void PackedSimMemory::wait() {
+    for (std::size_t c = 0; c < value_.size(); ++c) {
+        const SingleCellMasks& s = single_[c];
+        if (!(s.drf0 | s.drf1)) continue;
+        const LaneMask is0 = known_[c] & ~value_[c];
+        const LaneMask is1 = known_[c] & value_[c];
+        value_[c] = (value_[c] & ~(s.drf0 & is1)) | (s.drf1 & is0);
+    }
+    enforce_static_coupling();
+}
+
+Trit PackedSimMemory::peek(int addr, int lane) const {
+    check_addr(addr);
+    MTG_EXPECTS(lane >= 0 && lane < kLaneCount);
+    const LaneMask bit = LaneMask{1} << lane;
+    if (!(known_[static_cast<std::size_t>(addr)] & bit)) return Trit::X;
+    return (value_[static_cast<std::size_t>(addr)] & bit) ? Trit::One
+                                                          : Trit::Zero;
+}
+
+void PackedSimMemory::poke(int addr, LaneMask lanes, Trit v) {
+    check_addr(addr);
+    const auto a = static_cast<std::size_t>(addr);
+    if (v == Trit::X) {
+        known_[a] &= ~lanes;
+        value_[a] &= ~lanes;
+    } else {
+        known_[a] |= lanes;
+        value_[a] = v == Trit::One ? (value_[a] | lanes) : (value_[a] & ~lanes);
+    }
+    enforce_static_coupling();
+}
+
+}  // namespace mtg::sim

@@ -1,0 +1,114 @@
+#pragma once
+
+/// \file packed_memory.hpp
+/// Bit-parallel counterpart of SimMemory: 64 independent fault instances are
+/// simulated at once, one lane per bit of a uint64_t plane pair per cell.
+///
+/// Each cell is represented by two lane masks: `value` (bit l = stored bit of
+/// lane l) and `known` (bit l = lane l holds a definite 0/1 rather than X).
+/// Every memory operation is a handful of bitwise operations over those
+/// planes, so one pass over a March test evaluates an entire fault
+/// population. By convention lane 0 is left fault-free as the reference.
+///
+/// Restriction: at most ONE injected fault per lane. The scalar SimMemory
+/// composes multiple faults in injection order, which has no bitwise
+/// equivalent; population evaluation (the batch use case) never needs more
+/// than one fault per lane. SimMemory remains the multi-fault oracle, and
+/// tests/packed_sim_test.cpp proves lane-for-lane equivalence against it.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "util/trit.hpp"
+
+namespace mtg::sim {
+
+/// One bit per simulation lane.
+using LaneMask = std::uint64_t;
+
+/// Number of lanes packed into one plane word.
+inline constexpr int kLaneCount = 64;
+
+/// All-ones lane mask.
+inline constexpr LaneMask kAllLanes = ~LaneMask{0};
+
+/// n-cell RAM simulating up to 64 fault instances in parallel. Cells start
+/// uninitialised (X) in every lane.
+class PackedSimMemory {
+public:
+    explicit PackedSimMemory(int cell_count);
+
+    [[nodiscard]] int size() const { return static_cast<int>(value_.size()); }
+
+    /// Injects `fault` into every lane of `lanes`. Lanes must not already
+    /// hold a fault (see the one-fault-per-lane restriction above).
+    void inject(const InjectedFault& fault, LaneMask lanes);
+
+    /// Per-lane outcome of a read: bit l of `value` is the value seen by
+    /// lane l, valid only where bit l of `known` is set (clear = X).
+    struct ReadResult {
+        LaneMask value{0};
+        LaneMask known{0};
+    };
+
+    /// Write value d (0/1) to `addr` in every lane, applying fault effects.
+    void write(int addr, int d);
+
+    /// Read `addr` in every lane, applying fault effects (read disturbs).
+    [[nodiscard]] ReadResult read(int addr);
+
+    /// Elapse the data-retention period in every lane.
+    void wait();
+
+    /// Raw cell value of one lane without triggering read faults (tests).
+    [[nodiscard]] Trit peek(int addr, int lane) const;
+
+    /// Directly sets a cell in the given lanes, bypassing fault effects.
+    void poke(int addr, LaneMask lanes, Trit v);
+
+private:
+    /// Per-cell lane masks of the single-cell fault kinds, indexed by the
+    /// faulty cell. A zero mask means "no lane has this fault here".
+    struct SingleCellMasks {
+        LaneMask saf0{0}, saf1{0};
+        LaneMask tf_up{0}, tf_down{0};
+        LaneMask wdf0{0}, wdf1{0};
+        LaneMask rdf0{0}, rdf1{0};
+        LaneMask drdf0{0}, drdf1{0};
+        LaneMask irf0{0}, irf1{0};
+        LaneMask drf0{0}, drf1{0};
+    };
+    /// Transition/Af coupling bound to an aggressor cell.
+    struct CouplingEntry {
+        fault::FaultKind kind;
+        int victim;
+        LaneMask lanes;
+    };
+    /// State coupling ⟨sv,fv⟩ — enforced after every state change.
+    struct StaticEntry {
+        int aggressor;
+        int victim;
+        bool sense;  ///< aggressor value that sensitises
+        bool force;  ///< value forced onto the victim
+        LaneMask lanes;
+    };
+    /// Decoder-map fault: accesses to `aggressor` land on `victim`.
+    struct MapEntry {
+        int victim;
+        LaneMask lanes;
+    };
+
+    std::vector<LaneMask> value_;
+    std::vector<LaneMask> known_;
+    std::vector<SingleCellMasks> single_;
+    std::vector<std::vector<CouplingEntry>> coupling_;  ///< by aggressor cell
+    std::vector<std::vector<MapEntry>> afmap_;          ///< by aggressor cell
+    std::vector<StaticEntry> static_;
+    LaneMask occupied_{0};  ///< lanes already holding a fault
+
+    void check_addr(int addr) const;
+    void enforce_static_coupling();
+};
+
+}  // namespace mtg::sim

@@ -1,0 +1,238 @@
+/// Randomized differential test: PackedSimMemory lane-i behaviour must be
+/// bit-identical to a scalar SimMemory carrying the same injected fault,
+/// over random operation sequences, for every FaultKind — the scalar
+/// simulator is the ground-truth oracle for the bit-parallel kernel.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fault/kinds.hpp"
+#include "march/library.hpp"
+#include "march/parser.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/march_runner.hpp"
+#include "sim/packed_memory.hpp"
+#include "util/rng.hpp"
+
+namespace mtg::sim {
+namespace {
+
+using fault::FaultKind;
+
+constexpr int kCells = 6;
+
+/// Random placement of `kind` on a kCells memory.
+InjectedFault random_placement(FaultKind kind, SplitMix64& rng) {
+    if (!fault::is_two_cell(kind))
+        return InjectedFault::single(kind, rng.range(0, kCells - 1));
+    const int a = rng.range(0, kCells - 1);
+    int v = rng.range(0, kCells - 2);
+    if (v >= a) ++v;
+    return InjectedFault::coupling(kind, a, v);
+}
+
+/// Drives scalar and packed memories through the same random op sequence
+/// and checks the read results and full cell state after every operation.
+/// Passing nullptr exercises the fault-free path (nothing injected).
+void run_differential(const InjectedFault* fault, SplitMix64& rng, int lane,
+                      int ops) {
+    SimMemory scalar(kCells);
+    PackedSimMemory packed(kCells);
+    if (fault) {
+        scalar.inject(*fault);
+        packed.inject(*fault, LaneMask{1} << lane);
+    }
+    const std::string label =
+        fault ? fault_kind_name(fault->kind) : "fault-free";
+
+    for (int step = 0; step < ops; ++step) {
+        const int choice = rng.range(0, 9);
+        const int addr = rng.range(0, kCells - 1);
+        if (choice < 5) {
+            const int d = rng.coin() ? 1 : 0;
+            scalar.write(addr, d);
+            packed.write(addr, d);
+        } else if (choice < 9) {
+            const Trit expected = scalar.read(addr);
+            const auto got = packed.read(addr);
+            const bool known = (got.known >> lane) & 1u;
+            ASSERT_EQ(known, is_known(expected))
+                << "read @" << addr << " step " << step << " fault "
+                << label;
+            if (known) {
+                ASSERT_EQ(static_cast<int>((got.value >> lane) & 1u),
+                          trit_bit(expected))
+                    << "read @" << addr << " step " << step << " fault "
+                    << label;
+            }
+        } else {
+            scalar.wait();
+            packed.wait();
+        }
+        for (int c = 0; c < kCells; ++c)
+            ASSERT_EQ(packed.peek(c, lane), scalar.peek(c))
+                << "cell " << c << " step " << step << " fault "
+                << label;
+    }
+}
+
+TEST(PackedSimDifferential, EveryFaultKindMatchesScalarOracle) {
+    SplitMix64 rng(0xBE50C0DEULL);
+    for (FaultKind kind : fault::all_fault_kinds()) {
+        for (int trial = 0; trial < 25; ++trial) {
+            const InjectedFault fault = random_placement(kind, rng);
+            const int lane = rng.range(0, kLaneCount - 1);
+            run_differential(&fault, rng, lane, 60);
+            if (HasFatalFailure()) return;
+        }
+    }
+}
+
+TEST(PackedSimDifferential, FaultFreeLaneMatchesFaultFreeScalar) {
+    SplitMix64 rng(7u);
+    // No injection at all: every lane must behave like the fault-free
+    // scalar memory (lane 0 is the conventional reference lane).
+    run_differential(nullptr, rng, 0, 80);
+}
+
+TEST(PackedSim, SixtyThreeLanesRunIndependently) {
+    SplitMix64 rng(0x5EEDULL);
+    std::vector<InjectedFault> faults;
+    std::vector<SimMemory> scalars;
+    PackedSimMemory packed(kCells);
+    const auto& kinds = fault::all_fault_kinds();
+    for (int lane = 1; lane < kLaneCount; ++lane) {
+        const FaultKind kind =
+            kinds[static_cast<std::size_t>(rng.below(kinds.size()))];
+        faults.push_back(random_placement(kind, rng));
+        scalars.emplace_back(kCells);
+        scalars.back().inject(faults.back());
+        packed.inject(faults.back(), LaneMask{1} << lane);
+    }
+    SimMemory reference(kCells);  // lane 0
+
+    for (int step = 0; step < 200; ++step) {
+        const int choice = rng.range(0, 9);
+        const int addr = rng.range(0, kCells - 1);
+        if (choice < 5) {
+            const int d = rng.coin() ? 1 : 0;
+            reference.write(addr, d);
+            for (auto& s : scalars) s.write(addr, d);
+            packed.write(addr, d);
+        } else if (choice < 9) {
+            const Trit ref = reference.read(addr);
+            const auto got = packed.read(addr);
+            ASSERT_EQ(((got.known >> 0) & 1u) != 0, is_known(ref));
+            for (int lane = 1; lane < kLaneCount; ++lane) {
+                const Trit expected = scalars[static_cast<std::size_t>(
+                                                  lane - 1)]
+                                          .read(addr);
+                const bool known = (got.known >> lane) & 1u;
+                ASSERT_EQ(known, is_known(expected)) << "lane " << lane;
+                if (known) {
+                    ASSERT_EQ(static_cast<int>((got.value >> lane) & 1u),
+                              trit_bit(expected))
+                        << "lane " << lane;
+                }
+            }
+        } else {
+            reference.wait();
+            for (auto& s : scalars) s.wait();
+            packed.wait();
+        }
+    }
+    for (int c = 0; c < kCells; ++c) {
+        ASSERT_EQ(packed.peek(c, 0), reference.peek(c));
+        for (int lane = 1; lane < kLaneCount; ++lane)
+            ASSERT_EQ(packed.peek(c, lane),
+                      scalars[static_cast<std::size_t>(lane - 1)].peek(c))
+                << "cell " << c << " lane " << lane;
+    }
+}
+
+TEST(PackedSim, RejectsTwoFaultsInOneLane) {
+    PackedSimMemory packed(4);
+    packed.inject(InjectedFault::single(FaultKind::Saf0, 1), 0b10);
+    EXPECT_THROW(packed.inject(InjectedFault::single(FaultKind::Saf1, 2), 0b110),
+                 ContractViolation);
+}
+
+/// Scalar-oracle recomputation of the guaranteed failing reads: intersects
+/// run_once traces over every ⇕ expansion, then sorts into the canonical
+/// textual order the batched runner reports.
+std::vector<ReadSite> scalar_guaranteed_reads(const march::MarchTest& test,
+                                              const InjectedFault& fault,
+                                              const RunOptions& opts) {
+    std::vector<ReadSite> guaranteed;
+    bool first = true;
+    for (unsigned choice : expansion_choices(test, opts)) {
+        const RunTrace trace = run_once(test, {fault}, choice, opts);
+        if (first) {
+            guaranteed = trace.failing_reads;
+            first = false;
+        } else {
+            std::erase_if(guaranteed, [&](const ReadSite& site) {
+                return std::find(trace.failing_reads.begin(),
+                                 trace.failing_reads.end(),
+                                 site) == trace.failing_reads.end();
+            });
+        }
+    }
+    std::sort(guaranteed.begin(), guaranteed.end(),
+              [](const ReadSite& a, const ReadSite& b) {
+                  return a.element != b.element ? a.element < b.element
+                                                : a.op < b.op;
+              });
+    return guaranteed;
+}
+
+/// BatchRunner must reproduce the scalar detects() verdict and the
+/// guaranteed failing reads/observations (as sets) for whole populations.
+TEST(BatchRunner, MatchesScalarSweepOnLibraryTests) {
+    const RunOptions opts{.memory_size = 5, .max_any_expansion = 6};
+    for (const char* name : {"MATS", "MATS++", "March C-", "March SS"}) {
+        const auto& test = march::find_march_test(name).test;
+        for (FaultKind kind : fault::all_fault_kinds()) {
+            const auto population = full_population(kind, opts.memory_size);
+            const BatchRunner runner(test, opts);
+            const auto batched = runner.detects(population);
+            const auto traces = runner.run(population);
+            ASSERT_EQ(batched.size(), population.size());
+            for (std::size_t i = 0; i < population.size(); ++i) {
+                const bool scalar = detects(test, population[i], opts);
+                ASSERT_EQ(batched[i], scalar)
+                    << name << ' ' << fault_kind_name(kind) << " placement "
+                    << i;
+                ASSERT_EQ(traces[i].detected, scalar);
+
+                ASSERT_EQ(traces[i].failing_reads,
+                          scalar_guaranteed_reads(test, population[i], opts))
+                    << name << ' ' << fault_kind_name(kind);
+            }
+        }
+    }
+}
+
+TEST(BatchRunner, PopulationsLargerThanOneChunk) {
+    // 12 cells -> 132 ordered pairs: three packed chunks.
+    const RunOptions opts{.memory_size = 12, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        full_population(FaultKind::CfidUp0, opts.memory_size);
+    ASSERT_GT(population.size(), 2u * 63u);
+    const auto batched = BatchRunner(test, opts).detects(population);
+    for (std::size_t i = 0; i < population.size(); ++i)
+        ASSERT_TRUE(batched[i]) << i;
+    EXPECT_TRUE(covers_everywhere(test, FaultKind::CfidUp0, opts));
+}
+
+TEST(FullPopulation, EnumeratesPlacements) {
+    EXPECT_EQ(full_population(FaultKind::Saf0, 8).size(), 8u);
+    EXPECT_EQ(full_population(FaultKind::CfidUp0, 8).size(), 56u);
+}
+
+}  // namespace
+}  // namespace mtg::sim
