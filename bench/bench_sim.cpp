@@ -5,18 +5,21 @@
 
 #include <benchmark/benchmark.h>
 
-#include <chrono>
 #include <cstdio>
+
+#include "bench_timing.hpp"
 
 #include "fault/kinds.hpp"
 #include "march/library.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/march_runner.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace mtg;
+using benchutil::seconds_per_sweep;
 
 void print_summary() {
     TextTable table;
@@ -39,29 +42,16 @@ void print_summary() {
 }
 
 /// Head-to-head: the per-fault scalar sweep versus one batched pass over
-/// the full two-cell fault population of an 8-cell memory — the exact
-/// workload covers_everywhere runs inside the generator's validation gate.
+/// the full two-cell fault population of an 8-cell memory (the exact
+/// workload covers_everywhere runs inside the generator's validation
+/// gate), plus a threads=1 versus threads=N shard comparison on the n=64
+/// population where the chunk grid is deep enough to feed every core.
 /// Emits a machine-readable BENCH_sim.json summary line.
 void print_scalar_vs_batched() {
-    using clock = std::chrono::steady_clock;
     const auto& test = march::march_c_minus();
     const sim::RunOptions opts{.memory_size = 8, .max_any_expansion = 6};
     const auto population =
         sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
-
-    const auto seconds_per_sweep = [&](auto&& sweep) {
-        // One warm-up, then enough repetitions for a stable figure.
-        sweep();
-        int reps = 1;
-        for (;;) {
-            const auto start = clock::now();
-            for (int r = 0; r < reps; ++r) benchmark::DoNotOptimize(sweep());
-            const std::chrono::duration<double> elapsed = clock::now() - start;
-            if (elapsed.count() > 0.2)
-                return elapsed.count() / static_cast<double>(reps);
-            reps *= 4;
-        }
-    };
 
     const double scalar_s = seconds_per_sweep([&] {
         bool all = true;
@@ -69,27 +59,53 @@ void print_scalar_vs_batched() {
             all &= sim::detects(test, fault, opts);  // no short-circuit:
         return all;  // every fault must be simulated for a fair faults/sec
     });
-    const sim::BatchRunner runner(test, opts);
+    util::ThreadPool serial(1);
+    const sim::BatchRunner runner(test, opts, &serial);
     const double batched_s =
         seconds_per_sweep([&] { return runner.detects(population); });
+
+    // Parallel shard comparison: n=64 -> 4032 two-cell faults, 64 chunks.
+    const sim::RunOptions opts64{.memory_size = 64, .max_any_expansion = 6};
+    const auto population64 =
+        sim::full_population(fault::FaultKind::CfidUp0, opts64.memory_size);
+    const sim::BatchRunner runner64_serial(test, opts64, &serial);
+    const double serial64_s = seconds_per_sweep(
+        [&] { return runner64_serial.detects(population64); });
+    util::ThreadPool& pool = util::ThreadPool::global();
+    const sim::BatchRunner runner64_parallel(test, opts64, &pool);
+    const double parallel64_s = seconds_per_sweep(
+        [&] { return runner64_parallel.detects(population64); });
 
     const auto faults = static_cast<double>(population.size());
     const double scalar_fps = faults / scalar_s;
     const double batched_fps = faults / batched_s;
+    const auto faults64 = static_cast<double>(population64.size());
+    const double serial64_fps = faults64 / serial64_s;
+    const double parallel64_fps = faults64 / parallel64_s;
     std::printf(
         "Scalar vs batched kernel (March C-, n=%d, %zu two-cell faults):\n"
-        "  scalar  : %12.0f faults/sec\n"
-        "  batched : %12.0f faults/sec\n"
-        "  speedup : %.1fx\n\n",
+        "  scalar          : %12.0f faults/sec\n"
+        "  batched (1 thr) : %12.0f faults/sec\n"
+        "  speedup         : %.1fx\n"
+        "Thread sharding (March C-, n=%d, %zu two-cell faults):\n"
+        "  threads=1       : %12.0f faults/sec\n"
+        "  threads=%-2u      : %12.0f faults/sec\n"
+        "  parallel speedup: %.2fx\n\n",
         opts.memory_size, population.size(), scalar_fps, batched_fps,
-        batched_fps / scalar_fps);
+        batched_fps / scalar_fps, opts64.memory_size, population64.size(),
+        serial64_fps, pool.worker_count(), parallel64_fps,
+        parallel64_fps / serial64_fps);
     std::printf(
         "BENCH_sim.json {\"workload\":\"covers_everywhere\",\"march\":\"March "
         "C-\",\"memory_size\":%d,\"population\":%zu,"
         "\"scalar_faults_per_sec\":%.0f,\"batched_faults_per_sec\":%.0f,"
-        "\"speedup\":%.2f}\n\n",
+        "\"speedup\":%.2f,\"shard_memory_size\":%d,\"shard_population\":%zu,"
+        "\"threads\":%u,\"batched_1thread_faults_per_sec\":%.0f,"
+        "\"batched_mt_faults_per_sec\":%.0f,\"parallel_speedup\":%.2f}\n\n",
         opts.memory_size, population.size(), scalar_fps, batched_fps,
-        batched_fps / scalar_fps);
+        batched_fps / scalar_fps, opts64.memory_size, population64.size(),
+        pool.worker_count(), serial64_fps, parallel64_fps,
+        parallel64_fps / serial64_fps);
 }
 
 void BM_SingleRun(benchmark::State& state) {

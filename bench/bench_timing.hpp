@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file bench_timing.hpp
+/// Shared timing helper for the hand-rolled head-to-head summaries the
+/// benches print before handing over to Google Benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+namespace mtg::benchutil {
+
+/// Seconds per invocation of `sweep`: one warm-up, then enough
+/// repetitions for a stable figure.
+template <typename Sweep>
+double seconds_per_sweep(Sweep&& sweep) {
+    using clock = std::chrono::steady_clock;
+    sweep();
+    int reps = 1;
+    for (;;) {
+        const auto start = clock::now();
+        for (int r = 0; r < reps; ++r) benchmark::DoNotOptimize(sweep());
+        const std::chrono::duration<double> elapsed = clock::now() - start;
+        if (elapsed.count() > 0.2)
+            return elapsed.count() / static_cast<double>(reps);
+        reps *= 4;
+    }
+}
+
+}  // namespace mtg::benchutil

@@ -1,18 +1,76 @@
 /// \file bench_word.cpp
 /// Word-oriented extension: coverage of solid vs counting backgrounds on
-/// intra-word coupling faults, and simulation cost versus word width.
+/// intra-word coupling faults, simulation cost versus word width, and the
+/// scalar-vs-packed kernel head-to-head (emits a BENCH_word.json summary
+/// line mirroring bench_sim's).
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
+#include "bench_timing.hpp"
+
 #include "march/library.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "word/word_batch_runner.hpp"
 #include "word/word_march.hpp"
 
 namespace {
 
 using namespace mtg;
+using benchutil::seconds_per_sweep;
+
+/// Head-to-head: the per-fault scalar word sweep versus the word-lane
+/// packed kernel on the exact covers_everywhere workload — CFid over the
+/// counting backgrounds at width 8 (113 placements: 56 intra-word pairs,
+/// 56 inter-word pairs, 1 cross pair).
+void print_scalar_vs_packed() {
+    const auto& test = march::march_c_minus();
+    word::WordRunOptions opts;  // 8 words × 8 bits
+    const auto backgrounds = word::counting_backgrounds(opts.width);
+    const auto population =
+        word::coverage_population(fault::FaultKind::CfidUp1, opts);
+
+    const double scalar_s = seconds_per_sweep([&] {
+        bool all = true;
+        for (const auto& fault : population)  // no short-circuit: every
+            all &= word::detects(test, backgrounds, fault, opts);
+        return all;  // fault must be simulated for a fair faults/sec
+    });
+    util::ThreadPool serial(1);
+    const word::WordBatchRunner runner(test, backgrounds, opts, &serial);
+    const double packed_s =
+        seconds_per_sweep([&] { return runner.detects(population); });
+    util::ThreadPool& pool = util::ThreadPool::global();
+    const word::WordBatchRunner runner_mt(test, backgrounds, opts, &pool);
+    const double packed_mt_s =
+        seconds_per_sweep([&] { return runner_mt.detects(population); });
+
+    const auto faults = static_cast<double>(population.size());
+    const double scalar_fps = faults / scalar_s;
+    const double packed_fps = faults / packed_s;
+    const double packed_mt_fps = faults / packed_mt_s;
+    std::printf(
+        "Scalar vs packed word kernel (March C-, %d words x %d bits, "
+        "%zu backgrounds, %zu CFid placements):\n"
+        "  scalar          : %12.0f faults/sec\n"
+        "  packed  (1 thr) : %12.0f faults/sec\n"
+        "  packed  (%u thr) : %11.0f faults/sec\n"
+        "  speedup         : %.1fx\n\n",
+        opts.words, opts.width, backgrounds.size(), population.size(),
+        scalar_fps, packed_fps, pool.worker_count(), packed_mt_fps,
+        packed_fps / scalar_fps);
+    std::printf(
+        "BENCH_word.json {\"workload\":\"covers_everywhere\",\"march\":"
+        "\"March C-\",\"words\":%d,\"width\":%d,\"backgrounds\":%zu,"
+        "\"population\":%zu,\"scalar_faults_per_sec\":%.0f,"
+        "\"packed_faults_per_sec\":%.0f,\"speedup\":%.2f,\"threads\":%u,"
+        "\"packed_mt_faults_per_sec\":%.0f,\"parallel_speedup\":%.2f}\n\n",
+        opts.words, opts.width, backgrounds.size(), population.size(),
+        scalar_fps, packed_fps, packed_fps / scalar_fps, pool.worker_count(),
+        packed_mt_fps, packed_mt_fps / packed_fps);
+}
 
 void print_summary() {
     TextTable table;
@@ -73,6 +131,7 @@ BENCHMARK(BM_WordCoversIntraWord)->Arg(4)->Arg(8)
 
 int main(int argc, char** argv) {
     print_summary();
+    print_scalar_vs_packed();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

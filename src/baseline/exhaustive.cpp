@@ -62,7 +62,7 @@ private:
         if (!kinds_) return;
         MarchTest test(elements_);
         if (sim::is_well_formed(test, run_) &&
-            !sim::first_uncovered(test, *kinds_, run_).has_value())
+            sim::covers_all(test, *kinds_, run_))
             found_ = test;
     }
 

@@ -9,6 +9,7 @@
 #include "core/march_builder.hpp"
 #include "core/rewrite.hpp"
 #include "core/test_pattern_graph.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/two_cell_sim.hpp"
 #include "util/contracts.hpp"
 
@@ -35,18 +36,25 @@ bool tp_subsumes(const TestPattern& covering, const TestPattern& covered) {
            enforced(covered.init.j, covering.init.j);
 }
 
-/// Simulator check: the March test covers every primitive of the list.
-bool march_valid(const MarchTest& test, const std::vector<FaultKind>& kinds,
+/// Simulator check: the March test covers every placement of the target
+/// list — one sharded all-kind BatchRunner sweep instead of a
+/// covers_everywhere call (and runner setup) per kind. The placed
+/// population only depends on (kinds, memory_size), so callers build it
+/// once per generation and reuse it across every candidate.
+bool march_valid(const MarchTest& test,
+                 const std::vector<sim::InjectedFault>& population,
                  const sim::RunOptions& run) {
     if (test.empty()) return false;
     if (!sim::is_well_formed(test, run)) return false;
-    return !sim::first_uncovered(test, kinds, run).has_value();
+    if (population.empty()) return true;
+    return sim::BatchRunner(test, run).detects_all(population);
 }
 
 /// Greedy deletion pass: removes single operations, then whole elements,
 /// while the test remains valid. Guarantees block-level non-redundancy of
 /// the final result.
-MarchTest march_minimise_pass(MarchTest test, const std::vector<FaultKind>& kinds,
+MarchTest march_minimise_pass(MarchTest test,
+                              const std::vector<sim::InjectedFault>& population,
                               const sim::RunOptions& run) {
     bool changed = true;
     while (changed) {
@@ -61,7 +69,7 @@ MarchTest march_minimise_pass(MarchTest test, const std::vector<FaultKind>& kind
                     elements.erase(elements.begin() +
                                    static_cast<std::ptrdiff_t>(e));
                 MarchTest candidate(elements);
-                if (march_valid(candidate, kinds, run)) {
+                if (march_valid(candidate, population, run)) {
                     test = std::move(candidate);
                     changed = true;
                 }
@@ -73,7 +81,7 @@ MarchTest march_minimise_pass(MarchTest test, const std::vector<FaultKind>& kind
             elements.erase(elements.begin() + static_cast<std::ptrdiff_t>(e));
             if (elements.empty()) continue;
             MarchTest candidate(elements);
-            if (march_valid(candidate, kinds, run)) {
+            if (march_valid(candidate, population, run)) {
                 test = std::move(candidate);
                 changed = true;
             }
@@ -173,6 +181,12 @@ GenerationResult Generator::generate(const std::vector<FaultKind>& kinds) const 
     // gate of §4.2).
     const std::vector<FaultInstance> all_instances = fault::instantiate(kinds);
 
+    // Placed all-kind population for the §6 simulator gate — depends only
+    // on (kinds, memory_size), so it is built once and reused across every
+    // candidate validation and minimisation step.
+    const std::vector<sim::InjectedFault> placed_population =
+        sim::full_population(kinds, options_.sim.memory_size);
+
     // --- §5 enumeration over class alternatives -------------------------
     std::vector<std::size_t> digits(choice_classes.size(), 0);
     std::set<std::string> seen_tests;
@@ -203,11 +217,12 @@ GenerationResult Generator::generate(const std::vector<FaultKind>& kinds) const 
 
         MarchTest synthesised = build_march(minimised);
         if (!seen_tests.insert(synthesised.str()).second) return;
-        if (!march_valid(synthesised, kinds, options_.sim)) return;
+        if (!march_valid(synthesised, placed_population, options_.sim)) return;
 
         MarchTest final_test = synthesised;
         if (options_.march_minimise)
-            final_test = march_minimise_pass(final_test, kinds, options_.sim);
+            final_test = march_minimise_pass(final_test, placed_population,
+                                             options_.sim);
 
         const int complexity = final_test.complexity();
         if (!have_best || complexity < result.complexity ||

@@ -28,21 +28,6 @@ Signature signature_of(const MarchTest& test, const InjectedFault& fault,
     return Signature{sim::guaranteed_failing_observations(test, fault, opts)};
 }
 
-namespace {
-
-/// Canonical placement — keep in sync with the §6 coverage matrix.
-InjectedFault place(const FaultInstance& inst, int memory_size) {
-    const int lo = memory_size / 3;
-    const int hi = 2 * memory_size / 3;
-    if (!fault::is_two_cell(inst.kind))
-        return InjectedFault::single(inst.kind, lo);
-    if (inst.aggressor == fsm::Cell::I)
-        return InjectedFault::coupling(inst.kind, lo, hi);
-    return InjectedFault::coupling(inst.kind, hi, lo);
-}
-
-}  // namespace
-
 FaultDictionary FaultDictionary::build(const MarchTest& test,
                                        const std::vector<FaultKind>& kinds,
                                        const sim::RunOptions& opts) {
@@ -54,7 +39,7 @@ FaultDictionary FaultDictionary::build(const MarchTest& test,
     std::vector<InjectedFault> population;
     population.reserve(instances.size());
     for (const FaultInstance& inst : instances)
-        population.push_back(place(inst, opts.memory_size));
+        population.push_back(sim::place_instance(inst, opts.memory_size));
     std::vector<sim::RunTrace> traces =
         sim::BatchRunner(test, opts).run(population);
 

@@ -14,24 +14,6 @@ using march::MarchTest;
 using sim::InjectedFault;
 using sim::ReadSite;
 
-namespace {
-
-/// Concrete placement for a fault instance: representative cells of the
-/// simulated memory. Aggressor-below-victim instances use (lo, hi);
-/// aggressor-above-victim instances use (hi, lo).
-InjectedFault place(const FaultInstance& inst, int memory_size) {
-    const int lo = memory_size / 3;
-    const int hi = 2 * memory_size / 3;
-    MTG_EXPECTS(lo != hi);
-    if (!fault::is_two_cell(inst.kind))
-        return InjectedFault::single(inst.kind, lo);
-    if (inst.aggressor == fsm::Cell::I)
-        return InjectedFault::coupling(inst.kind, lo, hi);
-    return InjectedFault::coupling(inst.kind, hi, lo);
-}
-
-}  // namespace
-
 std::string CoverageMatrix::str() const {
     std::ostringstream os;
     os << "block";
@@ -71,7 +53,7 @@ CoverageMatrix build_coverage_matrix(const MarchTest& test,
     population.reserve(instances.size());
     for (const FaultInstance& inst : instances) {
         matrix.fault_names.push_back(inst.name());
-        population.push_back(place(inst, opts.memory_size));
+        population.push_back(sim::place_instance(inst, opts.memory_size));
     }
     const std::vector<sim::RunTrace> traces =
         sim::BatchRunner(test, opts).run(population);

@@ -1,6 +1,9 @@
 #include "sim/batch_runner.hpp"
 
 #include <algorithm>
+#include <atomic>
+
+#include "fault/instance.hpp"
 
 namespace mtg::sim {
 
@@ -9,22 +12,11 @@ using march::MarchOp;
 using march::MarchTest;
 using march::OpKind;
 
-namespace {
-
-/// Faults packed per pass: 63 population lanes + the fault-free lane 0.
-constexpr int kChunk = kLaneCount - 1;
-
-/// Mask of the population lanes 1..count of a chunk.
-constexpr LaneMask used_lanes(int count) {
-    return (count == kChunk ? kAllLanes : (LaneMask{1} << (count + 1)) - 1) &
-           ~LaneMask{1};
-}
-
-}  // namespace
-
-BatchRunner::BatchRunner(const MarchTest& test, const RunOptions& opts)
-    : test_(test), opts_(opts), expansions_(expansion_choices(test, opts)),
-      sites_(read_sites(test)) {
+BatchRunner::BatchRunner(const MarchTest& test, const RunOptions& opts,
+                         util::ThreadPool* pool)
+    : test_(test), opts_(opts),
+      pool_(pool != nullptr ? pool : &util::ThreadPool::global()),
+      expansions_(expansion_choices(test, opts)), sites_(read_sites(test)) {
     MTG_EXPECTS(opts.memory_size > 0);
     // Flat site id of each (element, op); -1 for writes/waits.
     site_id_.resize(test_.size());
@@ -36,82 +28,87 @@ BatchRunner::BatchRunner(const MarchTest& test, const RunOptions& opts)
     }
 }
 
+LaneMask BatchRunner::run_pass(const InjectedFault* faults, int count,
+                               unsigned choice,
+                               std::vector<LaneMask>* site_now,
+                               std::vector<LaneMask>* obs_now) const {
+    const int n = opts_.memory_size;
+    const LaneMask used = used_lanes(count);
+
+    PackedSimMemory memory(n);
+    for (int i = 0; i < count; ++i)
+        memory.inject(faults[i], LaneMask{1} << (i + 1));
+
+    LaneMask detected = 0;
+    int any_seen = 0;
+    for (std::size_t e = 0; e < test_.size(); ++e) {
+        const auto& element = test_[e];
+        bool desc = element.order == AddressOrder::Descending;
+        if (element.order == AddressOrder::Any) {
+            desc = ((choice >> any_seen) & 1u) != 0;
+            ++any_seen;
+        }
+        for (int step = 0; step < n; ++step) {
+            const int cell = desc ? n - 1 - step : step;
+            for (std::size_t o = 0; o < element.ops.size(); ++o) {
+                const MarchOp& op = element.ops[o];
+                switch (op.kind) {
+                    case OpKind::Write:
+                        memory.write(cell, op.value);
+                        break;
+                    case OpKind::Wait:
+                        memory.wait();
+                        break;
+                    case OpKind::Read: {
+                        const auto got = memory.read(cell);
+                        const LaneMask expected =
+                            op.value ? kAllLanes : LaneMask{0};
+                        // Only definite mismatches detect (X cannot be
+                        // guaranteed to differ from the expected value).
+                        const LaneMask mismatch =
+                            got.known & (got.value ^ expected) & used;
+                        if (!mismatch) break;
+                        detected |= mismatch;
+                        if (site_now == nullptr) break;
+                        const auto sid =
+                            static_cast<std::size_t>(site_id_[e][o]);
+                        (*site_now)[sid] |= mismatch;
+                        if (obs_now != nullptr)
+                            (*obs_now)[sid * static_cast<std::size_t>(n) +
+                                       static_cast<std::size_t>(cell)] |=
+                                mismatch;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    return detected;
+}
+
 BatchRunner::ChunkResult BatchRunner::run_chunk(const InjectedFault* faults,
-                                                int count,
-                                                bool want_traces) const {
-    MTG_EXPECTS(count > 0 && count <= kChunk);
+                                                int count) const {
+    MTG_EXPECTS(count > 0 && count <= kChunkLanes);
     const int n = opts_.memory_size;
     const LaneMask used = used_lanes(count);
 
     ChunkResult out;
     out.detected = used;
     out.site_fail.assign(sites_.size(), used);
-    if (want_traces)
-        out.observation_fail.assign(sites_.size() * static_cast<std::size_t>(n),
-                                    used);
+    out.observation_fail.assign(sites_.size() * static_cast<std::size_t>(n),
+                                used);
 
     std::vector<LaneMask> site_now(sites_.size());
-    std::vector<LaneMask> obs_now(
-        want_traces ? sites_.size() * static_cast<std::size_t>(n) : 0);
+    std::vector<LaneMask> obs_now(sites_.size() * static_cast<std::size_t>(n));
 
     for (unsigned choice : expansions_) {
-        PackedSimMemory memory(n);
-        for (int i = 0; i < count; ++i)
-            memory.inject(faults[i], LaneMask{1} << (i + 1));
         std::fill(site_now.begin(), site_now.end(), 0);
         std::fill(obs_now.begin(), obs_now.end(), 0);
-
-        int any_seen = 0;
-        for (std::size_t e = 0; e < test_.size(); ++e) {
-            const auto& element = test_[e];
-            bool desc = element.order == AddressOrder::Descending;
-            if (element.order == AddressOrder::Any) {
-                desc = ((choice >> any_seen) & 1u) != 0;
-                ++any_seen;
-            }
-            for (int step = 0; step < n; ++step) {
-                const int cell = desc ? n - 1 - step : step;
-                for (std::size_t o = 0; o < element.ops.size(); ++o) {
-                    const MarchOp& op = element.ops[o];
-                    switch (op.kind) {
-                        case OpKind::Write:
-                            memory.write(cell, op.value);
-                            break;
-                        case OpKind::Wait:
-                            memory.wait();
-                            break;
-                        case OpKind::Read: {
-                            const auto got = memory.read(cell);
-                            const LaneMask expected =
-                                op.value ? kAllLanes : LaneMask{0};
-                            // Only definite mismatches detect (X cannot be
-                            // guaranteed to differ from the expected value).
-                            const LaneMask mismatch =
-                                got.known & (got.value ^ expected) & used;
-                            if (!mismatch) break;
-                            const auto sid = static_cast<std::size_t>(
-                                site_id_[e][o]);
-                            site_now[sid] |= mismatch;
-                            if (want_traces)
-                                obs_now[sid * static_cast<std::size_t>(n) +
-                                        static_cast<std::size_t>(cell)] |=
-                                    mismatch;
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-
-        LaneMask detected_now = 0;
-        for (std::size_t s = 0; s < sites_.size(); ++s) {
-            detected_now |= site_now[s];
+        out.detected &= run_pass(faults, count, choice, &site_now, &obs_now);
+        for (std::size_t s = 0; s < sites_.size(); ++s)
             out.site_fail[s] &= site_now[s];
-        }
-        out.detected &= detected_now;
         for (std::size_t k = 0; k < obs_now.size(); ++k)
             out.observation_fail[k] &= obs_now[k];
-        if (!want_traces && out.detected == 0) break;  // every lane escaped
     }
     return out;
 }
@@ -119,39 +116,78 @@ BatchRunner::ChunkResult BatchRunner::run_chunk(const InjectedFault* faults,
 std::vector<bool> BatchRunner::detects(
     const std::vector<InjectedFault>& population) const {
     std::vector<bool> result(population.size(), false);
-    for (std::size_t base = 0; base < population.size(); base += kChunk) {
-        const int count = static_cast<int>(
-            std::min<std::size_t>(kChunk, population.size() - base));
-        const ChunkResult chunk =
-            run_chunk(population.data() + base, count, /*want_traces=*/false);
+    if (population.empty()) return result;
+    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
+    const std::size_t expansions = expansions_.size();
+
+    // Fused (chunk × expansion) grid: every work item is one full test
+    // pass; worker w ANDs its passes into acc[w], and the per-worker
+    // accumulators are intersected once the grid drains. AND is
+    // commutative and associative, so the result is independent of how
+    // the items were distributed.
+    std::vector<std::vector<LaneMask>> acc(
+        pool_->worker_count(), std::vector<LaneMask>(chunks, kAllLanes));
+    pool_->parallel_for(
+        chunks * expansions, [&](std::size_t item, unsigned worker) {
+            const std::size_t c = item / expansions;
+            const unsigned choice = expansions_[item % expansions];
+            acc[worker][c] &=
+                run_pass(population.data() + c * kChunkLanes,
+                         chunk_count(population.size(), c), choice,
+                         nullptr, nullptr);
+        });
+
+    for (std::size_t c = 0; c < chunks; ++c) {
+        LaneMask detected = used_lanes(chunk_count(population.size(), c));
+        for (const auto& worker_acc : acc) detected &= worker_acc[c];
+        const int count = chunk_count(population.size(), c);
         for (int i = 0; i < count; ++i)
-            result[base + static_cast<std::size_t>(i)] =
-                ((chunk.detected >> (i + 1)) & 1u) != 0;
+            result[c * kChunkLanes + static_cast<std::size_t>(i)] =
+                ((detected >> (i + 1)) & 1u) != 0;
     }
     return result;
 }
 
 bool BatchRunner::detects_all(
     const std::vector<InjectedFault>& population) const {
-    for (std::size_t base = 0; base < population.size(); base += kChunk) {
-        const int count = static_cast<int>(
-            std::min<std::size_t>(kChunk, population.size() - base));
-        const ChunkResult chunk =
-            run_chunk(population.data() + base, count, /*want_traces=*/false);
-        if (chunk.detected != used_lanes(count)) return false;
-    }
-    return true;
+    if (population.empty()) return true;
+    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
+    const std::size_t expansions = expansions_.size();
+
+    // A lane escapes as soon as ONE expansion misses it, so any work item
+    // observing an incomplete detection mask settles the answer; the flag
+    // lets the remaining items return immediately.
+    std::atomic<bool> escape{false};
+    pool_->parallel_for(
+        chunks * expansions, [&](std::size_t item, unsigned) {
+            if (escape.load(std::memory_order_relaxed)) return;
+            const std::size_t c = item / expansions;
+            const unsigned choice = expansions_[item % expansions];
+            const int count = chunk_count(population.size(), c);
+            const LaneMask detected =
+                run_pass(population.data() + c * kChunkLanes, count, choice,
+                         nullptr, nullptr);
+            if (detected != used_lanes(count))
+                escape.store(true, std::memory_order_relaxed);
+        });
+    return !escape.load(std::memory_order_relaxed);
 }
 
 std::vector<RunTrace> BatchRunner::run(
     const std::vector<InjectedFault>& population) const {
     const int n = opts_.memory_size;
     std::vector<RunTrace> result(population.size());
-    for (std::size_t base = 0; base < population.size(); base += kChunk) {
-        const int count = static_cast<int>(
-            std::min<std::size_t>(kChunk, population.size() - base));
+    if (population.empty()) return result;
+    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
+
+    // Chunk-wise sharding: each item expands every ⇕ choice itself (the
+    // per-(site, cell) masks would make a fused grid's per-worker state
+    // quadratic) and writes a disjoint slice of the result.
+    pool_->parallel_for(chunks, [&](std::size_t c, unsigned) {
+        const std::size_t base = c * kChunkLanes;
+        const int count = chunk_count(population.size(), c);
         const ChunkResult chunk =
-            run_chunk(population.data() + base, count, /*want_traces=*/true);
+            run_chunk(population.data() + base, count);
         for (int i = 0; i < count; ++i) {
             const LaneMask lane = LaneMask{1} << (i + 1);
             RunTrace& trace = result[base + static_cast<std::size_t>(i)];
@@ -161,20 +197,23 @@ std::vector<RunTrace> BatchRunner::run(
                     trace.failing_reads.push_back(sites_[s]);
                 for (int cell = 0; cell < n; ++cell)
                     if (chunk.observation_fail[s * static_cast<std::size_t>(n) +
-                                               static_cast<std::size_t>(cell)] &
+                                               static_cast<std::size_t>(
+                                                   cell)] &
                         lane)
                         trace.failing_observations.push_back(
                             {sites_[s], cell});
             }
         }
-    }
+    });
     return result;
 }
 
 std::vector<InjectedFault> full_population(fault::FaultKind kind,
                                            int memory_size) {
     std::vector<InjectedFault> population;
+    if (memory_size <= 0) return population;
     if (fault::is_two_cell(kind)) {
+        if (memory_size < 2) return population;  // no ordered pair exists
         population.reserve(static_cast<std::size_t>(memory_size) *
                            static_cast<std::size_t>(memory_size - 1));
         for (int a = 0; a < memory_size; ++a)
@@ -187,6 +226,29 @@ std::vector<InjectedFault> full_population(fault::FaultKind kind,
             population.push_back(InjectedFault::single(kind, c));
     }
     return population;
+}
+
+std::vector<InjectedFault> full_population(
+    const std::vector<fault::FaultKind>& kinds, int memory_size) {
+    std::vector<InjectedFault> population;
+    for (fault::FaultKind kind : kinds) {
+        const std::vector<InjectedFault> placed =
+            full_population(kind, memory_size);
+        population.insert(population.end(), placed.begin(), placed.end());
+    }
+    return population;
+}
+
+InjectedFault place_instance(const fault::FaultInstance& instance,
+                             int memory_size) {
+    const int lo = memory_size / 3;
+    const int hi = 2 * memory_size / 3;
+    MTG_EXPECTS(lo != hi);
+    if (!fault::is_two_cell(instance.kind))
+        return InjectedFault::single(instance.kind, lo);
+    if (instance.aggressor == fsm::Cell::I)
+        return InjectedFault::coupling(instance.kind, lo, hi);
+    return InjectedFault::coupling(instance.kind, hi, lo);
 }
 
 }  // namespace mtg::sim

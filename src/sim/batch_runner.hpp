@@ -9,38 +9,58 @@
 /// across expansions — exactly the guaranteed-detection semantics of the
 /// scalar march_runner, but one memory pass per 63 faults instead of one
 /// pass per fault.
+///
+/// Passes are independent, so the runner shards them across a
+/// util::ThreadPool: detects()/detects_all() fuse the ceil(population/63)
+/// chunks with the 2^k ⇕ expansions into one (chunk × expansion) work grid
+/// — small populations on big expansion counts still saturate every core —
+/// and merge atomic-free per-worker lane masks after the loop drains.
+/// detects_all keeps its fail-fast behaviour through an atomic early-exit
+/// flag shared by the workers. Results are bit-identical for every worker
+/// count (intersection is order-independent), which the determinism tests
+/// enforce against the scalar oracle.
 
 #include <vector>
 
 #include "march/march_test.hpp"
 #include "sim/march_runner.hpp"
 #include "sim/packed_memory.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mtg::fault {
+struct FaultInstance;
+}
 
 namespace mtg::sim {
 
 /// Reusable batched evaluator for one March test. Precomputes the ⇕
 /// expansion set and the read-site table once, then serves any number of
-/// populations.
+/// populations. `pool` (default: the process-wide pool) supplies the
+/// workers; pass an explicit single-worker pool for serial execution.
 class BatchRunner {
 public:
     explicit BatchRunner(const march::MarchTest& test,
-                         const RunOptions& opts = {});
+                         const RunOptions& opts = {},
+                         util::ThreadPool* pool = nullptr);
 
     /// Detection decided under EVERY ⇕ expansion (the `detects` semantics),
     /// element i answering for population[i]. One packed pass handles 63
-    /// faults, so the cost is ceil(population/63) × expansions runs.
+    /// faults, so the cost is ceil(population/63) × expansions runs,
+    /// sharded across the pool.
     [[nodiscard]] std::vector<bool> detects(
         const std::vector<InjectedFault>& population) const;
 
-    /// True when every population member is detected; stops at the first
-    /// chunk containing an escape (the fail-fast covers_everywhere needs).
+    /// True when every population member is detected; an atomic flag stops
+    /// the remaining work items at the first escaping lane (the fail-fast
+    /// covers_everywhere needs).
     [[nodiscard]] bool detects_all(
         const std::vector<InjectedFault>& population) const;
 
     /// Full guaranteed traces: element i holds the reads / (site, cell)
     /// observations of population[i] that fail in EVERY ⇕ expansion, in
     /// textual order — bit-identical to the scalar guaranteed_failing_reads
-    /// / guaranteed_failing_observations pair.
+    /// / guaranteed_failing_observations pair. Sharded chunk-wise (each
+    /// chunk writes a disjoint result range).
     [[nodiscard]] std::vector<RunTrace> run(
         const std::vector<InjectedFault>& population) const;
 
@@ -50,6 +70,7 @@ public:
 private:
     march::MarchTest test_;
     RunOptions opts_;
+    util::ThreadPool* pool_;
     std::vector<unsigned> expansions_;
     std::vector<ReadSite> sites_;
     std::vector<std::vector<int>> site_id_;  ///< (element, op) -> flat site
@@ -61,14 +82,36 @@ private:
         std::vector<LaneMask> site_fail;         ///< [site]
         std::vector<LaneMask> observation_fail;  ///< [site * n + cell]
     };
-    [[nodiscard]] ChunkResult run_chunk(const InjectedFault* faults, int count,
-                                        bool want_traces) const;
+    [[nodiscard]] ChunkResult run_chunk(const InjectedFault* faults,
+                                        int count) const;
+
+    /// One full test execution of one chunk under one fixed ⇕ choice.
+    /// Returns the lanes with at least one definite read mismatch; when
+    /// site_now/obs_now are non-null they receive the per-site and
+    /// per-(site, cell) mismatch masks of this single pass.
+    LaneMask run_pass(const InjectedFault* faults, int count, unsigned choice,
+                      std::vector<LaneMask>* site_now,
+                      std::vector<LaneMask>* obs_now) const;
 };
 
 /// Every concrete placement of `kind` on an n-cell memory: n single-cell
 /// instances, or the n·(n-1) ordered (aggressor, victim) pairs. This is the
-/// population covers_everywhere sweeps.
+/// population covers_everywhere sweeps. Degenerate memories yield the
+/// mathematically empty population (n=1 has no ordered pair; n=0 nothing).
 [[nodiscard]] std::vector<InjectedFault> full_population(fault::FaultKind kind,
                                                          int memory_size);
+
+/// Concatenated full populations of every kind in `kinds`, in list order —
+/// the all-kind population behind the generator's single sharded gate.
+[[nodiscard]] std::vector<InjectedFault> full_population(
+    const std::vector<fault::FaultKind>& kinds, int memory_size);
+
+/// Canonical concrete placement of a fault instance on representative cells
+/// of an n-cell memory (n >= 3): single-cell faults at n/3; two-cell faults
+/// on (n/3, 2n/3) ordered by the instance's aggressor role. Shared by the
+/// coverage matrix and the diagnosis dictionary so their populations stay
+/// aligned.
+[[nodiscard]] InjectedFault place_instance(const fault::FaultInstance& instance,
+                                           int memory_size);
 
 }  // namespace mtg::sim

@@ -132,6 +132,13 @@ std::optional<fault::FaultKind> first_uncovered(
     return std::nullopt;
 }
 
+bool covers_all(const MarchTest& test,
+                const std::vector<fault::FaultKind>& kinds,
+                const RunOptions& opts) {
+    return BatchRunner(test, opts).detects_all(
+        full_population(kinds, opts.memory_size));
+}
+
 bool is_well_formed(const MarchTest& test, const RunOptions& opts) {
     for (unsigned choice : expansion_choices(test, opts)) {
         SimMemory memory(opts.memory_size);

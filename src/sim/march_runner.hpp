@@ -75,6 +75,15 @@ struct RunTrace {
     const march::MarchTest& test, const std::vector<fault::FaultKind>& kinds,
     const RunOptions& opts = {});
 
+/// Single batched verdict over the whole list: one population spanning
+/// every kind's full placement set, evaluated by one sharded fail-fast
+/// BatchRunner sweep. Equivalent to !first_uncovered(...) but pays one
+/// runner setup and keeps every worker busy across kind boundaries — the
+/// generator's validation gate.
+[[nodiscard]] bool covers_all(const march::MarchTest& test,
+                              const std::vector<fault::FaultKind>& kinds,
+                              const RunOptions& opts = {});
+
 /// Sanity property: on a fault-free memory every read must observe a known,
 /// matching value in every ⇕ expansion (no read of uninitialised cells, no
 /// wrong expected values). All library and generated tests must satisfy it.

@@ -33,6 +33,26 @@ inline constexpr int kLaneCount = 64;
 /// All-ones lane mask.
 inline constexpr LaneMask kAllLanes = ~LaneMask{0};
 
+/// Population lanes per batched pass: 63 fault lanes + the fault-free
+/// reference lane 0. Shared by the bit- and word-oriented batch runners so
+/// the packing convention cannot diverge.
+inline constexpr int kChunkLanes = kLaneCount - 1;
+
+/// Mask of the population lanes 1..count of one chunk.
+constexpr LaneMask used_lanes(int count) {
+    return (count == kChunkLanes ? kAllLanes
+                                 : (LaneMask{1} << (count + 1)) - 1) &
+           ~LaneMask{1};
+}
+
+/// Lane count of chunk `c` of a population of `population` faults.
+constexpr int chunk_count(std::size_t population, std::size_t c) {
+    const std::size_t remaining = population - c * kChunkLanes;
+    return remaining < static_cast<std::size_t>(kChunkLanes)
+               ? static_cast<int>(remaining)
+               : kChunkLanes;
+}
+
 /// n-cell RAM simulating up to 64 fault instances in parallel. Cells start
 /// uninitialised (X) in every lane.
 class PackedSimMemory {

@@ -1,0 +1,272 @@
+#include "word/packed_word_memory.hpp"
+
+namespace mtg::word {
+
+using fault::FaultKind;
+
+PackedWordMemory::PackedWordMemory(int words, int width)
+    : words_(words), width_(width),
+      value_(static_cast<std::size_t>(words) * static_cast<std::size_t>(width),
+             0),
+      known_(value_.size(), 0), single_(value_.size()),
+      coupling_(static_cast<std::size_t>(words)),
+      afmap_(static_cast<std::size_t>(words)) {
+    MTG_EXPECTS(words > 0);
+    MTG_EXPECTS(width >= 1 && width <= 64);
+}
+
+std::size_t PackedWordMemory::index(BitAddr at) const {
+    MTG_EXPECTS(at.word >= 0 && at.word < words_);
+    MTG_EXPECTS(at.bit >= 0 && at.bit < width_);
+    return static_cast<std::size_t>(at.word) *
+               static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(at.bit);
+}
+
+void PackedWordMemory::inject(const InjectedBitFault& fault, LaneMask lanes) {
+    const std::size_t a = index(fault.a);
+    MTG_EXPECTS((occupied_ & lanes) == 0);  // one fault per lane
+    occupied_ |= lanes;
+
+    auto& s = single_[a];
+    switch (fault.kind) {
+        case FaultKind::Saf0: s.saf0 |= lanes; return;
+        case FaultKind::Saf1: s.saf1 |= lanes; return;
+        case FaultKind::TfUp: s.tf_up |= lanes; return;
+        case FaultKind::TfDown: s.tf_down |= lanes; return;
+        case FaultKind::Wdf0: s.wdf0 |= lanes; return;
+        case FaultKind::Wdf1: s.wdf1 |= lanes; return;
+        case FaultKind::Rdf0: s.rdf0 |= lanes; return;
+        case FaultKind::Rdf1: s.rdf1 |= lanes; return;
+        case FaultKind::Drdf0: s.drdf0 |= lanes; return;
+        case FaultKind::Drdf1: s.drdf1 |= lanes; return;
+        case FaultKind::Irf0: s.irf0 |= lanes; return;
+        case FaultKind::Irf1: s.irf1 |= lanes; return;
+        case FaultKind::Drf0: s.drf0 |= lanes; return;
+        case FaultKind::Drf1: s.drf1 |= lanes; return;
+        case FaultKind::CfinUp:
+        case FaultKind::CfinDown:
+        case FaultKind::CfidUp0:
+        case FaultKind::CfidUp1:
+        case FaultKind::CfidDown0:
+        case FaultKind::CfidDown1:
+        case FaultKind::Af:
+            coupling_[static_cast<std::size_t>(fault.a.word)].push_back(
+                {fault.kind, fault.a.bit, index(fault.b), lanes});
+            return;
+        case FaultKind::CfstS0F0:
+            static_.push_back({a, index(fault.b), false, false, lanes});
+            return;
+        case FaultKind::CfstS0F1:
+            static_.push_back({a, index(fault.b), false, true, lanes});
+            return;
+        case FaultKind::CfstS1F0:
+            static_.push_back({a, index(fault.b), true, false, lanes});
+            return;
+        case FaultKind::CfstS1F1:
+            static_.push_back({a, index(fault.b), true, true, lanes});
+            return;
+        case FaultKind::AfMap:
+            // Word-level decoder fault; intra-word AfMap is inert in the
+            // scalar model, so it stays inert here too.
+            (void)index(fault.b);
+            if (!fault.intra_word())
+                afmap_[static_cast<std::size_t>(fault.a.word)].push_back(
+                    {fault.b.word, lanes});
+            return;
+    }
+    MTG_ASSERT(false && "unhandled fault kind");
+}
+
+void PackedWordMemory::enforce_static_coupling() {
+    for (const StaticEntry& s : static_) {
+        const LaneMask av = value_[s.aggressor];
+        const LaneMask ak = known_[s.aggressor];
+        const LaneMask match = s.lanes & ak & (s.sense ? av : ~av);
+        if (!match) continue;
+        LaneMask& vv = value_[s.victim];
+        vv = s.force ? (vv | match) : (vv & ~match);
+        known_[s.victim] |= match;
+    }
+}
+
+void PackedWordMemory::write(int word, std::uint64_t value) {
+    MTG_EXPECTS(word >= 0 && word < words_);
+    const auto w = static_cast<std::size_t>(word);
+    const std::size_t base = w * static_cast<std::size_t>(width_);
+
+    // Decoder-map lanes: the whole word access lands on the victim word.
+    LaneMask redirected = 0;
+    for (const MapEntry& m : afmap_[w]) {
+        const std::size_t vbase = static_cast<std::size_t>(m.victim_word) *
+                                  static_cast<std::size_t>(width_);
+        for (int b = 0; b < width_; ++b) {
+            const LaneMask dmask = ((value >> b) & 1u) ? kAllLanes : 0;
+            value_[vbase + static_cast<std::size_t>(b)] =
+                (value_[vbase + static_cast<std::size_t>(b)] & ~m.lanes) |
+                (dmask & m.lanes);
+            known_[vbase + static_cast<std::size_t>(b)] |= m.lanes;
+        }
+        redirected |= m.lanes;
+    }
+    const LaneMask active = ~redirected;
+
+    // Phase 1: per-bit effective values (single-bit effects on own bit).
+    // The pre-write planes are captured first so phase 2 can derive the
+    // aggressor transitions of this whole-word store.
+    LaneMask old_v[64];
+    LaneMask old_k[64];
+    for (int b = 0; b < width_; ++b) {
+        old_v[b] = value_[base + static_cast<std::size_t>(b)];
+        old_k[b] = known_[base + static_cast<std::size_t>(b)];
+    }
+
+    for (int b = 0; b < width_; ++b) {
+        const std::size_t at = base + static_cast<std::size_t>(b);
+        const int d = static_cast<int>((value >> b) & 1u);
+        const LaneMask dmask = d ? kAllLanes : LaneMask{0};
+        const LaneMask old0 = old_k[b] & ~old_v[b];
+        const LaneMask old1 = old_k[b] & old_v[b];
+
+        // The single-bit masks are disjoint lane-wise (one fault per
+        // lane), so sequential application is exact.
+        const SingleBitMasks& s = single_[at];
+        LaneMask eff = dmask;
+        eff = (eff & ~s.saf0) | s.saf1;
+        if (d == 1) {
+            eff &= ~(s.tf_up & old0);  // 0 -> 1 transition fails
+            eff &= ~(s.wdf1 & old1);   // w1 over a 1 flips the bit to 0
+        } else {
+            eff |= s.tf_down & old1;  // 1 -> 0 transition fails
+            eff |= s.wdf0 & old0;     // w0 over a 0 flips the bit to 1
+        }
+
+        value_[at] = (old_v[b] & ~active) | (eff & active);
+        known_[at] |= active;
+    }
+
+    // Phase 2: coupling sensitised by the aggressor-bit transitions of
+    // this store, applied after the whole word is written.
+    for (const CouplingEntry& c : coupling_[w]) {
+        const int b = c.aggressor_bit;
+        const std::size_t at = base + static_cast<std::size_t>(b);
+        const LaneMask new_v = value_[at];
+        const LaneMask new_k = known_[at];
+        const LaneMask rising = old_k[b] & ~old_v[b] & new_k & new_v;
+        const LaneMask falling = old_k[b] & old_v[b] & new_k & ~new_v;
+        const std::size_t v = c.victim;
+        LaneMask t = 0;
+        switch (c.kind) {
+            case FaultKind::CfinUp:
+                t = c.lanes & rising;
+                value_[v] ^= t & known_[v];  // X victims stay X
+                continue;
+            case FaultKind::CfinDown:
+                t = c.lanes & falling;
+                value_[v] ^= t & known_[v];
+                continue;
+            case FaultKind::CfidUp0: t = c.lanes & rising; break;
+            case FaultKind::CfidUp1: t = c.lanes & rising; break;
+            case FaultKind::CfidDown0: t = c.lanes & falling; break;
+            case FaultKind::CfidDown1: t = c.lanes & falling; break;
+            case FaultKind::Af: t = c.lanes & active; break;
+            default: MTG_ASSERT(false && "not a coupling kind"); break;
+        }
+        if (!t) continue;
+        switch (c.kind) {
+            case FaultKind::CfidUp0:
+            case FaultKind::CfidDown0: value_[v] &= ~t; break;
+            case FaultKind::CfidUp1:
+            case FaultKind::CfidDown1: value_[v] |= t; break;
+            case FaultKind::Af:
+                // Shorted decoder: the victim tracks the aggressor's newly
+                // stored value on every write to the aggressor's word.
+                value_[v] = (value_[v] & ~t) | (new_v & t);
+                break;
+            default: break;
+        }
+        known_[v] |= t;
+    }
+
+    enforce_static_coupling();
+}
+
+void PackedWordMemory::read(int word, ReadResult* out) {
+    MTG_EXPECTS(word >= 0 && word < words_);
+    MTG_EXPECTS(out != nullptr);
+    const auto w = static_cast<std::size_t>(word);
+    const std::size_t base = w * static_cast<std::size_t>(width_);
+
+    // Decoder-map lanes observe the victim word instead.
+    LaneMask redirected = 0;
+    for (int b = 0; b < width_; ++b) out[b] = ReadResult{};
+    for (const MapEntry& m : afmap_[w]) {
+        const std::size_t vbase = static_cast<std::size_t>(m.victim_word) *
+                                  static_cast<std::size_t>(width_);
+        for (int b = 0; b < width_; ++b) {
+            out[b].value |= value_[vbase + static_cast<std::size_t>(b)] &
+                            m.lanes;
+            out[b].known |= known_[vbase + static_cast<std::size_t>(b)] &
+                            m.lanes;
+        }
+        redirected |= m.lanes;
+    }
+    const LaneMask active = ~redirected;
+
+    for (int b = 0; b < width_; ++b) {
+        const std::size_t at = base + static_cast<std::size_t>(b);
+        const LaneMask cell_v = value_[at];
+        const LaneMask cell_k = known_[at];
+        const LaneMask is0 = cell_k & ~cell_v;
+        const LaneMask is1 = cell_k & cell_v;
+        const SingleBitMasks& s = single_[at];
+
+        LaneMask seen_v = cell_v;
+        LaneMask seen_k = cell_k;
+        // Stuck-at bits always read back the stuck value, even before any
+        // write has initialised them.
+        seen_v = (seen_v & ~s.saf0) | s.saf1;
+        seen_k |= s.saf0 | s.saf1;
+
+        LaneMask t;
+        t = s.rdf0 & is0;  // flips the bit and returns the wrong value
+        value_[at] |= t;
+        seen_v |= t;
+        t = s.rdf1 & is1;
+        value_[at] &= ~t;
+        seen_v &= ~t;
+        t = s.drdf0 & is0;  // deceptive: flips the bit, returns the old value
+        value_[at] |= t;
+        t = s.drdf1 & is1;
+        value_[at] &= ~t;
+        seen_v |= s.irf0 & is0;  // wrong value, no flip
+        seen_v &= ~(s.irf1 & is1);
+
+        out[b].value |= seen_v & active;
+        out[b].known |= seen_k & active;
+        out[b].value &= out[b].known;  // normalise: X lanes report 0
+    }
+
+    enforce_static_coupling();
+}
+
+void PackedWordMemory::wait() {
+    for (std::size_t at = 0; at < value_.size(); ++at) {
+        const SingleBitMasks& s = single_[at];
+        if (!(s.drf0 | s.drf1)) continue;
+        const LaneMask is0 = known_[at] & ~value_[at];
+        const LaneMask is1 = known_[at] & value_[at];
+        value_[at] = (value_[at] & ~(s.drf0 & is1)) | (s.drf1 & is0);
+    }
+    enforce_static_coupling();
+}
+
+Trit PackedWordMemory::peek(BitAddr at, int lane) const {
+    MTG_EXPECTS(lane >= 0 && lane < kLaneCount);
+    const std::size_t i = index(at);
+    const LaneMask bit = LaneMask{1} << lane;
+    if (!(known_[i] & bit)) return Trit::X;
+    return (value_[i] & bit) ? Trit::One : Trit::Zero;
+}
+
+}  // namespace mtg::word

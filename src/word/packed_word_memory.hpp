@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file packed_word_memory.hpp
+/// Bit-parallel counterpart of WordMemory: 64 independent bit-fault
+/// instances are simulated at once against the same word-oriented RAM.
+///
+/// Packing layout: the memory holds words × width bit positions; every bit
+/// position owns a `value` and a `known` lane plane (uint64_t), bit l of a
+/// plane belonging to simulation lane l — the same value/known plane-pair
+/// scheme sim::PackedSimMemory uses for bit-oriented cells, lifted to the
+/// (word, bit) grid. A whole-word write touches `width` plane pairs with a
+/// handful of bitwise operations each; a whole-word read returns one
+/// {value, known} lane mask per bit. Lane 0 is left fault-free as the
+/// reference by convention.
+///
+/// Word semantics mirror the scalar WordMemory exactly: writes resolve
+/// every bit's own value first (phase 1), store the word, and only then
+/// apply coupling effects of the aggressor-bit transitions (phase 2), so
+/// an intra-word victim written in the same cycle is corrupted after its
+/// own write; AfMap redirects whole-word accesses (word-level decoders
+/// fail for whole words), and intra-word AfMap is inert, as in the scalar
+/// model.
+///
+/// Restriction: at most ONE injected fault per lane (multi-fault
+/// composition is injection-order-dependent and has no bitwise
+/// equivalent). WordMemory remains the multi-fault oracle;
+/// tests/word_batch_test.cpp proves lane-for-lane equivalence against it.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/packed_memory.hpp"
+#include "word/word_memory.hpp"
+
+namespace mtg::word {
+
+/// One bit per simulation lane; packing helpers shared with the
+/// bit-oriented kernel.
+using sim::chunk_count;
+using sim::kAllLanes;
+using sim::kChunkLanes;
+using sim::kLaneCount;
+using sim::LaneMask;
+using sim::used_lanes;
+
+/// words × width RAM simulating up to 64 bit-fault instances in parallel.
+/// All bits start uninitialised (X) in every lane.
+class PackedWordMemory {
+public:
+    PackedWordMemory(int words, int width);
+
+    [[nodiscard]] int words() const { return words_; }
+    [[nodiscard]] int width() const { return width_; }
+
+    /// Injects `fault` into every lane of `lanes`. Lanes must not already
+    /// hold a fault (one-fault-per-lane restriction).
+    void inject(const InjectedBitFault& fault, LaneMask lanes);
+
+    /// Per-lane outcome of one bit of a word read: bit l of `value` is the
+    /// value lane l sees, valid only where bit l of `known` is set.
+    struct ReadResult {
+        LaneMask value{0};
+        LaneMask known{0};
+    };
+
+    /// Writes the W-bit `value` to `word` in every lane, applying fault
+    /// effects (the written word is the same for all lanes; the stored
+    /// result differs per lane).
+    void write(int word, std::uint64_t value);
+
+    /// Reads `word` in every lane, applying read-fault effects. `out` must
+    /// point at width() entries, one per bit position.
+    void read(int word, ReadResult* out);
+
+    /// Elapses the data-retention period in every lane.
+    void wait();
+
+    /// Raw bit value of one lane without triggering read faults (tests).
+    [[nodiscard]] Trit peek(BitAddr at, int lane) const;
+
+private:
+    /// Per-bit-position lane masks of the single-bit fault kinds. A zero
+    /// mask means "no lane has this fault here".
+    struct SingleBitMasks {
+        LaneMask saf0{0}, saf1{0};
+        LaneMask tf_up{0}, tf_down{0};
+        LaneMask wdf0{0}, wdf1{0};
+        LaneMask rdf0{0}, rdf1{0};
+        LaneMask drdf0{0}, drdf1{0};
+        LaneMask irf0{0}, irf1{0};
+        LaneMask drf0{0}, drf1{0};
+    };
+    /// Transition/Af coupling bound to an aggressor bit of some word.
+    struct CouplingEntry {
+        fault::FaultKind kind;
+        int aggressor_bit;
+        std::size_t victim;  ///< flat (word, bit) index
+        LaneMask lanes;
+    };
+    /// State coupling ⟨sv,fv⟩ — enforced after every state change.
+    struct StaticEntry {
+        std::size_t aggressor;
+        std::size_t victim;
+        bool sense;  ///< aggressor value that sensitises
+        bool force;  ///< value forced onto the victim
+        LaneMask lanes;
+    };
+    /// Word-decoder fault: whole-word accesses land on `victim_word`.
+    struct MapEntry {
+        int victim_word;
+        LaneMask lanes;
+    };
+
+    int words_;
+    int width_;
+    std::vector<LaneMask> value_;  ///< word-major (word * width + bit)
+    std::vector<LaneMask> known_;
+    std::vector<SingleBitMasks> single_;
+    std::vector<std::vector<CouplingEntry>> coupling_;  ///< by aggressor word
+    std::vector<std::vector<MapEntry>> afmap_;          ///< by aggressor word
+    std::vector<StaticEntry> static_;
+    LaneMask occupied_{0};  ///< lanes already holding a fault
+
+    [[nodiscard]] std::size_t index(BitAddr at) const;
+    void enforce_static_coupling();
+};
+
+}  // namespace mtg::word

@@ -1,0 +1,161 @@
+#include "word/word_batch_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mtg::word {
+
+using march::AddressOrder;
+using march::MarchOp;
+using march::MarchTest;
+using march::OpKind;
+
+WordBatchRunner::WordBatchRunner(const MarchTest& test,
+                                 std::vector<Background> backgrounds,
+                                 const WordRunOptions& opts,
+                                 util::ThreadPool* pool)
+    : test_(test), backgrounds_(std::move(backgrounds)), opts_(opts),
+      pool_(pool != nullptr ? pool : &util::ThreadPool::global()),
+      expansions_(expansion_choices(test, opts)) {
+    MTG_EXPECTS(opts.words > 0);
+    MTG_EXPECTS(opts.width >= 1 && opts.width <= 64);
+    MTG_EXPECTS(!backgrounds_.empty());
+}
+
+LaneMask WordBatchRunner::run_pass(const InjectedBitFault* faults, int count,
+                                   unsigned choice) const {
+    const LaneMask used = used_lanes(count);
+    PackedWordMemory memory(opts_.words, opts_.width);
+    for (int i = 0; i < count; ++i)
+        memory.inject(faults[i], LaneMask{1} << (i + 1));
+
+    PackedWordMemory::ReadResult got[64];
+    LaneMask detected = 0;
+    // Backgrounds stream through the packed lanes on the same memory, so
+    // state carries from one background run into the next exactly as in
+    // the scalar word runner.
+    for (const Background& background : backgrounds_) {
+        const std::uint64_t b0 = background.bits;
+        const std::uint64_t b1 = background.complement().bits;
+        int any_seen = 0;
+        for (const auto& element : test_.elements()) {
+            bool desc = element.order == AddressOrder::Descending;
+            if (element.order == AddressOrder::Any) {
+                desc = ((choice >> any_seen) & 1u) != 0;
+                ++any_seen;
+            }
+            const int n = opts_.words;
+            for (int step = 0; step < n; ++step) {
+                const int word = desc ? n - 1 - step : step;
+                for (const MarchOp& op : element.ops) {
+                    switch (op.kind) {
+                        case OpKind::Write:
+                            memory.write(word, op.value ? b1 : b0);
+                            break;
+                        case OpKind::Wait:
+                            memory.wait();
+                            break;
+                        case OpKind::Read: {
+                            const std::uint64_t expected = op.value ? b1 : b0;
+                            memory.read(word, got);
+                            for (int bit = 0; bit < opts_.width; ++bit) {
+                                const LaneMask expmask =
+                                    ((expected >> bit) & 1u) ? kAllLanes
+                                                             : LaneMask{0};
+                                detected |= got[bit].known &
+                                            (got[bit].value ^ expmask) & used;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return detected;
+}
+
+std::vector<bool> WordBatchRunner::detects(
+    const std::vector<InjectedBitFault>& population) const {
+    std::vector<bool> result(population.size(), false);
+    if (population.empty()) return result;
+    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
+    const std::size_t expansions = expansions_.size();
+
+    // Fused (chunk × expansion) grid with per-worker AND accumulators,
+    // merged after the drain — identical results for any worker count.
+    std::vector<std::vector<LaneMask>> acc(
+        pool_->worker_count(), std::vector<LaneMask>(chunks, kAllLanes));
+    pool_->parallel_for(
+        chunks * expansions, [&](std::size_t item, unsigned worker) {
+            const std::size_t c = item / expansions;
+            const unsigned choice = expansions_[item % expansions];
+            acc[worker][c] &= run_pass(population.data() + c * kChunkLanes,
+                                       chunk_count(population.size(), c),
+                                       choice);
+        });
+
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const int count = chunk_count(population.size(), c);
+        LaneMask detected = used_lanes(count);
+        for (const auto& worker_acc : acc) detected &= worker_acc[c];
+        for (int i = 0; i < count; ++i)
+            result[c * kChunkLanes + static_cast<std::size_t>(i)] =
+                ((detected >> (i + 1)) & 1u) != 0;
+    }
+    return result;
+}
+
+bool WordBatchRunner::detects_all(
+    const std::vector<InjectedBitFault>& population) const {
+    if (population.empty()) return true;
+    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
+    const std::size_t expansions = expansions_.size();
+
+    std::atomic<bool> escape{false};
+    pool_->parallel_for(
+        chunks * expansions, [&](std::size_t item, unsigned) {
+            if (escape.load(std::memory_order_relaxed)) return;
+            const std::size_t c = item / expansions;
+            const unsigned choice = expansions_[item % expansions];
+            const int count = chunk_count(population.size(), c);
+            if (run_pass(population.data() + c * kChunkLanes, count, choice) !=
+                used_lanes(count))
+                escape.store(true, std::memory_order_relaxed);
+        });
+    return !escape.load(std::memory_order_relaxed);
+}
+
+std::vector<InjectedBitFault> coverage_population(fault::FaultKind kind,
+                                                  const WordRunOptions& opts) {
+    std::vector<InjectedBitFault> population;
+    if (!fault::is_two_cell(kind)) {
+        population.reserve(static_cast<std::size_t>(opts.words) *
+                           static_cast<std::size_t>(opts.width));
+        for (int w = 0; w < opts.words; ++w)
+            for (int b = 0; b < opts.width; ++b)
+                population.push_back(InjectedBitFault::single(kind, {w, b}));
+        return population;
+    }
+    // Intra-word: every ordered bit pair of a representative word.
+    const int word = opts.words / 2;
+    for (int a = 0; a < opts.width; ++a)
+        for (int v = 0; v < opts.width; ++v)
+            if (a != v)
+                population.push_back(
+                    InjectedBitFault::coupling(kind, {word, a}, {word, v}));
+    // Inter-word: every ordered word pair on a representative bit, plus a
+    // cross-bit pair to exercise bit-position asymmetry.
+    const int bit = opts.width / 2;
+    for (int wa = 0; wa < opts.words; ++wa)
+        for (int wv = 0; wv < opts.words; ++wv)
+            if (wa != wv)
+                population.push_back(
+                    InjectedBitFault::coupling(kind, {wa, bit}, {wv, bit}));
+    if (opts.width >= 2)
+        population.push_back(InjectedBitFault::coupling(
+            kind, {0, 0}, {opts.words - 1, opts.width - 1}));
+    return population;
+}
+
+}  // namespace mtg::word

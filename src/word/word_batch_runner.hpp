@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file word_batch_runner.hpp
+/// Evaluates one word-oriented March test (bit test × background set)
+/// against a whole bit-fault population per pass.
+///
+/// The runner packs up to 63 bit-fault instances into the lanes of one
+/// PackedWordMemory (lane 0 stays fault-free as the reference) and streams
+/// the background set through them: one pass executes the test once per
+/// background on the SAME packed memory, exactly like the scalar word
+/// runner, so background-boundary transitions (re-initialising from ~b_k
+/// to b_{k+1}) keep their fault-sensitising effect. Per-lane mismatch
+/// masks are OR-ed across backgrounds within a pass and intersected across
+/// the ⇕ expansions — the guaranteed-detection semantics of word::detects,
+/// one memory sweep per 63 faults instead of one per fault.
+///
+/// Like sim::BatchRunner, the (chunk × expansion) work grid is sharded
+/// across a util::ThreadPool with atomic-free per-worker accumulators, and
+/// detects_all fail-fasts through a shared atomic flag. Results are
+/// bit-identical for every worker count.
+
+#include <vector>
+
+#include "march/march_test.hpp"
+#include "util/thread_pool.hpp"
+#include "word/packed_word_memory.hpp"
+#include "word/word_march.hpp"
+
+namespace mtg::word {
+
+/// Reusable batched evaluator for one word test. Precomputes the ⇕
+/// expansion set once, then serves any number of populations.
+class WordBatchRunner {
+public:
+    WordBatchRunner(const march::MarchTest& test,
+                    std::vector<Background> backgrounds,
+                    const WordRunOptions& opts = {},
+                    util::ThreadPool* pool = nullptr);
+
+    /// Guaranteed detection under EVERY ⇕ expansion (the word::detects
+    /// semantics), element i answering for population[i].
+    [[nodiscard]] std::vector<bool> detects(
+        const std::vector<InjectedBitFault>& population) const;
+
+    /// True when every population member is detected; an atomic flag stops
+    /// the remaining work items at the first escaping lane.
+    [[nodiscard]] bool detects_all(
+        const std::vector<InjectedBitFault>& population) const;
+
+    [[nodiscard]] const march::MarchTest& test() const { return test_; }
+    [[nodiscard]] const WordRunOptions& options() const { return opts_; }
+
+private:
+    march::MarchTest test_;
+    std::vector<Background> backgrounds_;
+    WordRunOptions opts_;
+    util::ThreadPool* pool_;
+    std::vector<unsigned> expansions_;
+
+    /// One full (all backgrounds, fixed ⇕ choice) execution of one chunk;
+    /// returns the lanes with at least one definite read mismatch.
+    [[nodiscard]] LaneMask run_pass(const InjectedBitFault* faults, int count,
+                                    unsigned choice) const;
+};
+
+/// The exact placement set word::covers_everywhere sweeps for `kind`:
+/// every (word, bit) for single-bit kinds; for two-cell kinds every
+/// ordered intra-word bit pair of the representative word, every ordered
+/// inter-word pair on the representative bit, plus one cross-bit pair.
+[[nodiscard]] std::vector<InjectedBitFault> coverage_population(
+    fault::FaultKind kind, const WordRunOptions& opts);
+
+}  // namespace mtg::word

@@ -1,5 +1,7 @@
 #include "word/word_march.hpp"
 
+#include "word/word_batch_runner.hpp"
+
 namespace mtg::word {
 
 using march::AddressOrder;
@@ -82,13 +84,20 @@ bool run_once_detects(const MarchTest& test,
     return detected;
 }
 
+std::vector<unsigned> expansion_choices(const MarchTest& test,
+                                        const WordRunOptions& opts) {
+    const int k = any_count(test);
+    if (k <= opts.max_any_expansion) {
+        std::vector<unsigned> all;
+        for (unsigned c = 0; c < (1u << k); ++c) all.push_back(c);
+        return all;
+    }
+    return {0u, ~0u};
+}
+
 bool detects(const MarchTest& test, const std::vector<Background>& backgrounds,
              const InjectedBitFault& fault, const WordRunOptions& opts) {
-    const int k = any_count(test);
-    const bool expand = k <= opts.max_any_expansion;
-    const unsigned limit = expand ? (1u << k) : 2u;
-    for (unsigned c = 0; c < limit; ++c) {
-        const unsigned choice = expand ? c : (c == 0 ? 0u : ~0u);
+    for (unsigned choice : expansion_choices(test, opts)) {
         if (!run_once_detects(test, backgrounds, fault, choice, opts))
             return false;
     }
@@ -98,54 +107,16 @@ bool detects(const MarchTest& test, const std::vector<Background>& backgrounds,
 bool covers_everywhere(const MarchTest& test,
                        const std::vector<Background>& backgrounds,
                        fault::FaultKind kind, const WordRunOptions& opts) {
-    if (!fault::is_two_cell(kind)) {
-        for (int w = 0; w < opts.words; ++w)
-            for (int b = 0; b < opts.width; ++b)
-                if (!detects(test, backgrounds,
-                             InjectedBitFault::single(kind, {w, b}), opts))
-                    return false;
-        return true;
-    }
-    // Intra-word: every ordered bit pair of a representative word.
-    const int word = opts.words / 2;
-    for (int a = 0; a < opts.width; ++a) {
-        for (int v = 0; v < opts.width; ++v) {
-            if (a == v) continue;
-            if (!detects(test, backgrounds,
-                         InjectedBitFault::coupling(kind, {word, a}, {word, v}),
-                         opts))
-                return false;
-        }
-    }
-    // Inter-word: every ordered word pair on a representative bit, plus a
-    // cross-bit pair to exercise bit-position asymmetry.
-    const int bit = opts.width / 2;
-    for (int wa = 0; wa < opts.words; ++wa) {
-        for (int wv = 0; wv < opts.words; ++wv) {
-            if (wa == wv) continue;
-            if (!detects(test, backgrounds,
-                         InjectedBitFault::coupling(kind, {wa, bit}, {wv, bit}),
-                         opts))
-                return false;
-        }
-    }
-    if (opts.width >= 2 &&
-        !detects(test, backgrounds,
-                 InjectedBitFault::coupling(kind, {0, 0},
-                                            {opts.words - 1, opts.width - 1}),
-                 opts))
-        return false;
-    return true;
+    // One sharded batched sweep over the whole placement set; the scalar
+    // per-fault loop remains available through detects() as the oracle.
+    return WordBatchRunner(test, backgrounds, opts)
+        .detects_all(coverage_population(kind, opts));
 }
 
 bool is_well_formed(const MarchTest& test,
                     const std::vector<Background>& backgrounds,
                     const WordRunOptions& opts) {
-    const int k = any_count(test);
-    const bool expand = k <= opts.max_any_expansion;
-    const unsigned limit = expand ? (1u << k) : 2u;
-    for (unsigned c = 0; c < limit; ++c) {
-        const unsigned choice = expand ? c : (c == 0 ? 0u : ~0u);
+    for (unsigned choice : expansion_choices(test, opts)) {
         WordMemory memory(opts.words, opts.width);
         // A fault-free run must produce no mismatch and no unknown read
         // after initialisation; reuse run_background and additionally

@@ -40,6 +40,13 @@ struct WordRunOptions {
                            const InjectedBitFault& fault,
                            const WordRunOptions& opts = {});
 
+/// The concrete ⇕ resolutions evaluated by detects() and the batched word
+/// runner: all 2^k choices when the test has k <= opts.max_any_expansion ⇕
+/// elements, otherwise only the two uniform sweeps (the same capped scheme
+/// as the bit-oriented runner).
+[[nodiscard]] std::vector<unsigned> expansion_choices(
+    const march::MarchTest& test, const WordRunOptions& opts = {});
+
 /// Exhaustive placement check for a fault kind:
 ///  - single-bit kinds: every (word, bit);
 ///  - two-cell kinds: every intra-word bit pair (both orders) in a

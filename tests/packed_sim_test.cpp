@@ -189,6 +189,38 @@ std::vector<ReadSite> scalar_guaranteed_reads(const march::MarchTest& test,
     return guaranteed;
 }
 
+/// Scalar-oracle recomputation of the guaranteed failing observations:
+/// intersects run_once (site, cell) observations over every ⇕ expansion,
+/// sorted into the canonical textual-site-then-ascending-cell order the
+/// batched runner reports.
+std::vector<Observation> scalar_guaranteed_observations(
+    const march::MarchTest& test, const InjectedFault& fault,
+    const RunOptions& opts) {
+    std::vector<Observation> guaranteed;
+    bool first = true;
+    for (unsigned choice : expansion_choices(test, opts)) {
+        const RunTrace trace = run_once(test, {fault}, choice, opts);
+        if (first) {
+            guaranteed = trace.failing_observations;
+            first = false;
+        } else {
+            std::erase_if(guaranteed, [&](const Observation& obs) {
+                return std::find(trace.failing_observations.begin(),
+                                 trace.failing_observations.end(),
+                                 obs) == trace.failing_observations.end();
+            });
+        }
+    }
+    std::sort(guaranteed.begin(), guaranteed.end(),
+              [](const Observation& a, const Observation& b) {
+                  if (a.site.element != b.site.element)
+                      return a.site.element < b.site.element;
+                  if (a.site.op != b.site.op) return a.site.op < b.site.op;
+                  return a.cell < b.cell;
+              });
+    return guaranteed;
+}
+
 /// BatchRunner must reproduce the scalar detects() verdict and the
 /// guaranteed failing reads/observations (as sets) for whole populations.
 TEST(BatchRunner, MatchesScalarSweepOnLibraryTests) {
@@ -211,6 +243,10 @@ TEST(BatchRunner, MatchesScalarSweepOnLibraryTests) {
                 ASSERT_EQ(traces[i].failing_reads,
                           scalar_guaranteed_reads(test, population[i], opts))
                     << name << ' ' << fault_kind_name(kind);
+                ASSERT_EQ(traces[i].failing_observations,
+                          scalar_guaranteed_observations(test, population[i],
+                                                         opts))
+                    << name << ' ' << fault_kind_name(kind);
             }
         }
     }
@@ -232,6 +268,40 @@ TEST(BatchRunner, PopulationsLargerThanOneChunk) {
 TEST(FullPopulation, EnumeratesPlacements) {
     EXPECT_EQ(full_population(FaultKind::Saf0, 8).size(), 8u);
     EXPECT_EQ(full_population(FaultKind::CfidUp0, 8).size(), 56u);
+}
+
+TEST(FullPopulation, DegenerateMemoriesYieldEmptyPopulations) {
+    // n=1 has no ordered cell pair, so the two-cell population is
+    // mathematically empty; n=0 has nothing at all — neither may crash.
+    EXPECT_TRUE(full_population(FaultKind::CfidUp0, 1).empty());
+    EXPECT_EQ(full_population(FaultKind::Saf0, 1).size(), 1u);
+    EXPECT_TRUE(full_population(FaultKind::CfidUp0, 0).empty());
+    EXPECT_TRUE(full_population(FaultKind::Saf0, 0).empty());
+}
+
+TEST(FullPopulation, AllKindOverloadConcatenatesInListOrder) {
+    const std::vector<FaultKind> kinds = {FaultKind::Saf0,
+                                          FaultKind::CfidUp0};
+    const auto population = full_population(kinds, 4);
+    ASSERT_EQ(population.size(), 4u + 12u);
+    EXPECT_EQ(population.front().kind, FaultKind::Saf0);
+    EXPECT_EQ(population.back().kind, FaultKind::CfidUp0);
+    EXPECT_TRUE(full_population(std::vector<FaultKind>{}, 4).empty());
+}
+
+TEST(BatchRunner, EmptyPopulationIsTriviallyCovered) {
+    const RunOptions opts{.memory_size = 1, .max_any_expansion = 6};
+    const BatchRunner runner(march::march_c_minus(), opts);
+    const auto empty = full_population(FaultKind::CfidUp0, 1);
+    EXPECT_TRUE(runner.detects_all(empty));
+    EXPECT_TRUE(runner.detects(empty).empty());
+    EXPECT_TRUE(runner.run(empty).empty());
+    // covers_everywhere on the degenerate memory: vacuously true for
+    // two-cell kinds, still meaningful for single-cell kinds.
+    EXPECT_TRUE(covers_everywhere(march::march_c_minus(), FaultKind::CfidUp0,
+                                  opts));
+    EXPECT_TRUE(covers_everywhere(march::march_c_minus(), FaultKind::Saf0,
+                                  opts));
 }
 
 }  // namespace
