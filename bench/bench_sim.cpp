@@ -12,6 +12,7 @@
 #include "fault/kinds.hpp"
 #include "march/library.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/lane_dispatch.hpp"
 #include "sim/march_runner.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -44,9 +45,12 @@ void print_summary() {
 /// Head-to-head: the per-fault scalar sweep versus one batched pass over
 /// the full two-cell fault population of an 8-cell memory (the exact
 /// workload covers_everywhere runs inside the generator's validation
-/// gate), plus a threads=1 versus threads=N shard comparison on the n=64
-/// population where the chunk grid is deep enough to feed every core.
-/// Emits a machine-readable BENCH_sim.json summary line.
+/// gate), a lane-width ablation on the n=256 population (65k faults, deep
+/// enough that every W=8 block is full — the PR 2 packed kernel is the
+/// W=1 row), plus a threads=1 versus threads=N shard comparison on the
+/// n=64 population where the chunk grid is deep enough to feed every
+/// core. Emits a machine-readable BENCH_sim.json summary line
+/// (median-of-5 timings).
 void print_scalar_vs_batched() {
     const auto& test = march::march_c_minus();
     const sim::RunOptions opts{.memory_size = 8, .max_any_expansion = 6};
@@ -64,7 +68,21 @@ void print_scalar_vs_batched() {
     const double batched_s =
         seconds_per_sweep([&] { return runner.detects(population); });
 
-    // Parallel shard comparison: n=64 -> 4032 two-cell faults, 64 chunks.
+    // Lane-width ablation: n=256 -> 65280 two-cell faults; W=1 is the
+    // PR 2 packed baseline, the active width is the SIMD lane-block
+    // engine, both on one thread so the ratio isolates the block width.
+    const sim::RunOptions opts256{.memory_size = 256, .max_any_expansion = 6};
+    const auto population256 =
+        sim::full_population(fault::FaultKind::CfidUp0, opts256.memory_size);
+    const sim::BatchRunner runner_w1(test, opts256, &serial, 1);
+    const double w1_s = seconds_per_sweep(
+        [&] { return runner_w1.detects(population256); });
+    const int active_width = sim::active_lane_width();
+    const sim::BatchRunner runner_wide(test, opts256, &serial, active_width);
+    const double wide_s = seconds_per_sweep(
+        [&] { return runner_wide.detects(population256); });
+
+    // Parallel shard comparison: n=64 -> 4032 two-cell faults.
     const sim::RunOptions opts64{.memory_size = 64, .max_any_expansion = 6};
     const auto population64 =
         sim::full_population(fault::FaultKind::CfidUp0, opts64.memory_size);
@@ -79,6 +97,9 @@ void print_scalar_vs_batched() {
     const auto faults = static_cast<double>(population.size());
     const double scalar_fps = faults / scalar_s;
     const double batched_fps = faults / batched_s;
+    const auto faults256 = static_cast<double>(population256.size());
+    const double w1_fps = faults256 / w1_s;
+    const double wide_fps = faults256 / wide_s;
     const auto faults64 = static_cast<double>(population64.size());
     const double serial64_fps = faults64 / serial64_s;
     const double parallel64_fps = faults64 / parallel64_s;
@@ -87,25 +108,41 @@ void print_scalar_vs_batched() {
         "  scalar          : %12.0f faults/sec\n"
         "  batched (1 thr) : %12.0f faults/sec\n"
         "  speedup         : %.1fx\n"
+        "Lane-block width (March C-, n=%d, %zu two-cell faults, 1 thread):\n"
+        "  W=1 (PR2 base)  : %12.0f faults/sec\n"
+        "  W=%d (active)    : %11.0f faults/sec\n"
+        "  SIMD speedup    : %.2fx\n"
         "Thread sharding (March C-, n=%d, %zu two-cell faults):\n"
         "  threads=1       : %12.0f faults/sec\n"
         "  threads=%-2u      : %12.0f faults/sec\n"
         "  parallel speedup: %.2fx\n\n",
         opts.memory_size, population.size(), scalar_fps, batched_fps,
-        batched_fps / scalar_fps, opts64.memory_size, population64.size(),
-        serial64_fps, pool.worker_count(), parallel64_fps,
-        parallel64_fps / serial64_fps);
-    std::printf(
-        "BENCH_sim.json {\"workload\":\"covers_everywhere\",\"march\":\"March "
-        "C-\",\"memory_size\":%d,\"population\":%zu,"
-        "\"scalar_faults_per_sec\":%.0f,\"batched_faults_per_sec\":%.0f,"
-        "\"speedup\":%.2f,\"shard_memory_size\":%d,\"shard_population\":%zu,"
-        "\"threads\":%u,\"batched_1thread_faults_per_sec\":%.0f,"
-        "\"batched_mt_faults_per_sec\":%.0f,\"parallel_speedup\":%.2f}\n\n",
-        opts.memory_size, population.size(), scalar_fps, batched_fps,
-        batched_fps / scalar_fps, opts64.memory_size, population64.size(),
-        pool.worker_count(), serial64_fps, parallel64_fps,
-        parallel64_fps / serial64_fps);
+        batched_fps / scalar_fps, opts256.memory_size, population256.size(),
+        w1_fps, active_width, wide_fps, wide_fps / w1_fps,
+        opts64.memory_size, population64.size(), serial64_fps,
+        pool.worker_count(), parallel64_fps, parallel64_fps / serial64_fps);
+
+    benchutil::JsonSummary summary("sim");
+    summary.field("workload", "covers_everywhere")
+        .field("march", "March C-")
+        .field("memory_size", opts.memory_size)
+        .field("population", population.size())
+        .field("scalar_faults_per_sec", scalar_fps)
+        .field("batched_faults_per_sec", batched_fps)
+        .field("speedup", batched_fps / scalar_fps, 2)
+        .field("lane_width", active_width)
+        .field("width_memory_size", opts256.memory_size)
+        .field("width_population", population256.size())
+        .field("w1_faults_per_sec", w1_fps)
+        .field("wide_faults_per_sec", wide_fps)
+        .field("simd_speedup", wide_fps / w1_fps, 2)
+        .field("shard_memory_size", opts64.memory_size)
+        .field("shard_population", population64.size())
+        .field("threads", pool.worker_count())
+        .field("batched_1thread_faults_per_sec", serial64_fps)
+        .field("batched_mt_faults_per_sec", parallel64_fps)
+        .field("parallel_speedup", parallel64_fps / serial64_fps, 2);
+    summary.print();
 }
 
 void BM_SingleRun(benchmark::State& state) {

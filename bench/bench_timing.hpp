@@ -1,19 +1,23 @@
 #pragma once
 
 /// \file bench_timing.hpp
-/// Shared timing helper for the hand-rolled head-to-head summaries the
-/// benches print before handing over to Google Benchmark.
+/// Shared timing + summary-emission helpers for the hand-rolled
+/// head-to-head comparisons the benches print before handing over to
+/// Google Benchmark.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <string>
 
 namespace mtg::benchutil {
 
 /// Seconds per invocation of `sweep`: one warm-up, then enough
 /// repetitions for a stable figure.
 template <typename Sweep>
-double seconds_per_sweep(Sweep&& sweep) {
+double seconds_per_sweep_once(Sweep&& sweep) {
     using clock = std::chrono::steady_clock;
     sweep();
     int reps = 1;
@@ -26,5 +30,73 @@ double seconds_per_sweep(Sweep&& sweep) {
         reps *= 4;
     }
 }
+
+/// Median of five independent measurements — the figure the BENCH_*.json
+/// summary lines report, so one noisy neighbour on a shared box cannot
+/// fake a regression (or an improvement).
+template <typename Sweep>
+double seconds_per_sweep(Sweep&& sweep) {
+    double samples[5];
+    for (double& s : samples) s = seconds_per_sweep_once(sweep);
+    std::sort(std::begin(samples), std::end(samples));
+    return samples[2];
+}
+
+/// Builder for the one-line machine-readable summaries
+/// (`BENCH_<name>.json {...}`) CI greps out of the bench logs. Keeps the
+/// key order of insertion; values are emitted as raw JSON numbers /
+/// strings.
+class JsonSummary {
+public:
+    explicit JsonSummary(std::string tag) : tag_(std::move(tag)) {}
+
+    JsonSummary& field(const char* key, const std::string& value) {
+        return raw(key, "\"" + value + "\"");
+    }
+    JsonSummary& field(const char* key, const char* value) {
+        return field(key, std::string(value));
+    }
+    JsonSummary& field(const char* key, long long value) {
+        return raw(key, std::to_string(value));
+    }
+    JsonSummary& field(const char* key, unsigned long long value) {
+        return raw(key, std::to_string(value));
+    }
+    JsonSummary& field(const char* key, int value) {
+        return field(key, static_cast<long long>(value));
+    }
+    JsonSummary& field(const char* key, unsigned value) {
+        return field(key, static_cast<unsigned long long>(value));
+    }
+    JsonSummary& field(const char* key, std::size_t value) {
+        return field(key, static_cast<unsigned long long>(value));
+    }
+    /// Doubles carry an explicit precision (decimal places).
+    JsonSummary& field(const char* key, double value, int precision = 0) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+        return raw(key, buffer);
+    }
+
+    /// "BENCH_<tag>.json {...}" plus a trailing blank line, mirroring the
+    /// historical hand-rolled format byte-for-byte where it matters (the
+    /// CI greps for the BENCH_<tag>.json prefix).
+    void print() const {
+        std::printf("BENCH_%s.json {%s}\n\n", tag_.c_str(), body_.c_str());
+    }
+
+private:
+    JsonSummary& raw(const char* key, const std::string& json) {
+        if (!body_.empty()) body_ += ',';
+        body_ += '"';
+        body_ += key;
+        body_ += "\":";
+        body_ += json;
+        return *this;
+    }
+
+    std::string tag_;
+    std::string body_;
+};
 
 }  // namespace mtg::benchutil

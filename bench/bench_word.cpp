@@ -11,6 +11,7 @@
 #include "bench_timing.hpp"
 
 #include "march/library.hpp"
+#include "sim/lane_dispatch.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 #include "word/word_batch_runner.hpp"
@@ -24,7 +25,10 @@ using benchutil::seconds_per_sweep;
 /// Head-to-head: the per-fault scalar word sweep versus the word-lane
 /// packed kernel on the exact covers_everywhere workload — CFid over the
 /// counting backgrounds at width 8 (113 placements: 56 intra-word pairs,
-/// 56 inter-word pairs, 1 cross pair).
+/// 56 inter-word pairs, 1 cross pair) — plus a lane-width ablation on a
+/// 32 words × 16 bits memory (1233 placements, ~20 plane words of lanes,
+/// so the W=8 blocks actually fill; W=1 is the PR 2 packed baseline).
+/// Emits a BENCH_word.json summary line (median-of-5 timings).
 void print_scalar_vs_packed() {
     const auto& test = march::march_c_minus();
     word::WordRunOptions opts;  // 8 words × 8 bits
@@ -47,29 +51,71 @@ void print_scalar_vs_packed() {
     const double packed_mt_s =
         seconds_per_sweep([&] { return runner_mt.detects(population); });
 
+    // Lane-width ablation on a chunk-filling workload.
+    word::WordRunOptions wide_opts;
+    wide_opts.words = 32;
+    wide_opts.width = 16;
+    wide_opts.max_any_expansion = 4;
+    const auto wide_backgrounds = word::counting_backgrounds(wide_opts.width);
+    const auto wide_population =
+        word::coverage_population(fault::FaultKind::CfidUp1, wide_opts);
+    const word::WordBatchRunner runner_w1(test, wide_backgrounds, wide_opts,
+                                          &serial, 1);
+    const double w1_s = seconds_per_sweep(
+        [&] { return runner_w1.detects(wide_population); });
+    const int active_width = sim::active_lane_width();
+    const word::WordBatchRunner runner_wide(test, wide_backgrounds,
+                                            wide_opts, &serial,
+                                            active_width);
+    const double wide_s = seconds_per_sweep(
+        [&] { return runner_wide.detects(wide_population); });
+
     const auto faults = static_cast<double>(population.size());
     const double scalar_fps = faults / scalar_s;
     const double packed_fps = faults / packed_s;
     const double packed_mt_fps = faults / packed_mt_s;
+    const auto wide_faults = static_cast<double>(wide_population.size());
+    const double w1_fps = wide_faults / w1_s;
+    const double wide_fps = wide_faults / wide_s;
     std::printf(
         "Scalar vs packed word kernel (March C-, %d words x %d bits, "
         "%zu backgrounds, %zu CFid placements):\n"
         "  scalar          : %12.0f faults/sec\n"
         "  packed  (1 thr) : %12.0f faults/sec\n"
         "  packed  (%u thr) : %11.0f faults/sec\n"
-        "  speedup         : %.1fx\n\n",
+        "  speedup         : %.1fx\n"
+        "Lane-block width (March C-, %d words x %d bits, %zu placements, "
+        "1 thread):\n"
+        "  W=1 (PR2 base)  : %12.0f faults/sec\n"
+        "  W=%d (active)    : %11.0f faults/sec\n"
+        "  SIMD speedup    : %.2fx\n\n",
         opts.words, opts.width, backgrounds.size(), population.size(),
         scalar_fps, packed_fps, pool.worker_count(), packed_mt_fps,
-        packed_fps / scalar_fps);
-    std::printf(
-        "BENCH_word.json {\"workload\":\"covers_everywhere\",\"march\":"
-        "\"March C-\",\"words\":%d,\"width\":%d,\"backgrounds\":%zu,"
-        "\"population\":%zu,\"scalar_faults_per_sec\":%.0f,"
-        "\"packed_faults_per_sec\":%.0f,\"speedup\":%.2f,\"threads\":%u,"
-        "\"packed_mt_faults_per_sec\":%.0f,\"parallel_speedup\":%.2f}\n\n",
-        opts.words, opts.width, backgrounds.size(), population.size(),
-        scalar_fps, packed_fps, packed_fps / scalar_fps, pool.worker_count(),
-        packed_mt_fps, packed_mt_fps / packed_fps);
+        packed_fps / scalar_fps, wide_opts.words, wide_opts.width,
+        wide_population.size(), w1_fps, active_width, wide_fps,
+        wide_fps / w1_fps);
+
+    benchutil::JsonSummary summary("word");
+    summary.field("workload", "covers_everywhere")
+        .field("march", "March C-")
+        .field("words", opts.words)
+        .field("width", opts.width)
+        .field("backgrounds", backgrounds.size())
+        .field("population", population.size())
+        .field("scalar_faults_per_sec", scalar_fps)
+        .field("packed_faults_per_sec", packed_fps)
+        .field("speedup", packed_fps / scalar_fps, 2)
+        .field("threads", pool.worker_count())
+        .field("packed_mt_faults_per_sec", packed_mt_fps)
+        .field("parallel_speedup", packed_mt_fps / packed_fps, 2)
+        .field("lane_width", active_width)
+        .field("width_words", wide_opts.words)
+        .field("width_bits", wide_opts.width)
+        .field("width_population", wide_population.size())
+        .field("w1_faults_per_sec", w1_fps)
+        .field("wide_faults_per_sec", wide_fps)
+        .field("simd_speedup", wide_fps / w1_fps, 2);
+    summary.print();
 }
 
 void print_summary() {

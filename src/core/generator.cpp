@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -34,6 +35,21 @@ bool tp_subsumes(const TestPattern& covering, const TestPattern& covered) {
     };
     return enforced(covered.init.i, covering.init.i) &&
            enforced(covered.init.j, covering.init.j);
+}
+
+/// Cheap subsumption prefilter key: tp_subsumes demands exact (E, O)
+/// equality, so only TPs sharing this signature can ever subsume each
+/// other. Packs the op kind/site/value of E (plus its presence) and O
+/// into one int.
+int tp_signature(const TestPattern& tp) {
+    const auto op_bits = [](const fsm::AbstractOp& op) {
+        return (static_cast<int>(op.kind) << 2) |
+               (static_cast<int>(op.cell) << 1) |
+               static_cast<int>(op.value != 0);
+    };
+    const int excite_bits =
+        tp.excite.has_value() ? (1 << 4) | op_bits(*tp.excite) : 0;
+    return (excite_bits << 4) | op_bits(tp.observe);
 }
 
 /// Simulator check: the March test covers every placement of the target
@@ -156,17 +172,24 @@ GenerationResult Generator::generate(const std::vector<FaultKind>& kinds) const 
             if (!covered) kept.push_back(cls);
         }
         choice_classes = std::move(kept);
-        // Dedup mandatory TPs subsumed by other mandatory TPs.
+        // Dedup mandatory TPs subsumed by other mandatory TPs. Subsumption
+        // needs identical (E, O), so kept TPs are bucketed by that
+        // signature and each candidate runs the full check only against
+        // its own (typically tiny) bucket instead of every kept TP.
         std::vector<TestPattern> unique_mandatory;
         std::vector<FaultInstance> unique_instances;
+        std::map<int, std::vector<std::size_t>> by_signature;
         for (std::size_t k = 0; k < mandatory.size(); ++k) {
+            const int signature = tp_signature(mandatory[k]);
+            auto& bucket = by_signature[signature];
             bool dup = false;
-            for (std::size_t m = 0; m < unique_mandatory.size(); ++m)
+            for (const std::size_t m : bucket)
                 if (tp_subsumes(unique_mandatory[m], mandatory[k])) {
                     dup = true;
                     break;
                 }
             if (!dup) {
+                bucket.push_back(unique_mandatory.size());
                 unique_mandatory.push_back(mandatory[k]);
                 unique_instances.push_back(mandatory_instances[k]);
             }
@@ -178,8 +201,13 @@ GenerationResult Generator::generate(const std::vector<FaultKind>& kinds) const 
     result.classes = classes;
 
     // All fault instances of the target list (for the GTS-level semantic
-    // gate of §4.2).
-    const std::vector<FaultInstance> all_instances = fault::instantiate(kinds);
+    // gate of §4.2), kept in move-to-front order: minimisation probes a
+    // chain of shrinking candidates, and a candidate that drops a needed
+    // op keeps failing on the same instance, so fronting the last failure
+    // makes rejected probes fail on the first few gts_detects calls
+    // instead of rescanning from instance 0. (Order never affects the
+    // gate's verdict, only how fast a failure is found.)
+    std::vector<FaultInstance> probe_order = fault::instantiate(kinds);
 
     // Placed all-kind population for the §6 simulator gate — depends only
     // on (kinds, memory_size), so it is built once and reused across every
@@ -209,8 +237,17 @@ GenerationResult Generator::generate(const std::vector<FaultKind>& kinds) const 
         const GtsValidator gate = [&](const Gts& g) {
             const auto ops = g.ops();
             if (!sim::gts_well_formed(ops)) return false;
-            for (const FaultInstance& inst : all_instances)
-                if (!sim::gts_detects(ops, inst)) return false;
+            for (std::size_t i = 0; i < probe_order.size(); ++i)
+                if (!sim::gts_detects(ops, probe_order[i])) {
+                    // Move-to-front: the next shrinking probe almost
+                    // always fails on the same instance.
+                    std::rotate(probe_order.begin(),
+                                probe_order.begin() +
+                                    static_cast<std::ptrdiff_t>(i),
+                                probe_order.begin() +
+                                    static_cast<std::ptrdiff_t>(i + 1));
+                    return false;
+                }
             return true;
         };
         Gts minimised = gate(reordered) ? minimise(reordered, gate) : reordered;

@@ -1,211 +1,85 @@
 #include "sim/batch_runner.hpp"
 
-#include <algorithm>
-#include <atomic>
-
 #include "fault/instance.hpp"
+#include "sim/lane_dispatch.hpp"
 
 namespace mtg::sim {
 
-using march::AddressOrder;
-using march::MarchOp;
 using march::MarchTest;
 using march::OpKind;
 
 BatchRunner::BatchRunner(const MarchTest& test, const RunOptions& opts,
-                         util::ThreadPool* pool)
-    : test_(test), opts_(opts),
-      pool_(pool != nullptr ? pool : &util::ThreadPool::global()),
-      expansions_(expansion_choices(test, opts)), sites_(read_sites(test)) {
+                         util::ThreadPool* pool, int lane_width)
+    : width_(lane_width != 0 ? lane_width : active_lane_width()),
+      adaptive_(lane_width == 0 && !lane_width_forced()) {
     MTG_EXPECTS(opts.memory_size > 0);
+    MTG_EXPECTS(lane_width_supported(width_));
+    plan_.test = test;
+    plan_.opts = opts;
+    plan_.pool = pool != nullptr ? pool : &util::ThreadPool::global();
+    plan_.expansions = expansion_choices(test, opts);
+    plan_.sites = read_sites(test);
     // Flat site id of each (element, op); -1 for writes/waits.
-    site_id_.resize(test_.size());
+    plan_.site_id.resize(test.size());
     int next = 0;
-    for (std::size_t e = 0; e < test_.size(); ++e) {
-        site_id_[e].assign(test_[e].ops.size(), -1);
-        for (std::size_t o = 0; o < test_[e].ops.size(); ++o)
-            if (test_[e].ops[o].kind == OpKind::Read) site_id_[e][o] = next++;
+    for (std::size_t e = 0; e < test.size(); ++e) {
+        plan_.site_id[e].assign(test[e].ops.size(), -1);
+        for (std::size_t o = 0; o < test[e].ops.size(); ++o)
+            if (test[e].ops[o].kind == OpKind::Read)
+                plan_.site_id[e][o] = next++;
     }
 }
 
-LaneMask BatchRunner::run_pass(const InjectedFault* faults, int count,
-                               unsigned choice,
-                               std::vector<LaneMask>* site_now,
-                               std::vector<LaneMask>* obs_now) const {
-    const int n = opts_.memory_size;
-    const LaneMask used = used_lanes(count);
-
-    PackedSimMemory memory(n);
-    for (int i = 0; i < count; ++i)
-        memory.inject(faults[i], LaneMask{1} << (i + 1));
-
-    LaneMask detected = 0;
-    int any_seen = 0;
-    for (std::size_t e = 0; e < test_.size(); ++e) {
-        const auto& element = test_[e];
-        bool desc = element.order == AddressOrder::Descending;
-        if (element.order == AddressOrder::Any) {
-            desc = ((choice >> any_seen) & 1u) != 0;
-            ++any_seen;
-        }
-        for (int step = 0; step < n; ++step) {
-            const int cell = desc ? n - 1 - step : step;
-            for (std::size_t o = 0; o < element.ops.size(); ++o) {
-                const MarchOp& op = element.ops[o];
-                switch (op.kind) {
-                    case OpKind::Write:
-                        memory.write(cell, op.value);
-                        break;
-                    case OpKind::Wait:
-                        memory.wait();
-                        break;
-                    case OpKind::Read: {
-                        const auto got = memory.read(cell);
-                        const LaneMask expected =
-                            op.value ? kAllLanes : LaneMask{0};
-                        // Only definite mismatches detect (X cannot be
-                        // guaranteed to differ from the expected value).
-                        const LaneMask mismatch =
-                            got.known & (got.value ^ expected) & used;
-                        if (!mismatch) break;
-                        detected |= mismatch;
-                        if (site_now == nullptr) break;
-                        const auto sid =
-                            static_cast<std::size_t>(site_id_[e][o]);
-                        (*site_now)[sid] |= mismatch;
-                        if (obs_now != nullptr)
-                            (*obs_now)[sid * static_cast<std::size_t>(n) +
-                                       static_cast<std::size_t>(cell)] |=
-                                mismatch;
-                        break;
-                    }
-                }
-            }
-        }
-    }
-    return detected;
-}
-
-BatchRunner::ChunkResult BatchRunner::run_chunk(const InjectedFault* faults,
-                                                int count) const {
-    MTG_EXPECTS(count > 0 && count <= kChunkLanes);
-    const int n = opts_.memory_size;
-    const LaneMask used = used_lanes(count);
-
-    ChunkResult out;
-    out.detected = used;
-    out.site_fail.assign(sites_.size(), used);
-    out.observation_fail.assign(sites_.size() * static_cast<std::size_t>(n),
-                                used);
-
-    std::vector<LaneMask> site_now(sites_.size());
-    std::vector<LaneMask> obs_now(sites_.size() * static_cast<std::size_t>(n));
-
-    for (unsigned choice : expansions_) {
-        std::fill(site_now.begin(), site_now.end(), 0);
-        std::fill(obs_now.begin(), obs_now.end(), 0);
-        out.detected &= run_pass(faults, count, choice, &site_now, &obs_now);
-        for (std::size_t s = 0; s < sites_.size(); ++s)
-            out.site_fail[s] &= site_now[s];
-        for (std::size_t k = 0; k < obs_now.size(); ++k)
-            out.observation_fail[k] &= obs_now[k];
-    }
-    return out;
+int BatchRunner::width_for(std::size_t population) const {
+    return adaptive_ ? clamp_lane_width(width_, population) : width_;
 }
 
 std::vector<bool> BatchRunner::detects(
     const std::vector<InjectedFault>& population) const {
-    std::vector<bool> result(population.size(), false);
-    if (population.empty()) return result;
-    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
-    const std::size_t expansions = expansions_.size();
-
-    // Fused (chunk × expansion) grid: every work item is one full test
-    // pass; worker w ANDs its passes into acc[w], and the per-worker
-    // accumulators are intersected once the grid drains. AND is
-    // commutative and associative, so the result is independent of how
-    // the items were distributed.
-    std::vector<std::vector<LaneMask>> acc(
-        pool_->worker_count(), std::vector<LaneMask>(chunks, kAllLanes));
-    pool_->parallel_for(
-        chunks * expansions, [&](std::size_t item, unsigned worker) {
-            const std::size_t c = item / expansions;
-            const unsigned choice = expansions_[item % expansions];
-            acc[worker][c] &=
-                run_pass(population.data() + c * kChunkLanes,
-                         chunk_count(population.size(), c), choice,
-                         nullptr, nullptr);
-        });
-
-    for (std::size_t c = 0; c < chunks; ++c) {
-        LaneMask detected = used_lanes(chunk_count(population.size(), c));
-        for (const auto& worker_acc : acc) detected &= worker_acc[c];
-        const int count = chunk_count(population.size(), c);
-        for (int i = 0; i < count; ++i)
-            result[c * kChunkLanes + static_cast<std::size_t>(i)] =
-                ((detected >> (i + 1)) & 1u) != 0;
+    switch (width_for(population.size())) {
+        case 4:
+            return detail::sim_detects<LaneBlock<4>>(
+                plan_, detail::sim_pass_w4(), population);
+        case 8:
+            return detail::sim_detects<LaneBlock<8>>(
+                plan_, detail::sim_pass_w8(), population);
+        default:
+            return detail::sim_detects<LaneMask>(plan_,
+                                                 detail::sim_pass_w1(),
+                                                 population);
     }
-    return result;
 }
 
 bool BatchRunner::detects_all(
     const std::vector<InjectedFault>& population) const {
-    if (population.empty()) return true;
-    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
-    const std::size_t expansions = expansions_.size();
-
-    // A lane escapes as soon as ONE expansion misses it, so any work item
-    // observing an incomplete detection mask settles the answer; the flag
-    // lets the remaining items return immediately.
-    std::atomic<bool> escape{false};
-    pool_->parallel_for(
-        chunks * expansions, [&](std::size_t item, unsigned) {
-            if (escape.load(std::memory_order_relaxed)) return;
-            const std::size_t c = item / expansions;
-            const unsigned choice = expansions_[item % expansions];
-            const int count = chunk_count(population.size(), c);
-            const LaneMask detected =
-                run_pass(population.data() + c * kChunkLanes, count, choice,
-                         nullptr, nullptr);
-            if (detected != used_lanes(count))
-                escape.store(true, std::memory_order_relaxed);
-        });
-    return !escape.load(std::memory_order_relaxed);
+    switch (width_for(population.size())) {
+        case 4:
+            return detail::sim_detects_all<LaneBlock<4>>(
+                plan_, detail::sim_pass_w4(), population);
+        case 8:
+            return detail::sim_detects_all<LaneBlock<8>>(
+                plan_, detail::sim_pass_w8(), population);
+        default:
+            return detail::sim_detects_all<LaneMask>(
+                plan_, detail::sim_pass_w1(), population);
+    }
 }
 
 std::vector<RunTrace> BatchRunner::run(
     const std::vector<InjectedFault>& population) const {
-    const int n = opts_.memory_size;
-    std::vector<RunTrace> result(population.size());
-    if (population.empty()) return result;
-    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
-
-    // Chunk-wise sharding: each item expands every ⇕ choice itself (the
-    // per-(site, cell) masks would make a fused grid's per-worker state
-    // quadratic) and writes a disjoint slice of the result.
-    pool_->parallel_for(chunks, [&](std::size_t c, unsigned) {
-        const std::size_t base = c * kChunkLanes;
-        const int count = chunk_count(population.size(), c);
-        const ChunkResult chunk =
-            run_chunk(population.data() + base, count);
-        for (int i = 0; i < count; ++i) {
-            const LaneMask lane = LaneMask{1} << (i + 1);
-            RunTrace& trace = result[base + static_cast<std::size_t>(i)];
-            trace.detected = (chunk.detected & lane) != 0;
-            for (std::size_t s = 0; s < sites_.size(); ++s) {
-                if (chunk.site_fail[s] & lane)
-                    trace.failing_reads.push_back(sites_[s]);
-                for (int cell = 0; cell < n; ++cell)
-                    if (chunk.observation_fail[s * static_cast<std::size_t>(n) +
-                                               static_cast<std::size_t>(
-                                                   cell)] &
-                        lane)
-                        trace.failing_observations.push_back(
-                            {sites_[s], cell});
-            }
-        }
-    });
-    return result;
+    switch (width_for(population.size())) {
+        case 4:
+            return detail::sim_run<LaneBlock<4>>(plan_,
+                                                 detail::sim_pass_w4(),
+                                                 population);
+        case 8:
+            return detail::sim_run<LaneBlock<8>>(plan_,
+                                                 detail::sim_pass_w8(),
+                                                 population);
+        default:
+            return detail::sim_run<LaneMask>(plan_, detail::sim_pass_w1(),
+                                             population);
+    }
 }
 
 std::vector<InjectedFault> full_population(fault::FaultKind kind,

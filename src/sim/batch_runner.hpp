@@ -3,15 +3,22 @@
 /// \file batch_runner.hpp
 /// Evaluates one March test against a whole fault population per pass.
 ///
-/// The runner packs up to 63 fault instances into the lanes of one
-/// PackedSimMemory (lane 0 stays fault-free as the reference), executes the
-/// test once per ⇕ expansion, and intersects the per-lane failing-read masks
-/// across expansions — exactly the guaranteed-detection semantics of the
-/// scalar march_runner, but one memory pass per 63 faults instead of one
-/// pass per fault.
+/// The runner packs up to 63·W fault instances into the lanes of one
+/// PackedSimMemoryT lane block (bit 0 of every plane word stays fault-free
+/// as the reference), executes the test once per ⇕ expansion, and
+/// intersects the per-lane failing-read masks across expansions — exactly
+/// the guaranteed-detection semantics of the scalar march_runner, but one
+/// memory pass per 63·W faults instead of one pass per fault.
+///
+/// The block width W ∈ {1, 4, 8} is chosen once per process by runtime
+/// CPUID dispatch (AVX-512 → 8, AVX2 → 4, else 1; MTG_LANE_WIDTH
+/// overrides — see lane_dispatch.hpp) or per runner via the constructor.
+/// Every width produces bit-identical results: each plane word of a block
+/// is exactly one scalar chunk, which the lane-width differential tests
+/// enforce.
 ///
 /// Passes are independent, so the runner shards them across a
-/// util::ThreadPool: detects()/detects_all() fuse the ceil(population/63)
+/// util::ThreadPool: detects()/detects_all() fuse the ceil(population/63W)
 /// chunks with the 2^k ⇕ expansions into one (chunk × expansion) work grid
 /// — small populations on big expansion counts still saturate every core —
 /// and merge atomic-free per-worker lane masks after the loop drains.
@@ -24,7 +31,7 @@
 
 #include "march/march_test.hpp"
 #include "sim/march_runner.hpp"
-#include "sim/packed_memory.hpp"
+#include "sim/sim_kernels.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mtg::fault {
@@ -37,16 +44,19 @@ namespace mtg::sim {
 /// expansion set and the read-site table once, then serves any number of
 /// populations. `pool` (default: the process-wide pool) supplies the
 /// workers; pass an explicit single-worker pool for serial execution.
+/// `lane_width` forces a block width (1, 4 or 8) for testing; 0 uses the
+/// process-wide active_lane_width().
 class BatchRunner {
 public:
     explicit BatchRunner(const march::MarchTest& test,
                          const RunOptions& opts = {},
-                         util::ThreadPool* pool = nullptr);
+                         util::ThreadPool* pool = nullptr,
+                         int lane_width = 0);
 
-    /// Detection decided under EVERY ⇕ expansion (the `detects` semantics),
-    /// element i answering for population[i]. One packed pass handles 63
-    /// faults, so the cost is ceil(population/63) × expansions runs,
-    /// sharded across the pool.
+    /// Detection decided under EVERY ⇕ expansion (the `detects`
+    /// semantics), element i answering for population[i]. One packed pass
+    /// handles 63·W faults, so the cost is ceil(population/63W) ×
+    /// expansions runs, sharded across the pool.
     [[nodiscard]] std::vector<bool> detects(
         const std::vector<InjectedFault>& population) const;
 
@@ -64,34 +74,22 @@ public:
     [[nodiscard]] std::vector<RunTrace> run(
         const std::vector<InjectedFault>& population) const;
 
-    [[nodiscard]] const march::MarchTest& test() const { return test_; }
-    [[nodiscard]] const RunOptions& options() const { return opts_; }
+    [[nodiscard]] const march::MarchTest& test() const { return plan_.test; }
+    [[nodiscard]] const RunOptions& options() const { return plan_.opts; }
+
+    /// Block width this runner executes with (1, 4 or 8 plane words). An
+    /// auto-detected width is an upper bound: per call the runner clamps
+    /// to the narrowest block the population fills (results are
+    /// bit-identical at every width); explicit ctor / MTG_LANE_WIDTH
+    /// widths are exact.
+    [[nodiscard]] int lane_width() const { return width_; }
 
 private:
-    march::MarchTest test_;
-    RunOptions opts_;
-    util::ThreadPool* pool_;
-    std::vector<unsigned> expansions_;
-    std::vector<ReadSite> sites_;
-    std::vector<std::vector<int>> site_id_;  ///< (element, op) -> flat site
+    detail::SimPlan plan_;
+    int width_;
+    bool adaptive_;
 
-    /// Per-site × per-cell failing-lane masks of one population chunk,
-    /// already intersected across every ⇕ expansion.
-    struct ChunkResult {
-        LaneMask detected{0};
-        std::vector<LaneMask> site_fail;         ///< [site]
-        std::vector<LaneMask> observation_fail;  ///< [site * n + cell]
-    };
-    [[nodiscard]] ChunkResult run_chunk(const InjectedFault* faults,
-                                        int count) const;
-
-    /// One full test execution of one chunk under one fixed ⇕ choice.
-    /// Returns the lanes with at least one definite read mismatch; when
-    /// site_now/obs_now are non-null they receive the per-site and
-    /// per-(site, cell) mismatch masks of this single pass.
-    LaneMask run_pass(const InjectedFault* faults, int count, unsigned choice,
-                      std::vector<LaneMask>* site_now,
-                      std::vector<LaneMask>* obs_now) const;
+    [[nodiscard]] int width_for(std::size_t population) const;
 };
 
 /// Every concrete placement of `kind` on an n-cell memory: n single-cell

@@ -1,0 +1,107 @@
+/// \file lane_kernels.cpp
+/// SIMD codegen for the wide lane-block passes.
+///
+/// The width-generic pass templates compile to correct code on any target,
+/// but a stock build (no -mavx*) only emits baseline (SSE2-pair) vector
+/// instructions for the LaneBlock vector type. The wrappers below re-emit
+/// the whole pass — with every packed-memory operation flattened in —
+/// under `target("avx2")` / `target("avx512f")`, so the 256/512-bit block
+/// operations lower to single ymm/zmm bitwise ops. The wrappers are strong
+/// symbols local to this TU (no per-TU -m flags, no weak-symbol ODR
+/// leakage into generic code), and the getters only hand them out when
+/// CPUID reports the feature, so every lane width stays runnable on every
+/// host. All pass signatures are pointer-only: returning a 256/512-bit
+/// vector by value across the wrapper boundary would change the calling
+/// convention with the ISA.
+
+#include "sim/lane_dispatch.hpp"
+#include "sim/sim_kernels.hpp"
+#include "word/word_kernels.hpp"
+
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+#define MTG_SIMD_WRAPPERS 1
+#else
+#define MTG_SIMD_WRAPPERS 0
+#endif
+
+namespace mtg::sim::detail {
+
+#if MTG_SIMD_WRAPPERS
+namespace {
+
+__attribute__((target("avx2,tune=haswell"), flatten)) void sim_pass_avx2(
+    const SimPlan& plan, const InjectedFault* faults, int count,
+    unsigned choice, LaneBlock<4>* detected_out,
+    std::vector<LaneBlock<4>>* site_now,
+    std::vector<LaneBlock<4>>* obs_now) {
+    sim_run_pass<LaneBlock<4>>(plan, faults, count, choice, detected_out,
+                               site_now, obs_now);
+}
+
+__attribute__((target("avx512f"), flatten)) void sim_pass_avx512(
+    const SimPlan& plan, const InjectedFault* faults, int count,
+    unsigned choice, LaneBlock<8>* detected_out,
+    std::vector<LaneBlock<8>>* site_now,
+    std::vector<LaneBlock<8>>* obs_now) {
+    sim_run_pass<LaneBlock<8>>(plan, faults, count, choice, detected_out,
+                               site_now, obs_now);
+}
+
+}  // namespace
+#endif
+
+SimPassFn<LaneMask> sim_pass_w1() { return &sim_run_pass<LaneMask>; }
+
+SimPassFn<LaneBlock<4>> sim_pass_w4() {
+#if MTG_SIMD_WRAPPERS
+    if (cpu_has_avx2()) return &sim_pass_avx2;
+#endif
+    return &sim_run_pass<LaneBlock<4>>;
+}
+
+SimPassFn<LaneBlock<8>> sim_pass_w8() {
+#if MTG_SIMD_WRAPPERS
+    if (cpu_has_avx512f()) return &sim_pass_avx512;
+#endif
+    return &sim_run_pass<LaneBlock<8>>;
+}
+
+}  // namespace mtg::sim::detail
+
+namespace mtg::word::detail {
+
+#if MTG_SIMD_WRAPPERS
+namespace {
+
+__attribute__((target("avx2,tune=haswell"), flatten)) void word_pass_avx2(
+    const WordPlan& plan, const InjectedBitFault* faults, int count,
+    unsigned choice, LaneBlock<4>* detected_out) {
+    word_run_pass<LaneBlock<4>>(plan, faults, count, choice, detected_out);
+}
+
+__attribute__((target("avx512f"), flatten)) void word_pass_avx512(
+    const WordPlan& plan, const InjectedBitFault* faults, int count,
+    unsigned choice, LaneBlock<8>* detected_out) {
+    word_run_pass<LaneBlock<8>>(plan, faults, count, choice, detected_out);
+}
+
+}  // namespace
+#endif
+
+WordPassFn<LaneMask> word_pass_w1() { return &word_run_pass<LaneMask>; }
+
+WordPassFn<LaneBlock<4>> word_pass_w4() {
+#if MTG_SIMD_WRAPPERS
+    if (sim::cpu_has_avx2()) return &word_pass_avx2;
+#endif
+    return &word_run_pass<LaneBlock<4>>;
+}
+
+WordPassFn<LaneBlock<8>> word_pass_w8() {
+#if MTG_SIMD_WRAPPERS
+    if (sim::cpu_has_avx512f()) return &word_pass_avx512;
+#endif
+    return &word_run_pass<LaneBlock<8>>;
+}
+
+}  // namespace mtg::word::detail

@@ -1,17 +1,18 @@
 #pragma once
 
 /// \file packed_word_memory.hpp
-/// Bit-parallel counterpart of WordMemory: 64 independent bit-fault
+/// Bit-parallel counterpart of WordMemory: 64·W independent bit-fault
 /// instances are simulated at once against the same word-oriented RAM.
 ///
 /// Packing layout: the memory holds words × width bit positions; every bit
-/// position owns a `value` and a `known` lane plane (uint64_t), bit l of a
-/// plane belonging to simulation lane l — the same value/known plane-pair
-/// scheme sim::PackedSimMemory uses for bit-oriented cells, lifted to the
-/// (word, bit) grid. A whole-word write touches `width` plane pairs with a
-/// handful of bitwise operations each; a whole-word read returns one
-/// {value, known} lane mask per bit. Lane 0 is left fault-free as the
-/// reference by convention.
+/// position owns a `value` and a `known` lane block (W plane words, see
+/// lane_block.hpp), lane l of a block belonging to simulation lane l — the
+/// same value/known plane-pair scheme sim::PackedSimMemoryT uses for
+/// bit-oriented cells, lifted to the (word, bit) grid. A whole-word write
+/// touches `width` block pairs with a handful of bitwise operations each;
+/// a whole-word read returns one {value, known} lane block per bit. Bit 0
+/// of every plane word is left fault-free as the reference by convention,
+/// which keeps each plane word bit-identical to the scalar W=1 path.
 ///
 /// Word semantics mirror the scalar WordMemory exactly: writes resolve
 /// every bit's own value first (phase 1), store the word, and only then
@@ -19,7 +20,8 @@
 /// an intra-word victim written in the same cycle is corrupted after its
 /// own write; AfMap redirects whole-word accesses (word-level decoders
 /// fail for whole words), and intra-word AfMap is inert, as in the scalar
-/// model.
+/// model. Per-fault coupling/static/map entries are word-sparse (one lane
+/// lives in one plane word), so their cost stays scalar at any width.
 ///
 /// Restriction: at most ONE injected fault per lane (multi-fault
 /// composition is injection-order-dependent and has no bitwise
@@ -29,72 +31,346 @@
 #include <cstdint>
 #include <vector>
 
-#include "sim/packed_memory.hpp"
+#include "sim/lane_block.hpp"
 #include "word/word_memory.hpp"
 
 namespace mtg::word {
 
 /// One bit per simulation lane; packing helpers shared with the
 /// bit-oriented kernel.
+using sim::block_lane_count;
 using sim::chunk_count;
+using sim::for_each_block_word;
 using sim::kAllLanes;
 using sim::kChunkLanes;
 using sim::kLaneCount;
+using sim::LaneBlock;
 using sim::LaneMask;
 using sim::used_lanes;
 
-/// words × width RAM simulating up to 64 bit-fault instances in parallel.
-/// All bits start uninitialised (X) in every lane.
-class PackedWordMemory {
+/// words × width RAM simulating up to 64·W bit-fault instances in
+/// parallel. All bits start uninitialised (X) in every lane.
+template <typename Block>
+class PackedWordMemoryT {
 public:
-    PackedWordMemory(int words, int width);
+    PackedWordMemoryT(int words, int width)
+        : words_(words), width_(width),
+          value_(static_cast<std::size_t>(words) *
+                     static_cast<std::size_t>(width),
+                 sim::block_zero<Block>()),
+          known_(value_.size(), sim::block_zero<Block>()),
+          single_(value_.size()),
+          coupling_(static_cast<std::size_t>(words)),
+          afmap_(static_cast<std::size_t>(words)) {
+        MTG_EXPECTS(words > 0);
+        MTG_EXPECTS(width >= 1 && width <= 64);
+    }
 
     [[nodiscard]] int words() const { return words_; }
     [[nodiscard]] int width() const { return width_; }
 
     /// Injects `fault` into every lane of `lanes`. Lanes must not already
     /// hold a fault (one-fault-per-lane restriction).
-    void inject(const InjectedBitFault& fault, LaneMask lanes);
+    void inject(const InjectedBitFault& fault, Block lanes) {
+        const std::size_t a = index(fault.a);
+        MTG_EXPECTS(sim::block_none(occupied_ & lanes));  // one per lane
+        occupied_ |= lanes;
 
-    /// Per-lane outcome of one bit of a word read: bit l of `value` is the
-    /// value lane l sees, valid only where bit l of `known` is set.
+        auto& s = single_[a];
+        switch (fault.kind) {
+            case fault::FaultKind::Saf0: s.saf0 |= lanes; return;
+            case fault::FaultKind::Saf1: s.saf1 |= lanes; return;
+            case fault::FaultKind::TfUp: s.tf_up |= lanes; return;
+            case fault::FaultKind::TfDown: s.tf_down |= lanes; return;
+            case fault::FaultKind::Wdf0: s.wdf0 |= lanes; return;
+            case fault::FaultKind::Wdf1: s.wdf1 |= lanes; return;
+            case fault::FaultKind::Rdf0: s.rdf0 |= lanes; return;
+            case fault::FaultKind::Rdf1: s.rdf1 |= lanes; return;
+            case fault::FaultKind::Drdf0: s.drdf0 |= lanes; return;
+            case fault::FaultKind::Drdf1: s.drdf1 |= lanes; return;
+            case fault::FaultKind::Irf0: s.irf0 |= lanes; return;
+            case fault::FaultKind::Irf1: s.irf1 |= lanes; return;
+            case fault::FaultKind::Drf0: s.drf0 |= lanes; return;
+            case fault::FaultKind::Drf1: s.drf1 |= lanes; return;
+            case fault::FaultKind::CfinUp:
+            case fault::FaultKind::CfinDown:
+            case fault::FaultKind::CfidUp0:
+            case fault::FaultKind::CfidUp1:
+            case fault::FaultKind::CfidDown0:
+            case fault::FaultKind::CfidDown1:
+            case fault::FaultKind::Af:
+                for_each_block_word(lanes, [&](int w, LaneMask m) {
+                    coupling_[static_cast<std::size_t>(fault.a.word)]
+                        .push_back({fault.kind, fault.a.bit, index(fault.b),
+                                    w, m});
+                });
+                return;
+            case fault::FaultKind::CfstS0F0:
+                push_static(a, index(fault.b), false, false, lanes);
+                return;
+            case fault::FaultKind::CfstS0F1:
+                push_static(a, index(fault.b), false, true, lanes);
+                return;
+            case fault::FaultKind::CfstS1F0:
+                push_static(a, index(fault.b), true, false, lanes);
+                return;
+            case fault::FaultKind::CfstS1F1:
+                push_static(a, index(fault.b), true, true, lanes);
+                return;
+            case fault::FaultKind::AfMap:
+                // Word-level decoder fault; intra-word AfMap is inert in
+                // the scalar model, so it stays inert here too.
+                (void)index(fault.b);
+                if (!fault.intra_word())
+                    for_each_block_word(lanes, [&](int w, LaneMask m) {
+                        afmap_[static_cast<std::size_t>(fault.a.word)]
+                            .push_back({fault.b.word, w, m});
+                    });
+                return;
+        }
+        MTG_ASSERT(false && "unhandled fault kind");
+    }
+
+    /// Per-lane outcome of one bit of a word read: lane l of `value` is
+    /// the value lane l sees, valid only where lane l of `known` is set.
     struct ReadResult {
-        LaneMask value{0};
-        LaneMask known{0};
+        Block value{};
+        Block known{};
     };
 
     /// Writes the W-bit `value` to `word` in every lane, applying fault
     /// effects (the written word is the same for all lanes; the stored
     /// result differs per lane).
-    void write(int word, std::uint64_t value);
+    void write(int word, std::uint64_t value) {
+        MTG_EXPECTS(word >= 0 && word < words_);
+        const auto w = static_cast<std::size_t>(word);
+        const std::size_t base = w * static_cast<std::size_t>(width_);
+
+        // Decoder-map lanes: the whole word access lands on the victim
+        // word. Entries are word-sparse within the lane block.
+        Block redirected = sim::block_zero<Block>();
+        for (const MapEntry& m : afmap_[w]) {
+            const std::size_t vbase = static_cast<std::size_t>(m.victim_word) *
+                                      static_cast<std::size_t>(width_);
+            for (int b = 0; b < width_; ++b) {
+                const LaneMask dword =
+                    ((value >> b) & 1u) ? kAllLanes : LaneMask{0};
+                LaneMask& vv = sim::block_word_ref(
+                    value_[vbase + static_cast<std::size_t>(b)], m.word);
+                vv = (vv & ~m.lanes) | (dword & m.lanes);
+                sim::block_word_ref(
+                    known_[vbase + static_cast<std::size_t>(b)], m.word) |=
+                    m.lanes;
+            }
+            sim::block_word_ref(redirected, m.word) |= m.lanes;
+        }
+        const Block active = ~redirected;
+
+        // Phase 1: per-bit effective values (single-bit effects on own
+        // bit). The pre-write planes are captured first so phase 2 can
+        // derive the aggressor transitions of this whole-word store.
+        Block old_v[64];
+        Block old_k[64];
+        for (int b = 0; b < width_; ++b) {
+            old_v[b] = value_[base + static_cast<std::size_t>(b)];
+            old_k[b] = known_[base + static_cast<std::size_t>(b)];
+        }
+
+        for (int b = 0; b < width_; ++b) {
+            const std::size_t at = base + static_cast<std::size_t>(b);
+            const int d = static_cast<int>((value >> b) & 1u);
+            const Block dmask = sim::block_fill<Block>(d != 0);
+            const Block old0 = old_k[b] & ~old_v[b];
+            const Block old1 = old_k[b] & old_v[b];
+
+            // The single-bit masks are disjoint lane-wise (one fault per
+            // lane), so sequential application is exact.
+            const SingleBitMasks& s = single_[at];
+            Block eff = dmask;
+            eff = (eff & ~s.saf0) | s.saf1;
+            if (d == 1) {
+                eff &= ~(s.tf_up & old0);  // 0 -> 1 transition fails
+                eff &= ~(s.wdf1 & old1);   // w1 over a 1 flips the bit to 0
+            } else {
+                eff |= s.tf_down & old1;  // 1 -> 0 transition fails
+                eff |= s.wdf0 & old0;     // w0 over a 0 flips the bit to 1
+            }
+
+            value_[at] = (old_v[b] & ~active) | (eff & active);
+            known_[at] |= active;
+        }
+
+        // Phase 2: coupling sensitised by the aggressor-bit transitions of
+        // this store, applied after the whole word is written. Per-fault
+        // entries touch one plane word each.
+        for (const CouplingEntry& c : coupling_[w]) {
+            const int b = c.aggressor_bit;
+            const std::size_t at = base + static_cast<std::size_t>(b);
+            const int bw = c.word;
+            const LaneMask new_v = sim::block_word(value_[at], bw);
+            const LaneMask new_k = sim::block_word(known_[at], bw);
+            const LaneMask ov = sim::block_word(old_v[b], bw);
+            const LaneMask ok = sim::block_word(old_k[b], bw);
+            const LaneMask rising = ok & ~ov & new_k & new_v;
+            const LaneMask falling = ok & ov & new_k & ~new_v;
+            const std::size_t v = c.victim;
+            LaneMask t = 0;
+            switch (c.kind) {
+                case fault::FaultKind::CfinUp:
+                    t = c.lanes & rising;
+                    sim::block_word_ref(value_[v], bw) ^=
+                        t & sim::block_word(known_[v], bw);  // X stays X
+                    continue;
+                case fault::FaultKind::CfinDown:
+                    t = c.lanes & falling;
+                    sim::block_word_ref(value_[v], bw) ^=
+                        t & sim::block_word(known_[v], bw);
+                    continue;
+                case fault::FaultKind::CfidUp0:
+                case fault::FaultKind::CfidUp1:
+                    t = c.lanes & rising;
+                    break;
+                case fault::FaultKind::CfidDown0:
+                case fault::FaultKind::CfidDown1:
+                    t = c.lanes & falling;
+                    break;
+                case fault::FaultKind::Af:
+                    t = c.lanes & sim::block_word(active, bw);
+                    break;
+                default:
+                    MTG_ASSERT(false && "not a coupling kind");
+                    break;
+            }
+            if (!t) continue;
+            switch (c.kind) {
+                case fault::FaultKind::CfidUp0:
+                case fault::FaultKind::CfidDown0:
+                    sim::block_word_ref(value_[v], bw) &= ~t;
+                    break;
+                case fault::FaultKind::CfidUp1:
+                case fault::FaultKind::CfidDown1:
+                    sim::block_word_ref(value_[v], bw) |= t;
+                    break;
+                case fault::FaultKind::Af: {
+                    // Shorted decoder: the victim tracks the aggressor's
+                    // newly stored value on every write to its word.
+                    LaneMask& vv = sim::block_word_ref(value_[v], bw);
+                    vv = (vv & ~t) | (new_v & t);
+                    break;
+                }
+                default:
+                    break;
+            }
+            sim::block_word_ref(known_[v], bw) |= t;
+        }
+
+        enforce_static_coupling();
+    }
 
     /// Reads `word` in every lane, applying read-fault effects. `out` must
     /// point at width() entries, one per bit position.
-    void read(int word, ReadResult* out);
+    void read(int word, ReadResult* out) {
+        MTG_EXPECTS(word >= 0 && word < words_);
+        MTG_EXPECTS(out != nullptr);
+        const auto w = static_cast<std::size_t>(word);
+        const std::size_t base = w * static_cast<std::size_t>(width_);
+
+        // Decoder-map lanes observe the victim word instead.
+        Block redirected = sim::block_zero<Block>();
+        for (int b = 0; b < width_; ++b) out[b] = ReadResult{};
+        for (const MapEntry& m : afmap_[w]) {
+            const std::size_t vbase = static_cast<std::size_t>(m.victim_word) *
+                                      static_cast<std::size_t>(width_);
+            for (int b = 0; b < width_; ++b) {
+                sim::block_word_ref(out[b].value, m.word) |=
+                    sim::block_word(
+                        value_[vbase + static_cast<std::size_t>(b)], m.word) &
+                    m.lanes;
+                sim::block_word_ref(out[b].known, m.word) |=
+                    sim::block_word(
+                        known_[vbase + static_cast<std::size_t>(b)], m.word) &
+                    m.lanes;
+            }
+            sim::block_word_ref(redirected, m.word) |= m.lanes;
+        }
+        const Block active = ~redirected;
+
+        for (int b = 0; b < width_; ++b) {
+            const std::size_t at = base + static_cast<std::size_t>(b);
+            const Block cell_v = value_[at];
+            const Block cell_k = known_[at];
+            const Block is0 = cell_k & ~cell_v;
+            const Block is1 = cell_k & cell_v;
+            const SingleBitMasks& s = single_[at];
+
+            Block seen_v = cell_v;
+            Block seen_k = cell_k;
+            // Stuck-at bits always read back the stuck value, even before
+            // any write has initialised them.
+            seen_v = (seen_v & ~s.saf0) | s.saf1;
+            seen_k |= s.saf0 | s.saf1;
+
+            Block t;
+            t = s.rdf0 & is0;  // flips the bit and returns the wrong value
+            value_[at] |= t;
+            seen_v |= t;
+            t = s.rdf1 & is1;
+            value_[at] = value_[at] & ~t;
+            seen_v = seen_v & ~t;
+            t = s.drdf0 & is0;  // deceptive: flips, returns the old value
+            value_[at] |= t;
+            t = s.drdf1 & is1;
+            value_[at] = value_[at] & ~t;
+            seen_v |= s.irf0 & is0;  // wrong value, no flip
+            seen_v = seen_v & ~(s.irf1 & is1);
+
+            out[b].value |= seen_v & active;
+            out[b].known |= seen_k & active;
+            out[b].value &= out[b].known;  // normalise: X lanes report 0
+        }
+
+        enforce_static_coupling();
+    }
 
     /// Elapses the data-retention period in every lane.
-    void wait();
+    void wait() {
+        for (std::size_t at = 0; at < value_.size(); ++at) {
+            const SingleBitMasks& s = single_[at];
+            if (sim::block_none(s.drf0 | s.drf1)) continue;
+            const Block is0 = known_[at] & ~value_[at];
+            const Block is1 = known_[at] & value_[at];
+            value_[at] =
+                (value_[at] & ~(s.drf0 & is1)) | (s.drf1 & is0);
+        }
+        enforce_static_coupling();
+    }
 
     /// Raw bit value of one lane without triggering read faults (tests).
-    [[nodiscard]] Trit peek(BitAddr at, int lane) const;
+    [[nodiscard]] Trit peek(BitAddr at, int lane) const {
+        MTG_EXPECTS(lane >= 0 && lane < block_lane_count<Block>);
+        const std::size_t i = index(at);
+        if (!sim::block_test(known_[i], lane)) return Trit::X;
+        return sim::block_test(value_[i], lane) ? Trit::One : Trit::Zero;
+    }
 
 private:
-    /// Per-bit-position lane masks of the single-bit fault kinds. A zero
-    /// mask means "no lane has this fault here".
+    /// Per-bit-position lane blocks of the single-bit fault kinds
+    /// (aggregated across faults, so these stay dense).
     struct SingleBitMasks {
-        LaneMask saf0{0}, saf1{0};
-        LaneMask tf_up{0}, tf_down{0};
-        LaneMask wdf0{0}, wdf1{0};
-        LaneMask rdf0{0}, rdf1{0};
-        LaneMask drdf0{0}, drdf1{0};
-        LaneMask irf0{0}, irf1{0};
-        LaneMask drf0{0}, drf1{0};
+        Block saf0{}, saf1{};
+        Block tf_up{}, tf_down{};
+        Block wdf0{}, wdf1{};
+        Block rdf0{}, rdf1{};
+        Block drdf0{}, drdf1{};
+        Block irf0{}, irf1{};
+        Block drf0{}, drf1{};
     };
     /// Transition/Af coupling bound to an aggressor bit of some word.
     struct CouplingEntry {
         fault::FaultKind kind;
         int aggressor_bit;
         std::size_t victim;  ///< flat (word, bit) index
+        int word;            ///< plane word of the block holding the lanes
         LaneMask lanes;
     };
     /// State coupling ⟨sv,fv⟩ — enforced after every state change.
@@ -103,26 +379,55 @@ private:
         std::size_t victim;
         bool sense;  ///< aggressor value that sensitises
         bool force;  ///< value forced onto the victim
+        int word;
         LaneMask lanes;
     };
     /// Word-decoder fault: whole-word accesses land on `victim_word`.
     struct MapEntry {
         int victim_word;
+        int word;
         LaneMask lanes;
     };
 
     int words_;
     int width_;
-    std::vector<LaneMask> value_;  ///< word-major (word * width + bit)
-    std::vector<LaneMask> known_;
+    std::vector<Block> value_;  ///< word-major (word * width + bit)
+    std::vector<Block> known_;
     std::vector<SingleBitMasks> single_;
-    std::vector<std::vector<CouplingEntry>> coupling_;  ///< by aggressor word
-    std::vector<std::vector<MapEntry>> afmap_;          ///< by aggressor word
+    std::vector<std::vector<CouplingEntry>> coupling_;  ///< by aggr. word
+    std::vector<std::vector<MapEntry>> afmap_;          ///< by aggr. word
     std::vector<StaticEntry> static_;
-    LaneMask occupied_{0};  ///< lanes already holding a fault
+    Block occupied_{};  ///< lanes already holding a fault
 
-    [[nodiscard]] std::size_t index(BitAddr at) const;
-    void enforce_static_coupling();
+    [[nodiscard]] std::size_t index(BitAddr at) const {
+        MTG_EXPECTS(at.word >= 0 && at.word < words_);
+        MTG_EXPECTS(at.bit >= 0 && at.bit < width_);
+        return static_cast<std::size_t>(at.word) *
+                   static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(at.bit);
+    }
+
+    void push_static(std::size_t aggressor, std::size_t victim, bool sense,
+                     bool force, const Block& lanes) {
+        for_each_block_word(lanes, [&](int w, LaneMask m) {
+            static_.push_back({aggressor, victim, sense, force, w, m});
+        });
+    }
+
+    void enforce_static_coupling() {
+        for (const StaticEntry& s : static_) {
+            const LaneMask av = sim::block_word(value_[s.aggressor], s.word);
+            const LaneMask ak = sim::block_word(known_[s.aggressor], s.word);
+            const LaneMask match = s.lanes & ak & (s.sense ? av : ~av);
+            if (!match) continue;
+            LaneMask& vv = sim::block_word_ref(value_[s.victim], s.word);
+            vv = s.force ? (vv | match) : (vv & ~match);
+            sim::block_word_ref(known_[s.victim], s.word) |= match;
+        }
+    }
 };
+
+/// The scalar 64-lane word memory of PR 2 — template instantiated at W=1.
+using PackedWordMemory = PackedWordMemoryT<LaneMask>;
 
 }  // namespace mtg::word

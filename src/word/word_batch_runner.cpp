@@ -1,129 +1,60 @@
 #include "word/word_batch_runner.hpp"
 
-#include <algorithm>
-#include <atomic>
+#include "sim/lane_dispatch.hpp"
 
 namespace mtg::word {
 
-using march::AddressOrder;
-using march::MarchOp;
 using march::MarchTest;
-using march::OpKind;
 
 WordBatchRunner::WordBatchRunner(const MarchTest& test,
                                  std::vector<Background> backgrounds,
                                  const WordRunOptions& opts,
-                                 util::ThreadPool* pool)
-    : test_(test), backgrounds_(std::move(backgrounds)), opts_(opts),
-      pool_(pool != nullptr ? pool : &util::ThreadPool::global()),
-      expansions_(expansion_choices(test, opts)) {
+                                 util::ThreadPool* pool, int lane_width)
+    : width_(lane_width != 0 ? lane_width : sim::active_lane_width()),
+      adaptive_(lane_width == 0 && !sim::lane_width_forced()) {
     MTG_EXPECTS(opts.words > 0);
     MTG_EXPECTS(opts.width >= 1 && opts.width <= 64);
-    MTG_EXPECTS(!backgrounds_.empty());
+    MTG_EXPECTS(!backgrounds.empty());
+    MTG_EXPECTS(sim::lane_width_supported(width_));
+    plan_.test = test;
+    plan_.backgrounds = std::move(backgrounds);
+    plan_.opts = opts;
+    plan_.pool = pool != nullptr ? pool : &util::ThreadPool::global();
+    plan_.expansions = expansion_choices(test, opts);
 }
 
-LaneMask WordBatchRunner::run_pass(const InjectedBitFault* faults, int count,
-                                   unsigned choice) const {
-    const LaneMask used = used_lanes(count);
-    PackedWordMemory memory(opts_.words, opts_.width);
-    for (int i = 0; i < count; ++i)
-        memory.inject(faults[i], LaneMask{1} << (i + 1));
-
-    PackedWordMemory::ReadResult got[64];
-    LaneMask detected = 0;
-    // Backgrounds stream through the packed lanes on the same memory, so
-    // state carries from one background run into the next exactly as in
-    // the scalar word runner.
-    for (const Background& background : backgrounds_) {
-        const std::uint64_t b0 = background.bits;
-        const std::uint64_t b1 = background.complement().bits;
-        int any_seen = 0;
-        for (const auto& element : test_.elements()) {
-            bool desc = element.order == AddressOrder::Descending;
-            if (element.order == AddressOrder::Any) {
-                desc = ((choice >> any_seen) & 1u) != 0;
-                ++any_seen;
-            }
-            const int n = opts_.words;
-            for (int step = 0; step < n; ++step) {
-                const int word = desc ? n - 1 - step : step;
-                for (const MarchOp& op : element.ops) {
-                    switch (op.kind) {
-                        case OpKind::Write:
-                            memory.write(word, op.value ? b1 : b0);
-                            break;
-                        case OpKind::Wait:
-                            memory.wait();
-                            break;
-                        case OpKind::Read: {
-                            const std::uint64_t expected = op.value ? b1 : b0;
-                            memory.read(word, got);
-                            for (int bit = 0; bit < opts_.width; ++bit) {
-                                const LaneMask expmask =
-                                    ((expected >> bit) & 1u) ? kAllLanes
-                                                             : LaneMask{0};
-                                detected |= got[bit].known &
-                                            (got[bit].value ^ expmask) & used;
-                            }
-                            break;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    return detected;
+int WordBatchRunner::width_for(std::size_t population) const {
+    return adaptive_ ? sim::clamp_lane_width(width_, population) : width_;
 }
 
 std::vector<bool> WordBatchRunner::detects(
     const std::vector<InjectedBitFault>& population) const {
-    std::vector<bool> result(population.size(), false);
-    if (population.empty()) return result;
-    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
-    const std::size_t expansions = expansions_.size();
-
-    // Fused (chunk × expansion) grid with per-worker AND accumulators,
-    // merged after the drain — identical results for any worker count.
-    std::vector<std::vector<LaneMask>> acc(
-        pool_->worker_count(), std::vector<LaneMask>(chunks, kAllLanes));
-    pool_->parallel_for(
-        chunks * expansions, [&](std::size_t item, unsigned worker) {
-            const std::size_t c = item / expansions;
-            const unsigned choice = expansions_[item % expansions];
-            acc[worker][c] &= run_pass(population.data() + c * kChunkLanes,
-                                       chunk_count(population.size(), c),
-                                       choice);
-        });
-
-    for (std::size_t c = 0; c < chunks; ++c) {
-        const int count = chunk_count(population.size(), c);
-        LaneMask detected = used_lanes(count);
-        for (const auto& worker_acc : acc) detected &= worker_acc[c];
-        for (int i = 0; i < count; ++i)
-            result[c * kChunkLanes + static_cast<std::size_t>(i)] =
-                ((detected >> (i + 1)) & 1u) != 0;
+    switch (width_for(population.size())) {
+        case 4:
+            return detail::word_detects<LaneBlock<4>>(
+                plan_, detail::word_pass_w4(), population);
+        case 8:
+            return detail::word_detects<LaneBlock<8>>(
+                plan_, detail::word_pass_w8(), population);
+        default:
+            return detail::word_detects<LaneMask>(
+                plan_, detail::word_pass_w1(), population);
     }
-    return result;
 }
 
 bool WordBatchRunner::detects_all(
     const std::vector<InjectedBitFault>& population) const {
-    if (population.empty()) return true;
-    const std::size_t chunks = (population.size() + kChunkLanes - 1) / kChunkLanes;
-    const std::size_t expansions = expansions_.size();
-
-    std::atomic<bool> escape{false};
-    pool_->parallel_for(
-        chunks * expansions, [&](std::size_t item, unsigned) {
-            if (escape.load(std::memory_order_relaxed)) return;
-            const std::size_t c = item / expansions;
-            const unsigned choice = expansions_[item % expansions];
-            const int count = chunk_count(population.size(), c);
-            if (run_pass(population.data() + c * kChunkLanes, count, choice) !=
-                used_lanes(count))
-                escape.store(true, std::memory_order_relaxed);
-        });
-    return !escape.load(std::memory_order_relaxed);
+    switch (width_for(population.size())) {
+        case 4:
+            return detail::word_detects_all<LaneBlock<4>>(
+                plan_, detail::word_pass_w4(), population);
+        case 8:
+            return detail::word_detects_all<LaneBlock<8>>(
+                plan_, detail::word_pass_w8(), population);
+        default:
+            return detail::word_detects_all<LaneMask>(
+                plan_, detail::word_pass_w1(), population);
+    }
 }
 
 std::vector<InjectedBitFault> coverage_population(fault::FaultKind kind,

@@ -4,38 +4,43 @@
 /// Evaluates one word-oriented March test (bit test × background set)
 /// against a whole bit-fault population per pass.
 ///
-/// The runner packs up to 63 bit-fault instances into the lanes of one
-/// PackedWordMemory (lane 0 stays fault-free as the reference) and streams
-/// the background set through them: one pass executes the test once per
-/// background on the SAME packed memory, exactly like the scalar word
-/// runner, so background-boundary transitions (re-initialising from ~b_k
-/// to b_{k+1}) keep their fault-sensitising effect. Per-lane mismatch
-/// masks are OR-ed across backgrounds within a pass and intersected across
-/// the ⇕ expansions — the guaranteed-detection semantics of word::detects,
-/// one memory sweep per 63 faults instead of one per fault.
+/// The runner packs up to 63·W bit-fault instances into the lanes of one
+/// PackedWordMemoryT lane block (bit 0 of every plane word stays
+/// fault-free as the reference) and streams the background set through
+/// them: one pass executes the test once per background on the SAME packed
+/// memory, exactly like the scalar word runner, so background-boundary
+/// transitions (re-initialising from ~b_k to b_{k+1}) keep their
+/// fault-sensitising effect. Per-lane mismatch masks are OR-ed across
+/// backgrounds within a pass and intersected across the ⇕ expansions —
+/// the guaranteed-detection semantics of word::detects, one memory sweep
+/// per 63·W faults instead of one per fault.
 ///
-/// Like sim::BatchRunner, the (chunk × expansion) work grid is sharded
-/// across a util::ThreadPool with atomic-free per-worker accumulators, and
-/// detects_all fail-fasts through a shared atomic flag. Results are
-/// bit-identical for every worker count.
+/// The block width W ∈ {1, 4, 8} follows the same CPUID dispatch /
+/// MTG_LANE_WIDTH override as sim::BatchRunner (see lane_dispatch.hpp) and
+/// is bit-identical across widths. Like sim::BatchRunner, the (chunk ×
+/// expansion) work grid is sharded across a util::ThreadPool with
+/// atomic-free per-worker accumulators, and detects_all fail-fasts through
+/// a shared atomic flag. Results are bit-identical for every worker count.
 
 #include <vector>
 
 #include "march/march_test.hpp"
 #include "util/thread_pool.hpp"
-#include "word/packed_word_memory.hpp"
+#include "word/word_kernels.hpp"
 #include "word/word_march.hpp"
 
 namespace mtg::word {
 
 /// Reusable batched evaluator for one word test. Precomputes the ⇕
 /// expansion set once, then serves any number of populations.
+/// `lane_width` forces a block width (1, 4 or 8) for testing; 0 uses the
+/// process-wide active_lane_width().
 class WordBatchRunner {
 public:
     WordBatchRunner(const march::MarchTest& test,
                     std::vector<Background> backgrounds,
                     const WordRunOptions& opts = {},
-                    util::ThreadPool* pool = nullptr);
+                    util::ThreadPool* pool = nullptr, int lane_width = 0);
 
     /// Guaranteed detection under EVERY ⇕ expansion (the word::detects
     /// semantics), element i answering for population[i].
@@ -47,20 +52,24 @@ public:
     [[nodiscard]] bool detects_all(
         const std::vector<InjectedBitFault>& population) const;
 
-    [[nodiscard]] const march::MarchTest& test() const { return test_; }
-    [[nodiscard]] const WordRunOptions& options() const { return opts_; }
+    [[nodiscard]] const march::MarchTest& test() const { return plan_.test; }
+    [[nodiscard]] const WordRunOptions& options() const {
+        return plan_.opts;
+    }
+
+    /// Block width this runner executes with (1, 4 or 8 plane words). An
+    /// auto-detected width is an upper bound: per call the runner clamps
+    /// to the narrowest block the population fills (results are
+    /// bit-identical at every width); explicit ctor / MTG_LANE_WIDTH
+    /// widths are exact.
+    [[nodiscard]] int lane_width() const { return width_; }
 
 private:
-    march::MarchTest test_;
-    std::vector<Background> backgrounds_;
-    WordRunOptions opts_;
-    util::ThreadPool* pool_;
-    std::vector<unsigned> expansions_;
+    detail::WordPlan plan_;
+    int width_;
+    bool adaptive_;
 
-    /// One full (all backgrounds, fixed ⇕ choice) execution of one chunk;
-    /// returns the lanes with at least one definite read mismatch.
-    [[nodiscard]] LaneMask run_pass(const InjectedBitFault* faults, int count,
-                                    unsigned choice) const;
+    [[nodiscard]] int width_for(std::size_t population) const;
 };
 
 /// The exact placement set word::covers_everywhere sweeps for `kind`:

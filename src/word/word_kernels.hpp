@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file word_kernels.hpp
+/// Width-generic grid kernels behind word::WordBatchRunner.
+///
+/// Same structure as sim_kernels.hpp, lifted to the word-oriented model:
+/// one `word_run_pass` streams the whole background set through a chunk of
+/// 63·W bit faults on the SAME packed memory (state carries across
+/// backgrounds exactly like the scalar word runner) under one fixed ⇕
+/// choice, and the drivers shard the (chunk × expansion) grid across a
+/// util::ThreadPool with atomic-free per-worker AND accumulators and an
+/// atomic fail-fast flag. Results are bit-identical across widths and
+/// worker counts.
+
+#include <atomic>
+#include <vector>
+
+#include "march/march_test.hpp"
+#include "sim/lane_block.hpp"
+#include "util/thread_pool.hpp"
+#include "word/packed_word_memory.hpp"
+#include "word/word_march.hpp"
+
+namespace mtg::word::detail {
+
+using sim::block_chunk_count;
+using sim::block_chunk_total;
+using sim::block_fault_lanes;
+using sim::block_fill;
+using sim::block_lane_bit;
+using sim::block_none;
+using sim::block_ones;
+using sim::block_test;
+using sim::block_used_lanes;
+using sim::block_zero;
+using sim::fault_lane;
+
+/// Everything a WordBatchRunner precomputes once; shared by the kernels of
+/// every width.
+struct WordPlan {
+    march::MarchTest test;
+    std::vector<Background> backgrounds;
+    WordRunOptions opts;
+    util::ThreadPool* pool{nullptr};
+    std::vector<unsigned> expansions;
+};
+
+/// One full (all backgrounds, fixed ⇕ choice) execution of one chunk;
+/// writes the lanes with at least one definite read mismatch to
+/// `*detected_out`. Pointer-only signature: the AVX-attributed wrappers
+/// and their generic callers disagree on the register convention for
+/// returning a 256/512-bit vector by value.
+template <typename Block>
+using WordPassFn = void (*)(const WordPlan&, const InjectedBitFault*, int,
+                            unsigned, Block*);
+
+template <typename Block>
+void word_run_pass(const WordPlan& plan, const InjectedBitFault* faults,
+                   int count, unsigned choice, Block* detected_out) {
+    const Block used = block_used_lanes<Block>(count);
+    PackedWordMemoryT<Block> memory(plan.opts.words, plan.opts.width);
+    for (int i = 0; i < count; ++i)
+        memory.inject(faults[i], block_lane_bit<Block>(fault_lane(i)));
+
+    typename PackedWordMemoryT<Block>::ReadResult got[64];
+    Block detected = block_zero<Block>();
+    // Backgrounds stream through the packed lanes on the same memory, so
+    // state carries from one background run into the next exactly as in
+    // the scalar word runner.
+    for (const Background& background : plan.backgrounds) {
+        const std::uint64_t b0 = background.bits;
+        const std::uint64_t b1 = background.complement().bits;
+        int any_seen = 0;
+        for (const auto& element : plan.test.elements()) {
+            bool desc = element.order == march::AddressOrder::Descending;
+            if (element.order == march::AddressOrder::Any) {
+                desc = ((choice >> any_seen) & 1u) != 0;
+                ++any_seen;
+            }
+            const int n = plan.opts.words;
+            for (int step = 0; step < n; ++step) {
+                const int word = desc ? n - 1 - step : step;
+                for (const march::MarchOp& op : element.ops) {
+                    switch (op.kind) {
+                        case march::OpKind::Write:
+                            memory.write(word, op.value ? b1 : b0);
+                            break;
+                        case march::OpKind::Wait:
+                            memory.wait();
+                            break;
+                        case march::OpKind::Read: {
+                            const std::uint64_t expected =
+                                op.value ? b1 : b0;
+                            memory.read(word, got);
+                            for (int bit = 0; bit < plan.opts.width; ++bit) {
+                                const Block expmask = block_fill<Block>(
+                                    ((expected >> bit) & 1u) != 0);
+                                detected |= got[bit].known &
+                                            (got[bit].value ^ expmask) &
+                                            used;
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    *detected_out = detected;
+}
+
+template <typename Block>
+std::vector<bool> word_detects(
+    const WordPlan& plan, WordPassFn<Block> pass,
+    const std::vector<InjectedBitFault>& population) {
+    std::vector<bool> result(population.size(), false);
+    if (population.empty()) return result;
+    const std::size_t chunks = block_chunk_total<Block>(population.size());
+    const std::size_t expansions = plan.expansions.size();
+    const auto per = static_cast<std::size_t>(block_fault_lanes<Block>);
+
+    // Fused (chunk × expansion) grid with per-worker AND accumulators,
+    // merged after the drain — identical results for any worker count.
+    std::vector<std::vector<Block>> acc(
+        plan.pool->worker_count(),
+        std::vector<Block>(chunks, block_ones<Block>()));
+    plan.pool->parallel_for(
+        chunks * expansions, [&](std::size_t item, unsigned worker) {
+            const std::size_t c = item / expansions;
+            const unsigned choice = plan.expansions[item % expansions];
+            Block detected = block_zero<Block>();
+            pass(plan, population.data() + c * per,
+                 block_chunk_count<Block>(population.size(), c), choice,
+                 &detected);
+            acc[worker][c] &= detected;
+        });
+
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const int count = block_chunk_count<Block>(population.size(), c);
+        Block detected = block_used_lanes<Block>(count);
+        for (const auto& worker_acc : acc) detected &= worker_acc[c];
+        for (int i = 0; i < count; ++i)
+            result[c * per + static_cast<std::size_t>(i)] =
+                block_test(detected, fault_lane(i));
+    }
+    return result;
+}
+
+template <typename Block>
+bool word_detects_all(const WordPlan& plan, WordPassFn<Block> pass,
+                      const std::vector<InjectedBitFault>& population) {
+    if (population.empty()) return true;
+    const std::size_t chunks = block_chunk_total<Block>(population.size());
+    const std::size_t expansions = plan.expansions.size();
+    const auto per = static_cast<std::size_t>(block_fault_lanes<Block>);
+
+    std::atomic<bool> escape{false};
+    plan.pool->parallel_for(
+        chunks * expansions, [&](std::size_t item, unsigned) {
+            if (escape.load(std::memory_order_relaxed)) return;
+            const std::size_t c = item / expansions;
+            const unsigned choice = plan.expansions[item % expansions];
+            const int count =
+                block_chunk_count<Block>(population.size(), c);
+            Block detected = block_zero<Block>();
+            pass(plan, population.data() + c * per, count, choice,
+                 &detected);
+            if (!(detected == block_used_lanes<Block>(count)))
+                escape.store(true, std::memory_order_relaxed);
+        });
+    return !escape.load(std::memory_order_relaxed);
+}
+
+/// Pass-function getters mirroring sim_kernels.hpp: the widest safe
+/// codegen per width, defined in lane_kernels.cpp.
+[[nodiscard]] WordPassFn<LaneMask> word_pass_w1();
+[[nodiscard]] WordPassFn<LaneBlock<4>> word_pass_w4();
+[[nodiscard]] WordPassFn<LaneBlock<8>> word_pass_w8();
+
+}  // namespace mtg::word::detail

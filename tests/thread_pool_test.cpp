@@ -126,6 +126,52 @@ TEST(ThreadPool, ParsesWorkerCountOverride) {
     EXPECT_EQ(ThreadPool::parse_worker_count("99999", 5), 5u);  // > cap
 }
 
+TEST(ThreadPool, StealingRebalancesSkewedWork) {
+    // One range hides almost all the work behind a single slow prefix:
+    // worker 0's initial range [0, 250) carries long items, so the other
+    // workers must steal from it to finish. Exactly-once execution proves
+    // range splits never duplicate or drop indices.
+    ThreadPool pool(4);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    std::atomic<int> stolen_by_others{0};
+    pool.parallel_for(kCount, [&](std::size_t i, unsigned worker) {
+        if (i < 250) {
+            // Skewed cost: busy-wait so the front range drains slowly.
+            for (volatile int spin = 0; spin < 2000; ++spin) {
+            }
+            if (worker != 0)
+                stolen_by_others.fetch_add(1, std::memory_order_relaxed);
+        }
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    // Not asserted > 0: a 1-core host may legitimately drain in order.
+    SUCCEED() << "items stolen from the slow range: "
+              << stolen_by_others.load();
+}
+
+TEST(ThreadPool, ExactlyOnceAcrossManyShapes) {
+    // Range handout + batch stealing across worker counts and loop sizes,
+    // including counts that do not divide evenly and counts smaller than
+    // the worker count (some workers start with empty ranges and must
+    // steal or exit).
+    for (unsigned workers : {2u, 3u, 8u}) {
+        ThreadPool pool(workers);
+        for (std::size_t count : {2ul, 7ul, 63ul, 64ul, 257ul, 4096ul}) {
+            std::vector<std::atomic<int>> hits(count);
+            pool.parallel_for(count, [&](std::size_t i, unsigned) {
+                hits[i].fetch_add(1, std::memory_order_relaxed);
+            });
+            for (std::size_t i = 0; i < count; ++i)
+                ASSERT_EQ(hits[i].load(), 1)
+                    << "workers " << workers << " count " << count
+                    << " index " << i;
+        }
+    }
+}
+
 TEST(ThreadPool, GlobalPoolExistsAndWorks) {
     ThreadPool& pool = ThreadPool::global();
     ASSERT_GE(pool.worker_count(), 1u);
