@@ -16,6 +16,7 @@
 #include "util/thread_pool.hpp"
 #include "word/word_batch_runner.hpp"
 #include "word/word_march.hpp"
+#include "word/word_trace.hpp"
 
 namespace {
 
@@ -118,6 +119,68 @@ void print_scalar_vs_packed() {
     summary.print();
 }
 
+/// Trace-extraction head-to-head on the counting-background CFid sweep:
+/// per-fault scalar word::guaranteed_trace versus one packed
+/// WordBatchRunner::run() sweep (PR 4 acceptance: packed ≥ 10× scalar,
+/// traces bit-identical — the identity is enforced by
+/// tests/word_trace_test.cpp). Also measures the per-pass scratch pooling
+/// before/after (ROADMAP SIMD follow-on (a)): the same packed sweep with
+/// fresh per-pass allocations versus the pooled thread-local scratch.
+void print_trace_head_to_head() {
+    const auto& test = march::march_c_minus();
+    word::WordRunOptions opts;  // 8 words × 8 bits
+    const auto backgrounds = word::counting_backgrounds(opts.width);
+    const auto population =
+        word::coverage_population(fault::FaultKind::CfidUp1, opts);
+
+    const double scalar_s = seconds_per_sweep([&] {
+        std::size_t observations = 0;
+        for (const auto& fault : population)
+            observations += word::guaranteed_trace(test, backgrounds, fault,
+                                                   opts)
+                                .failing_observations.size();
+        return observations;
+    });
+    util::ThreadPool serial(1);
+    const word::WordBatchRunner runner(test, backgrounds, opts, &serial);
+    sim::set_pass_scratch_enabled(false);
+    const double unpooled_s =
+        seconds_per_sweep([&] { return runner.run(population).size(); });
+    sim::set_pass_scratch_enabled(true);
+    const double packed_s =
+        seconds_per_sweep([&] { return runner.run(population).size(); });
+
+    const auto faults = static_cast<double>(population.size());
+    const double scalar_fps = faults / scalar_s;
+    const double unpooled_fps = faults / unpooled_s;
+    const double packed_fps = faults / packed_s;
+    std::printf(
+        "Guaranteed-trace extraction (March C-, %d words x %d bits, "
+        "%zu backgrounds, %zu CFid placements, 1 thread):\n"
+        "  scalar oracle   : %12.0f faults/sec\n"
+        "  packed, no pool : %12.0f faults/sec\n"
+        "  packed, pooled  : %12.0f faults/sec\n"
+        "  packed/scalar   : %.1fx   pooling: %.2fx\n\n",
+        opts.words, opts.width, backgrounds.size(), population.size(),
+        scalar_fps, unpooled_fps, packed_fps, packed_fps / scalar_fps,
+        packed_fps / unpooled_fps);
+
+    benchutil::JsonSummary summary("word");
+    summary.field("workload", "trace_extraction")
+        .field("march", "March C-")
+        .field("words", opts.words)
+        .field("width", opts.width)
+        .field("backgrounds", backgrounds.size())
+        .field("population", population.size())
+        .field("trace_scalar_faults_per_sec", scalar_fps)
+        .field("trace_packed_faults_per_sec", packed_fps)
+        .field("trace_speedup", packed_fps / scalar_fps, 2)
+        .field("alloc_before_faults_per_sec", unpooled_fps)
+        .field("alloc_after_faults_per_sec", packed_fps)
+        .field("alloc_pooling_speedup", packed_fps / unpooled_fps, 2);
+    summary.print();
+}
+
 void print_summary() {
     TextTable table;
     table.set_header({"width", "backgrounds", "ops/word",
@@ -178,6 +241,7 @@ BENCHMARK(BM_WordCoversIntraWord)->Arg(4)->Arg(8)
 int main(int argc, char** argv) {
     print_summary();
     print_scalar_vs_packed();
+    print_trace_head_to_head();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

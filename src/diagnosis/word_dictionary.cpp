@@ -1,0 +1,109 @@
+#include "diagnosis/word_dictionary.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "word/word_batch_runner.hpp"
+
+namespace mtg::diagnosis {
+
+using fault::FaultInstance;
+using fault::FaultKind;
+using march::MarchTest;
+using word::Background;
+using word::InjectedBitFault;
+using word::WordRunOptions;
+
+std::string WordSignature::str() const {
+    if (failing.empty()) return "(escape)";
+    std::ostringstream os;
+    for (std::size_t k = 0; k < failing.size(); ++k) {
+        if (k) os << ' ';
+        os << 'B' << failing[k].background << ".E"
+           << failing[k].site.element << '.' << failing[k].site.op << "@w"
+           << failing[k].word << '#' << std::hex << failing[k].bits
+           << std::dec;
+    }
+    return os.str();
+}
+
+WordSignature word_signature_of(const MarchTest& test,
+                                const std::vector<Background>& backgrounds,
+                                const InjectedBitFault& fault,
+                                const WordRunOptions& opts) {
+    return WordSignature{
+        word::guaranteed_failing_observations(test, backgrounds, fault,
+                                              opts)};
+}
+
+WordFaultDictionary WordFaultDictionary::build(
+    const MarchTest& test, const std::vector<Background>& backgrounds,
+    const std::vector<FaultKind>& kinds, const WordRunOptions& opts) {
+    WordFaultDictionary dictionary;
+    const std::vector<FaultInstance> instances = fault::instantiate(kinds);
+
+    // One packed trace sweep over the placed population; each instance's
+    // guaranteed observations become its dictionary signature.
+    std::vector<InjectedBitFault> population;
+    population.reserve(instances.size());
+    for (const FaultInstance& inst : instances)
+        population.push_back(word::place_instance(inst, opts));
+    std::vector<word::WordRunTrace> traces =
+        word::WordBatchRunner(test, backgrounds, opts).run(population);
+
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        const FaultInstance& inst = instances[i];
+        ++dictionary.instance_count_;
+        WordSignature sig{std::move(traces[i].failing_observations)};
+        if (sig.detected()) ++dictionary.detected_count_;
+        auto it = std::find_if(
+            dictionary.entries_.begin(), dictionary.entries_.end(),
+            [&](const WordDictionaryEntry& e) { return e.signature == sig; });
+        if (it == dictionary.entries_.end()) {
+            dictionary.entries_.push_back({std::move(sig), {inst}});
+        } else {
+            it->instances.push_back(inst);
+        }
+    }
+    std::sort(dictionary.entries_.begin(), dictionary.entries_.end(),
+              [](const WordDictionaryEntry& a, const WordDictionaryEntry& b) {
+                  return a.signature < b.signature;
+              });
+    return dictionary;
+}
+
+int WordFaultDictionary::distinguished_count() const {
+    int count = 0;
+    for (const WordDictionaryEntry& entry : entries_)
+        if (entry.signature.detected() && entry.instances.size() == 1)
+            ++count;
+    return count;
+}
+
+double WordFaultDictionary::resolution() const {
+    if (detected_count_ == 0) return 0.0;
+    return static_cast<double>(distinguished_count()) /
+           static_cast<double>(detected_count_);
+}
+
+std::vector<FaultInstance> WordFaultDictionary::diagnose(
+    const WordSignature& observed) const {
+    for (const WordDictionaryEntry& entry : entries_)
+        if (entry.signature == observed) return entry.instances;
+    return {};
+}
+
+std::string WordFaultDictionary::str() const {
+    std::ostringstream os;
+    for (const WordDictionaryEntry& entry : entries_) {
+        os << entry.signature.str() << " -> ";
+        for (std::size_t k = 0; k < entry.instances.size(); ++k) {
+            if (k) os << ", ";
+            os << entry.instances[k].name();
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace mtg::diagnosis

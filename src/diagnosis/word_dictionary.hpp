@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file word_dictionary.hpp
+/// Word-path fault diagnosis by output tracing — the word-oriented
+/// counterpart of dictionary.hpp. The signature of a bit fault under a
+/// word test (bit test × background set) is its set of guaranteed failing
+/// word observations: (background, read site, word address, failing bit
+/// mask) entries stable across every ⇕ expansion. Signatures are built by
+/// one packed WordBatchRunner::run() sweep over the placed instance
+/// population (63·W faults per memory pass); the scalar
+/// word::guaranteed_failing_observations stays available as the oracle
+/// through word_signature_of.
+///
+/// At width 1 with the solid background a word test degenerates to the
+/// bit test, and this dictionary reproduces the bit-path FaultDictionary
+/// bucket-for-bucket ((background 0, site, word w, bits 0b1) ⇔ (site,
+/// cell w)) — enforced by tests/word_dictionary_test.cpp.
+
+#include <string>
+#include <vector>
+
+#include "fault/instance.hpp"
+#include "march/march_test.hpp"
+#include "word/word_trace.hpp"
+
+namespace mtg::diagnosis {
+
+/// Output trace of one bit fault under one word test, in the canonical
+/// word-trace order (background, textual site, ascending word).
+struct WordSignature {
+    std::vector<word::WordObservation> failing;
+
+    [[nodiscard]] bool detected() const { return !failing.empty(); }
+
+    /// "B0.E1.0@w2#5 B1.E4.2@w3#1" style rendering (bit masks in hex).
+    [[nodiscard]] std::string str() const;
+
+    friend bool operator==(const WordSignature&,
+                           const WordSignature&) = default;
+    friend auto operator<=>(const WordSignature& a, const WordSignature& b) {
+        return a.str() <=> b.str();
+    }
+};
+
+/// Signature of a concrete injected bit fault, via the scalar oracle.
+[[nodiscard]] WordSignature word_signature_of(
+    const march::MarchTest& test,
+    const std::vector<word::Background>& backgrounds,
+    const word::InjectedBitFault& fault,
+    const word::WordRunOptions& opts = {});
+
+/// One dictionary bucket: all instances sharing a signature.
+struct WordDictionaryEntry {
+    WordSignature signature;
+    std::vector<fault::FaultInstance> instances;
+};
+
+/// The fault dictionary of a word test over a fault list. Instances are
+/// placed at the canonical (word, bit) positions of word::place_instance.
+class WordFaultDictionary {
+public:
+    /// Builds the dictionary with one packed trace sweep.
+    static WordFaultDictionary build(
+        const march::MarchTest& test,
+        const std::vector<word::Background>& backgrounds,
+        const std::vector<fault::FaultKind>& kinds,
+        const word::WordRunOptions& opts = {});
+
+    [[nodiscard]] const std::vector<WordDictionaryEntry>& entries() const {
+        return entries_;
+    }
+
+    /// Total instances considered / detected (non-empty signature).
+    [[nodiscard]] int instance_count() const { return instance_count_; }
+    [[nodiscard]] int detected_count() const { return detected_count_; }
+
+    /// Instances whose signature is unique — fully diagnosed by the test.
+    [[nodiscard]] int distinguished_count() const;
+
+    /// distinguished / detected; 0 when nothing is detected.
+    [[nodiscard]] double resolution() const;
+
+    /// All instances compatible with an observed signature (empty when the
+    /// signature is unknown to the dictionary).
+    [[nodiscard]] std::vector<fault::FaultInstance> diagnose(
+        const WordSignature& observed) const;
+
+    /// Table rendering: signature -> instance names.
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::vector<WordDictionaryEntry> entries_;  // sorted by signature
+    int instance_count_{0};
+    int detected_count_{0};
+};
+
+}  // namespace mtg::diagnosis

@@ -6,7 +6,6 @@
 namespace mtg::sim {
 
 using march::MarchTest;
-using march::OpKind;
 
 BatchRunner::BatchRunner(const MarchTest& test, const RunOptions& opts,
                          util::ThreadPool* pool, int lane_width)
@@ -19,15 +18,7 @@ BatchRunner::BatchRunner(const MarchTest& test, const RunOptions& opts,
     plan_.pool = pool != nullptr ? pool : &util::ThreadPool::global();
     plan_.expansions = expansion_choices(test, opts);
     plan_.sites = read_sites(test);
-    // Flat site id of each (element, op); -1 for writes/waits.
-    plan_.site_id.resize(test.size());
-    int next = 0;
-    for (std::size_t e = 0; e < test.size(); ++e) {
-        plan_.site_id[e].assign(test[e].ops.size(), -1);
-        for (std::size_t o = 0; o < test[e].ops.size(); ++o)
-            if (test[e].ops[o].kind == OpKind::Read)
-                plan_.site_id[e][o] = next++;
-    }
+    plan_.site_id = read_site_ids(test);
 }
 
 int BatchRunner::width_for(std::size_t population) const {

@@ -1,10 +1,23 @@
 #include "sim/lane_dispatch.hpp"
 
+#include <atomic>
 #include <cstdlib>
 
 #include "sim/lane_block.hpp"
 
 namespace mtg::sim {
+
+namespace {
+std::atomic<bool> g_pass_scratch{true};
+}  // namespace
+
+bool pass_scratch_enabled() {
+    return g_pass_scratch.load(std::memory_order_relaxed);
+}
+
+void set_pass_scratch_enabled(bool enabled) {
+    g_pass_scratch.store(enabled, std::memory_order_relaxed);
+}
 
 bool lane_width_supported(int width) {
     return width == 1 || width == 4 || width == 8;

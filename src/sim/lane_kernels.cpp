@@ -75,14 +75,20 @@ namespace {
 
 __attribute__((target("avx2,tune=haswell"), flatten)) void word_pass_avx2(
     const WordPlan& plan, const InjectedBitFault* faults, int count,
-    unsigned choice, LaneBlock<4>* detected_out) {
-    word_run_pass<LaneBlock<4>>(plan, faults, count, choice, detected_out);
+    unsigned choice, LaneBlock<4>* detected_out,
+    std::vector<LaneBlock<4>>* site_now,
+    std::vector<LaneBlock<4>>* obs_now) {
+    word_run_pass<LaneBlock<4>>(plan, faults, count, choice, detected_out,
+                                site_now, obs_now);
 }
 
 __attribute__((target("avx512f"), flatten)) void word_pass_avx512(
     const WordPlan& plan, const InjectedBitFault* faults, int count,
-    unsigned choice, LaneBlock<8>* detected_out) {
-    word_run_pass<LaneBlock<8>>(plan, faults, count, choice, detected_out);
+    unsigned choice, LaneBlock<8>* detected_out,
+    std::vector<LaneBlock<8>>* site_now,
+    std::vector<LaneBlock<8>>* obs_now) {
+    word_run_pass<LaneBlock<8>>(plan, faults, count, choice, detected_out,
+                                site_now, obs_now);
 }
 
 }  // namespace

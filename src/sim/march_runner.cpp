@@ -22,6 +22,17 @@ std::vector<ReadSite> read_sites(const MarchTest& test) {
     return sites;
 }
 
+std::vector<std::vector<int>> read_site_ids(const MarchTest& test) {
+    std::vector<std::vector<int>> ids(test.size());
+    int next = 0;
+    for (std::size_t e = 0; e < test.size(); ++e) {
+        ids[e].assign(test[e].ops.size(), -1);
+        for (std::size_t o = 0; o < test[e].ops.size(); ++o)
+            if (test[e].ops[o].kind == OpKind::Read) ids[e][o] = next++;
+    }
+    return ids;
+}
+
 namespace {
 
 /// Number of ⇕ elements of a test.

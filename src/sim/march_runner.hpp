@@ -28,6 +28,12 @@ struct ReadSite {
 /// All read sites of a test, in textual order.
 [[nodiscard]] std::vector<ReadSite> read_sites(const march::MarchTest& test);
 
+/// Flat site id of every (element, op) of the test — the index into
+/// read_sites(test), or -1 for writes/waits. The lookup table both batch
+/// kernels (bit and word) use to attribute mismatches while executing.
+[[nodiscard]] std::vector<std::vector<int>> read_site_ids(
+    const march::MarchTest& test);
+
 /// Options for the runner.
 struct RunOptions {
     int memory_size{8};        ///< number of cells of the simulated memory

@@ -24,6 +24,7 @@
 /// than one fault per lane. SimMemory remains the multi-fault oracle, and
 /// tests/packed_sim_test.cpp proves lane-for-lane equivalence against it.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +51,38 @@ public:
 
     [[nodiscard]] int size() const { return static_cast<int>(value_.size()); }
 
+    /// Re-arms the memory for a fresh pass: every lane back to X, every
+    /// fault forgotten — but every allocation kept at its high-water
+    /// capacity (the inner coupling/static/map vectors only clear()).
+    /// Dirty-index lists keep the cost at O(cells touched by faults), so
+    /// a 63·W-fault chunk pass pays no per-pass malloc traffic (ROADMAP
+    /// SIMD follow-on (a)); the batch kernels call this on a thread-local
+    /// scratch memory between passes.
+    void reset(int cell_count) {
+        MTG_EXPECTS(cell_count > 0);
+        for (int c : single_dirty_)
+            single_[static_cast<std::size_t>(c)] = SingleCellMasks{};
+        single_dirty_.clear();
+        for (int c : coupling_dirty_)
+            coupling_[static_cast<std::size_t>(c)].clear();
+        coupling_dirty_.clear();
+        for (int c : afmap_dirty_)
+            afmap_[static_cast<std::size_t>(c)].clear();
+        afmap_dirty_.clear();
+        static_.clear();
+        occupied_ = block_zero<Block>();
+        const auto n = static_cast<std::size_t>(cell_count);
+        if (n != value_.size()) {
+            value_.resize(n);
+            known_.resize(n);
+            single_.resize(n);
+            coupling_.resize(n);
+            afmap_.resize(n);
+        }
+        std::fill(value_.begin(), value_.end(), block_zero<Block>());
+        std::fill(known_.begin(), known_.end(), block_zero<Block>());
+    }
+
     /// Injects `fault` into every lane of `lanes`. Lanes must not already
     /// hold a fault (see the one-fault-per-lane restriction above).
     void inject(const InjectedFault& fault, Block lanes) {
@@ -58,6 +91,8 @@ public:
         MTG_EXPECTS(block_none(occupied_ & lanes));  // one fault per lane
         occupied_ |= lanes;
 
+        if (!fault::is_two_cell(fault.kind))
+            single_dirty_.push_back(fault.cell_a);
         auto& s = single_[static_cast<std::size_t>(fault.cell_a)];
         switch (fault.kind) {
             case fault::FaultKind::Saf0: s.saf0 |= lanes; return;
@@ -81,6 +116,7 @@ public:
             case fault::FaultKind::CfidDown0:
             case fault::FaultKind::CfidDown1:
             case fault::FaultKind::Af:
+                coupling_dirty_.push_back(fault.cell_a);
                 for_each_block_word(lanes, [&](int w, LaneMask m) {
                     coupling_[static_cast<std::size_t>(fault.cell_a)]
                         .push_back({fault.kind, fault.cell_b, w, m});
@@ -99,6 +135,7 @@ public:
                 push_static(fault, true, true, lanes);
                 return;
             case fault::FaultKind::AfMap:
+                afmap_dirty_.push_back(fault.cell_a);
                 for_each_block_word(lanes, [&](int w, LaneMask m) {
                     afmap_[static_cast<std::size_t>(fault.cell_a)].push_back(
                         {fault.cell_b, w, m});
@@ -349,6 +386,11 @@ private:
     std::vector<std::vector<MapEntry>> afmap_;          ///< by aggressor
     std::vector<StaticEntry> static_;
     Block occupied_{};  ///< lanes already holding a fault
+    // Cells whose single/coupling/afmap entries a reset() must undo
+    // (duplicates are fine — clearing is idempotent).
+    std::vector<int> single_dirty_;
+    std::vector<int> coupling_dirty_;
+    std::vector<int> afmap_dirty_;
 
     void check_addr(int addr) const {
         MTG_EXPECTS(addr >= 0 && addr < size());

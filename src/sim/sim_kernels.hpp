@@ -21,12 +21,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <vector>
 
 #include "march/march_test.hpp"
 #include "sim/lane_block.hpp"
+#include "sim/lane_dispatch.hpp"
 #include "sim/march_runner.hpp"
 #include "sim/packed_memory.hpp"
+#include "sim/trace_masks.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mtg::sim::detail {
@@ -62,7 +65,22 @@ void sim_run_pass(const SimPlan& plan, const InjectedFault* faults,
     const int n = plan.opts.memory_size;
     const Block used = block_used_lanes<Block>(count);
 
-    PackedSimMemoryT<Block> memory(n);
+    // Per-pass scratch pooling (ROADMAP SIMD follow-on (a)): pool workers
+    // are long-lived, so a thread-local memory re-armed with reset()
+    // keeps the plane vectors and the per-fault coupling/static/map
+    // tables at their high-water capacity instead of reallocating 63·W
+    // injects per chunk.
+    std::optional<PackedSimMemoryT<Block>> fresh;
+    PackedSimMemoryT<Block>* mem;
+    if (pass_scratch_enabled()) {
+        thread_local PackedSimMemoryT<Block> scratch(n);
+        scratch.reset(n);
+        mem = &scratch;
+    } else {
+        fresh.emplace(n);
+        mem = &*fresh;
+    }
+    PackedSimMemoryT<Block>& memory = *mem;
     for (int i = 0; i < count; ++i)
         memory.inject(faults[i], block_lane_bit<Block>(fault_lane(i)));
 
@@ -132,26 +150,27 @@ SimChunkResult<Block> sim_run_chunk(const SimPlan& plan,
 
     SimChunkResult<Block> out;
     out.detected = used;
-    out.site_fail.assign(plan.sites.size(), used);
-    out.observation_fail.assign(
+    GuaranteedMasks<Block> sites(plan.sites.size(), used);
+    GuaranteedMasks<Block> observations(
         plan.sites.size() * static_cast<std::size_t>(n), used);
-
-    std::vector<Block> site_now(plan.sites.size());
-    std::vector<Block> obs_now(plan.sites.size() *
-                               static_cast<std::size_t>(n));
 
     Block pass_detected = block_zero<Block>();
     for (unsigned choice : plan.expansions) {
-        std::fill(site_now.begin(), site_now.end(), block_zero<Block>());
-        std::fill(obs_now.begin(), obs_now.end(), block_zero<Block>());
-        pass(plan, faults, count, choice, &pass_detected, &site_now,
-             &obs_now);
+        sites.begin_pass();
+        observations.begin_pass();
+        pass(plan, faults, count, choice, &pass_detected,
+             sites.pass_grid(), observations.pass_grid());
         out.detected &= pass_detected;
-        for (std::size_t s = 0; s < plan.sites.size(); ++s)
-            out.site_fail[s] &= site_now[s];
-        for (std::size_t k = 0; k < obs_now.size(); ++k)
-            out.observation_fail[k] &= obs_now[k];
+        sites.commit_pass();
+        observations.commit_pass();
     }
+
+    out.site_fail.resize(sites.size());
+    for (std::size_t s = 0; s < sites.size(); ++s)
+        out.site_fail[s] = sites.guaranteed(s);
+    out.observation_fail.resize(observations.size());
+    for (std::size_t k = 0; k < observations.size(); ++k)
+        out.observation_fail[k] = observations.guaranteed(k);
     return out;
 }
 

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file trace_masks.hpp
+/// Shared guaranteed-trace machinery of the packed grid kernels.
+///
+/// Both trace-extracting drivers (sim_run_chunk for the bit-oriented
+/// kernel, word_run_chunk for the word-oriented one) follow the same
+/// scheme: a flat grid of per-coordinate failing-lane masks is zeroed
+/// before each ⇕-expansion pass, the pass ORs the lanes that mismatch at
+/// each coordinate into it, and the grids of all passes are intersected —
+/// a lane survives at a coordinate only when EVERY expansion failed there,
+/// which is exactly the "guaranteed" trace semantics of the scalar
+/// runners. GuaranteedMasks owns that now/intersected grid pair so the two
+/// kernels cannot drift apart in how they canonicalise traces.
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/lane_block.hpp"
+
+namespace mtg::sim::detail {
+
+/// One guaranteed-trace grid: `now` collects the failing lanes of the
+/// running pass, `guaranteed` holds the intersection of every committed
+/// pass. Coordinates are flat indices chosen by the caller (per read site,
+/// or per (background, site, word, bit) — whatever the kernel traces).
+template <typename Block>
+class GuaranteedMasks {
+public:
+    /// `size` coordinates, all lanes of `init` initially guaranteed (the
+    /// kernels seed with the chunk's used-lane mask: intersecting the
+    /// first pass then leaves exactly that pass's failures).
+    GuaranteedMasks(std::size_t size, const Block& init)
+        : guaranteed_(size, init), now_(size, block_zero<Block>()) {}
+
+    /// Zeroes the per-pass grid; call before every expansion pass.
+    void begin_pass() {
+        std::fill(now_.begin(), now_.end(), block_zero<Block>());
+    }
+
+    /// The per-pass grid, in the pointer form the pass functions take
+    /// (the cross-ISA call boundary is pointer-only).
+    [[nodiscard]] std::vector<Block>* pass_grid() { return &now_; }
+
+    /// Intersects the finished pass into the guaranteed grid.
+    void commit_pass() {
+        for (std::size_t i = 0; i < guaranteed_.size(); ++i)
+            guaranteed_[i] &= now_[i];
+    }
+
+    [[nodiscard]] const Block& guaranteed(std::size_t i) const {
+        return guaranteed_[i];
+    }
+    [[nodiscard]] std::size_t size() const { return guaranteed_.size(); }
+
+private:
+    std::vector<Block> guaranteed_;
+    std::vector<Block> now_;
+};
+
+}  // namespace mtg::sim::detail

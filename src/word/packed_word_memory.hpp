@@ -28,6 +28,7 @@
 /// equivalent). WordMemory remains the multi-fault oracle;
 /// tests/word_batch_test.cpp proves lane-for-lane equivalence against it.
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -69,6 +70,41 @@ public:
     [[nodiscard]] int words() const { return words_; }
     [[nodiscard]] int width() const { return width_; }
 
+    /// Re-arms the memory for a fresh pass (possibly a new geometry):
+    /// every bit back to X, every fault forgotten, every allocation kept
+    /// at its high-water capacity. Dirty-index lists bound the cost by
+    /// the bit positions faults actually touched, so the batch kernels'
+    /// thread-local scratch memories pay no per-pass malloc traffic for
+    /// the 63·W injects per chunk (ROADMAP SIMD follow-on (a)).
+    void reset(int words, int width) {
+        MTG_EXPECTS(words > 0);
+        MTG_EXPECTS(width >= 1 && width <= 64);
+        for (std::size_t at : single_dirty_) single_[at] = SingleBitMasks{};
+        single_dirty_.clear();
+        for (std::size_t w : coupling_dirty_) coupling_[w].clear();
+        coupling_dirty_.clear();
+        for (std::size_t w : afmap_dirty_) afmap_[w].clear();
+        afmap_dirty_.clear();
+        static_.clear();
+        occupied_ = sim::block_zero<Block>();
+        words_ = words;
+        width_ = width;
+        const std::size_t bits = static_cast<std::size_t>(words) *
+                                 static_cast<std::size_t>(width);
+        if (bits != value_.size()) {
+            value_.resize(bits);
+            known_.resize(bits);
+            single_.resize(bits);
+        }
+        const auto word_count = static_cast<std::size_t>(words);
+        if (word_count != coupling_.size()) {
+            coupling_.resize(word_count);
+            afmap_.resize(word_count);
+        }
+        std::fill(value_.begin(), value_.end(), sim::block_zero<Block>());
+        std::fill(known_.begin(), known_.end(), sim::block_zero<Block>());
+    }
+
     /// Injects `fault` into every lane of `lanes`. Lanes must not already
     /// hold a fault (one-fault-per-lane restriction).
     void inject(const InjectedBitFault& fault, Block lanes) {
@@ -76,6 +112,7 @@ public:
         MTG_EXPECTS(sim::block_none(occupied_ & lanes));  // one per lane
         occupied_ |= lanes;
 
+        if (!fault::is_two_cell(fault.kind)) single_dirty_.push_back(a);
         auto& s = single_[a];
         switch (fault.kind) {
             case fault::FaultKind::Saf0: s.saf0 |= lanes; return;
@@ -99,6 +136,8 @@ public:
             case fault::FaultKind::CfidDown0:
             case fault::FaultKind::CfidDown1:
             case fault::FaultKind::Af:
+                coupling_dirty_.push_back(
+                    static_cast<std::size_t>(fault.a.word));
                 for_each_block_word(lanes, [&](int w, LaneMask m) {
                     coupling_[static_cast<std::size_t>(fault.a.word)]
                         .push_back({fault.kind, fault.a.bit, index(fault.b),
@@ -121,11 +160,14 @@ public:
                 // Word-level decoder fault; intra-word AfMap is inert in
                 // the scalar model, so it stays inert here too.
                 (void)index(fault.b);
-                if (!fault.intra_word())
+                if (!fault.intra_word()) {
+                    afmap_dirty_.push_back(
+                        static_cast<std::size_t>(fault.a.word));
                     for_each_block_word(lanes, [&](int w, LaneMask m) {
                         afmap_[static_cast<std::size_t>(fault.a.word)]
                             .push_back({fault.b.word, w, m});
                     });
+                }
                 return;
         }
         MTG_ASSERT(false && "unhandled fault kind");
@@ -398,6 +440,11 @@ private:
     std::vector<std::vector<MapEntry>> afmap_;          ///< by aggr. word
     std::vector<StaticEntry> static_;
     Block occupied_{};  ///< lanes already holding a fault
+    // Flat bit / aggressor-word indices a reset() must undo (duplicates
+    // are fine — clearing is idempotent).
+    std::vector<std::size_t> single_dirty_;
+    std::vector<std::size_t> coupling_dirty_;
+    std::vector<std::size_t> afmap_dirty_;
 
     [[nodiscard]] std::size_t index(BitAddr at) const {
         MTG_EXPECTS(at.word >= 0 && at.word < words_);

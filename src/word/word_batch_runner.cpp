@@ -1,5 +1,6 @@
 #include "word/word_batch_runner.hpp"
 
+#include "fault/instance.hpp"
 #include "sim/lane_dispatch.hpp"
 
 namespace mtg::word {
@@ -21,6 +22,8 @@ WordBatchRunner::WordBatchRunner(const MarchTest& test,
     plan_.opts = opts;
     plan_.pool = pool != nullptr ? pool : &util::ThreadPool::global();
     plan_.expansions = expansion_choices(test, opts);
+    plan_.sites = sim::read_sites(test);
+    plan_.site_id = sim::read_site_ids(test);
 }
 
 int WordBatchRunner::width_for(std::size_t population) const {
@@ -57,6 +60,21 @@ bool WordBatchRunner::detects_all(
     }
 }
 
+std::vector<WordRunTrace> WordBatchRunner::run(
+    const std::vector<InjectedBitFault>& population) const {
+    switch (width_for(population.size())) {
+        case 4:
+            return detail::word_run<LaneBlock<4>>(
+                plan_, detail::word_pass_w4(), population);
+        case 8:
+            return detail::word_run<LaneBlock<8>>(
+                plan_, detail::word_pass_w8(), population);
+        default:
+            return detail::word_run<LaneMask>(plan_, detail::word_pass_w1(),
+                                              population);
+    }
+}
+
 std::vector<InjectedBitFault> coverage_population(fault::FaultKind kind,
                                                   const WordRunOptions& opts) {
     std::vector<InjectedBitFault> population;
@@ -87,6 +105,20 @@ std::vector<InjectedBitFault> coverage_population(fault::FaultKind kind,
         population.push_back(InjectedBitFault::coupling(
             kind, {0, 0}, {opts.words - 1, opts.width - 1}));
     return population;
+}
+
+InjectedBitFault place_instance(const fault::FaultInstance& instance,
+                                const WordRunOptions& opts) {
+    const int lo = opts.words / 3;
+    const int hi = 2 * opts.words / 3;
+    MTG_EXPECTS(lo != hi);
+    const int bit = opts.width / 2;
+    if (!fault::is_two_cell(instance.kind))
+        return InjectedBitFault::single(instance.kind, {lo, bit});
+    if (instance.aggressor == fsm::Cell::I)
+        return InjectedBitFault::coupling(instance.kind, {lo, bit},
+                                          {hi, bit});
+    return InjectedBitFault::coupling(instance.kind, {hi, bit}, {lo, bit});
 }
 
 }  // namespace mtg::word

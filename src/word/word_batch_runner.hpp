@@ -28,6 +28,11 @@
 #include "util/thread_pool.hpp"
 #include "word/word_kernels.hpp"
 #include "word/word_march.hpp"
+#include "word/word_trace.hpp"
+
+namespace mtg::fault {
+struct FaultInstance;
+}
 
 namespace mtg::word {
 
@@ -50,6 +55,14 @@ public:
     /// True when every population member is detected; an atomic flag stops
     /// the remaining work items at the first escaping lane.
     [[nodiscard]] bool detects_all(
+        const std::vector<InjectedBitFault>& population) const;
+
+    /// Full guaranteed traces: element i holds the (background, site)
+    /// reads and (background, site, word, bits) observations of
+    /// population[i] that fail in EVERY ⇕ expansion, in canonical order —
+    /// bit-identical to the scalar word::guaranteed_trace oracle. Sharded
+    /// chunk-wise (each chunk writes a disjoint result range).
+    [[nodiscard]] std::vector<WordRunTrace> run(
         const std::vector<InjectedBitFault>& population) const;
 
     [[nodiscard]] const march::MarchTest& test() const { return plan_.test; }
@@ -78,5 +91,14 @@ private:
 /// inter-word pair on the representative bit, plus one cross-bit pair.
 [[nodiscard]] std::vector<InjectedBitFault> coverage_population(
     fault::FaultKind kind, const WordRunOptions& opts);
+
+/// Canonical concrete placement of a fault instance on a words × width
+/// memory: representative words words/3 and 2·words/3 (ordered by the
+/// instance's aggressor role) on the representative bit width/2 — the
+/// word-path analogue of sim::place_instance, so the word diagnosis
+/// dictionary's population lines up with the bit dictionary's (at
+/// width 1 and words = memory_size the placements coincide).
+[[nodiscard]] InjectedBitFault place_instance(
+    const fault::FaultInstance& instance, const WordRunOptions& opts);
 
 }  // namespace mtg::word

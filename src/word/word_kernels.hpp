@@ -11,15 +11,28 @@
 /// util::ThreadPool with atomic-free per-worker AND accumulators and an
 /// atomic fail-fast flag. Results are bit-identical across widths and
 /// worker counts.
+///
+/// Traces: when the optional per-pass grids are supplied, the pass also
+/// records which lanes mismatched per (background, site) and per
+/// (background, site, word, bit) coordinate; word_run_chunk intersects
+/// those grids across the ⇕ expansions (sim::detail::GuaranteedMasks, the
+/// machinery shared with the bit kernel) and word_run shards chunks across
+/// the pool with each chunk writing a disjoint slice of the WordRunTrace
+/// vector — the word::guaranteed_trace semantics, 63·W faults per sweep.
 
 #include <atomic>
+#include <optional>
 #include <vector>
 
 #include "march/march_test.hpp"
 #include "sim/lane_block.hpp"
+#include "sim/lane_dispatch.hpp"
+#include "sim/march_runner.hpp"
+#include "sim/trace_masks.hpp"
 #include "util/thread_pool.hpp"
 #include "word/packed_word_memory.hpp"
 #include "word/word_march.hpp"
+#include "word/word_trace.hpp"
 
 namespace mtg::word::detail {
 
@@ -43,22 +56,61 @@ struct WordPlan {
     WordRunOptions opts;
     util::ThreadPool* pool{nullptr};
     std::vector<unsigned> expansions;
+    std::vector<sim::ReadSite> sites;
+    std::vector<std::vector<int>> site_id;  ///< (element, op) -> flat site
 };
+
+/// Flat coordinate of the (background, site) read grid.
+inline std::size_t word_site_index(const WordPlan& plan, std::size_t bkg,
+                                   std::size_t site) {
+    return bkg * plan.sites.size() + site;
+}
+
+/// Flat coordinate of the (background, site, word, bit) observation grid.
+inline std::size_t word_obs_index(const WordPlan& plan, std::size_t bkg,
+                                  std::size_t site, int word, int bit) {
+    return ((bkg * plan.sites.size() + site) *
+                static_cast<std::size_t>(plan.opts.words) +
+            static_cast<std::size_t>(word)) *
+               static_cast<std::size_t>(plan.opts.width) +
+           static_cast<std::size_t>(bit);
+}
 
 /// One full (all backgrounds, fixed ⇕ choice) execution of one chunk;
 /// writes the lanes with at least one definite read mismatch to
-/// `*detected_out`. Pointer-only signature: the AVX-attributed wrappers
-/// and their generic callers disagree on the register convention for
-/// returning a 256/512-bit vector by value.
+/// `*detected_out`; when site_now/obs_now are non-null they receive the
+/// per-(background, site) and per-(background, site, word, bit) mismatch
+/// masks of this single pass. Pointer-only signature: the AVX-attributed
+/// wrappers and their generic callers disagree on the register convention
+/// for returning a 256/512-bit vector by value.
 template <typename Block>
 using WordPassFn = void (*)(const WordPlan&, const InjectedBitFault*, int,
-                            unsigned, Block*);
+                            unsigned, Block*, std::vector<Block>*,
+                            std::vector<Block>*);
 
 template <typename Block>
 void word_run_pass(const WordPlan& plan, const InjectedBitFault* faults,
-                   int count, unsigned choice, Block* detected_out) {
+                   int count, unsigned choice, Block* detected_out,
+                   std::vector<Block>* site_now,
+                   std::vector<Block>* obs_now) {
     const Block used = block_used_lanes<Block>(count);
-    PackedWordMemoryT<Block> memory(plan.opts.words, plan.opts.width);
+
+    // Per-pass scratch pooling (ROADMAP SIMD follow-on (a)): workers are
+    // long-lived, so a thread-local memory re-armed with reset() keeps the
+    // plane vectors and the per-fault coupling/static/map tables at their
+    // high-water capacity instead of reallocating 63·W injects per chunk.
+    std::optional<PackedWordMemoryT<Block>> fresh;
+    PackedWordMemoryT<Block>* mem;
+    if (sim::pass_scratch_enabled()) {
+        thread_local PackedWordMemoryT<Block> scratch(plan.opts.words,
+                                                      plan.opts.width);
+        scratch.reset(plan.opts.words, plan.opts.width);
+        mem = &scratch;
+    } else {
+        fresh.emplace(plan.opts.words, plan.opts.width);
+        mem = &*fresh;
+    }
+    PackedWordMemoryT<Block>& memory = *mem;
     for (int i = 0; i < count; ++i)
         memory.inject(faults[i], block_lane_bit<Block>(fault_lane(i)));
 
@@ -67,11 +119,12 @@ void word_run_pass(const WordPlan& plan, const InjectedBitFault* faults,
     // Backgrounds stream through the packed lanes on the same memory, so
     // state carries from one background run into the next exactly as in
     // the scalar word runner.
-    for (const Background& background : plan.backgrounds) {
-        const std::uint64_t b0 = background.bits;
-        const std::uint64_t b1 = background.complement().bits;
+    for (std::size_t k = 0; k < plan.backgrounds.size(); ++k) {
+        const std::uint64_t b0 = plan.backgrounds[k].bits;
+        const std::uint64_t b1 = plan.backgrounds[k].complement().bits;
         int any_seen = 0;
-        for (const auto& element : plan.test.elements()) {
+        for (std::size_t e = 0; e < plan.test.size(); ++e) {
+            const auto& element = plan.test[e];
             bool desc = element.order == march::AddressOrder::Descending;
             if (element.order == march::AddressOrder::Any) {
                 desc = ((choice >> any_seen) & 1u) != 0;
@@ -80,7 +133,8 @@ void word_run_pass(const WordPlan& plan, const InjectedBitFault* faults,
             const int n = plan.opts.words;
             for (int step = 0; step < n; ++step) {
                 const int word = desc ? n - 1 - step : step;
-                for (const march::MarchOp& op : element.ops) {
+                for (std::size_t o = 0; o < element.ops.size(); ++o) {
+                    const march::MarchOp& op = element.ops[o];
                     switch (op.kind) {
                         case march::OpKind::Write:
                             memory.write(word, op.value ? b1 : b0);
@@ -92,13 +146,29 @@ void word_run_pass(const WordPlan& plan, const InjectedBitFault* faults,
                             const std::uint64_t expected =
                                 op.value ? b1 : b0;
                             memory.read(word, got);
+                            Block site_mask = block_zero<Block>();
                             for (int bit = 0; bit < plan.opts.width; ++bit) {
                                 const Block expmask = block_fill<Block>(
                                     ((expected >> bit) & 1u) != 0);
-                                detected |= got[bit].known &
-                                            (got[bit].value ^ expmask) &
-                                            used;
+                                const Block mismatch =
+                                    got[bit].known &
+                                    (got[bit].value ^ expmask) & used;
+                                if (block_none(mismatch)) continue;
+                                detected |= mismatch;
+                                site_mask |= mismatch;
+                                if (obs_now != nullptr)
+                                    (*obs_now)[word_obs_index(
+                                        plan, k,
+                                        static_cast<std::size_t>(
+                                            plan.site_id[e][o]),
+                                        word, bit)] |= mismatch;
                             }
+                            if (site_now != nullptr &&
+                                !block_none(site_mask))
+                                (*site_now)[word_site_index(
+                                    plan, k,
+                                    static_cast<std::size_t>(
+                                        plan.site_id[e][o]))] |= site_mask;
                             break;
                         }
                     }
@@ -131,7 +201,7 @@ std::vector<bool> word_detects(
             Block detected = block_zero<Block>();
             pass(plan, population.data() + c * per,
                  block_chunk_count<Block>(population.size(), c), choice,
-                 &detected);
+                 &detected, nullptr, nullptr);
             acc[worker][c] &= detected;
         });
 
@@ -164,11 +234,110 @@ bool word_detects_all(const WordPlan& plan, WordPassFn<Block> pass,
                 block_chunk_count<Block>(population.size(), c);
             Block detected = block_zero<Block>();
             pass(plan, population.data() + c * per, count, choice,
-                 &detected);
+                 &detected, nullptr, nullptr);
             if (!(detected == block_used_lanes<Block>(count)))
                 escape.store(true, std::memory_order_relaxed);
         });
     return !escape.load(std::memory_order_relaxed);
+}
+
+/// Per-coordinate failing-lane masks of one population chunk, already
+/// intersected across every ⇕ expansion (see word_site_index /
+/// word_obs_index for the grid layouts).
+template <typename Block>
+struct WordChunkResult {
+    Block detected{};
+    std::vector<Block> site_fail;         ///< [background × site]
+    std::vector<Block> observation_fail;  ///< [bkg × site × word × bit]
+};
+
+template <typename Block>
+WordChunkResult<Block> word_run_chunk(const WordPlan& plan,
+                                      WordPassFn<Block> pass,
+                                      const InjectedBitFault* faults,
+                                      int count) {
+    MTG_EXPECTS(count > 0 && count <= block_fault_lanes<Block>);
+    const Block used = block_used_lanes<Block>(count);
+    const std::size_t site_cells =
+        plan.backgrounds.size() * plan.sites.size();
+    const std::size_t obs_cells =
+        site_cells * static_cast<std::size_t>(plan.opts.words) *
+        static_cast<std::size_t>(plan.opts.width);
+
+    WordChunkResult<Block> out;
+    out.detected = used;
+    sim::detail::GuaranteedMasks<Block> sites(site_cells, used);
+    sim::detail::GuaranteedMasks<Block> observations(obs_cells, used);
+
+    Block pass_detected = block_zero<Block>();
+    for (unsigned choice : plan.expansions) {
+        sites.begin_pass();
+        observations.begin_pass();
+        pass(plan, faults, count, choice, &pass_detected,
+             sites.pass_grid(), observations.pass_grid());
+        out.detected &= pass_detected;
+        sites.commit_pass();
+        observations.commit_pass();
+    }
+
+    out.site_fail.resize(site_cells);
+    for (std::size_t s = 0; s < site_cells; ++s)
+        out.site_fail[s] = sites.guaranteed(s);
+    out.observation_fail.resize(obs_cells);
+    for (std::size_t s = 0; s < obs_cells; ++s)
+        out.observation_fail[s] = observations.guaranteed(s);
+    return out;
+}
+
+template <typename Block>
+std::vector<WordRunTrace> word_run(
+    const WordPlan& plan, WordPassFn<Block> pass,
+    const std::vector<InjectedBitFault>& population) {
+    std::vector<WordRunTrace> result(population.size());
+    if (population.empty()) return result;
+    const std::size_t chunks = block_chunk_total<Block>(population.size());
+    const auto per = static_cast<std::size_t>(block_fault_lanes<Block>);
+
+    // Chunk-wise sharding: each item expands every ⇕ choice itself (the
+    // per-(bkg, site, word, bit) grids would make a fused grid's
+    // per-worker state quadratic) and writes a disjoint result slice.
+    plan.pool->parallel_for(chunks, [&](std::size_t c, unsigned) {
+        const std::size_t base = c * per;
+        const int count = block_chunk_count<Block>(population.size(), c);
+        const WordChunkResult<Block> chunk =
+            word_run_chunk<Block>(plan, pass, population.data() + base,
+                                  count);
+        for (int i = 0; i < count; ++i) {
+            const int lane = fault_lane(i);
+            WordRunTrace& trace =
+                result[base + static_cast<std::size_t>(i)];
+            trace.detected = block_test(chunk.detected, lane);
+            // Extraction order IS the canonical trace order: background,
+            // then textual site, then ascending word (bits as a mask).
+            for (std::size_t k = 0; k < plan.backgrounds.size(); ++k)
+                for (std::size_t s = 0; s < plan.sites.size(); ++s) {
+                    if (block_test(
+                            chunk.site_fail[word_site_index(plan, k, s)],
+                            lane))
+                        trace.failing_reads.push_back(
+                            {static_cast<int>(k), plan.sites[s]});
+                    for (int w = 0; w < plan.opts.words; ++w) {
+                        std::uint64_t bits = 0;
+                        for (int b = 0; b < plan.opts.width; ++b)
+                            if (block_test(
+                                    chunk.observation_fail[word_obs_index(
+                                        plan, k, s, w, b)],
+                                    lane))
+                                bits |= std::uint64_t{1} << b;
+                        if (bits != 0)
+                            trace.failing_observations.push_back(
+                                {static_cast<int>(k), plan.sites[s], w,
+                                 bits});
+                    }
+                }
+        }
+    });
+    return result;
 }
 
 /// Pass-function getters mirroring sim_kernels.hpp: the widest safe

@@ -289,6 +289,46 @@ TEST(FullPopulation, AllKindOverloadConcatenatesInListOrder) {
     EXPECT_TRUE(full_population(std::vector<FaultKind>{}, 4).empty());
 }
 
+TEST(PackedSim, ResetReuseMatchesFreshMemory) {
+    // A reset() memory (the batch kernels' pooled per-pass scratch) must
+    // behave exactly like a freshly constructed one, across a geometry
+    // change and a different fault population.
+    SplitMix64 rng(0x4E5E7ULL);
+    PackedSimMemory reused(4);
+    reused.inject(InjectedFault::coupling(FaultKind::CfidUp1, 0, 3),
+                  LaneMask{1} << 7);
+    reused.inject(InjectedFault::single(FaultKind::Rdf0, 1),
+                  LaneMask{1} << 11);
+    reused.write(0, 1);
+    (void)reused.read(3);
+
+    reused.reset(6);
+    PackedSimMemory fresh(6);
+    const auto fault = InjectedFault::coupling(FaultKind::CfstS1F0, 2, 4);
+    reused.inject(fault, LaneMask{1} << 7);
+    fresh.inject(fault, LaneMask{1} << 7);
+    for (int step = 0; step < 60; ++step) {
+        const int cell = rng.range(0, 5);
+        const int choice = rng.range(0, 9);
+        if (choice < 5) {
+            const int d = rng.range(0, 1);
+            reused.write(cell, d);
+            fresh.write(cell, d);
+        } else if (choice < 9) {
+            const auto a = reused.read(cell);
+            const auto b = fresh.read(cell);
+            ASSERT_EQ(a.value, b.value) << "step " << step;
+            ASSERT_EQ(a.known, b.known) << "step " << step;
+        } else {
+            reused.wait();
+            fresh.wait();
+        }
+        for (int c = 0; c < 6; ++c)
+            ASSERT_EQ(reused.peek(c, 7), fresh.peek(c, 7))
+                << "cell " << c << " step " << step;
+    }
+}
+
 TEST(BatchRunner, EmptyPopulationIsTriviallyCovered) {
     const RunOptions opts{.memory_size = 1, .max_any_expansion = 6};
     const BatchRunner runner(march::march_c_minus(), opts);
