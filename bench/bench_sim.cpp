@@ -9,6 +9,7 @@
 
 #include "bench_timing.hpp"
 
+#include "engine/engine.hpp"
 #include "fault/kinds.hpp"
 #include "march/library.hpp"
 #include "sim/batch_runner.hpp"
@@ -122,6 +123,18 @@ void print_scalar_vs_batched() {
         opts64.memory_size, population64.size(), serial64_fps,
         pool.worker_count(), parallel64_fps, parallel64_fps / serial64_fps);
 
+    // Engine backend head-to-head on the n=64 workload: one packed
+    // session versus a ShardedBackend with one shard per core — the
+    // in-process rehearsal of the multi-host chunk-range split, so the
+    // merge overhead (concatenating per-shard lane verdicts) is tracked
+    // from PR 5 onward.
+    const int shard_count = static_cast<int>(pool.worker_count());
+    const engine::Engine packed_engine(
+        engine::EngineConfig{.backend = engine::BackendKind::Packed});
+    const engine::Engine sharded_engine(
+        engine::EngineConfig{.backend = engine::BackendKind::Sharded,
+                             .shards = shard_count});
+
     benchutil::JsonSummary summary("sim");
     summary.field("workload", "covers_everywhere")
         .field("march", "March C-")
@@ -141,7 +154,13 @@ void print_scalar_vs_batched() {
         .field("threads", pool.worker_count())
         .field("batched_1thread_faults_per_sec", serial64_fps)
         .field("batched_mt_faults_per_sec", parallel64_fps)
-        .field("parallel_speedup", parallel64_fps / serial64_fps, 2);
+        .field("parallel_speedup", parallel64_fps / serial64_fps, 2)
+        .engine_backend_head_to_head(
+            "n=64 covers sweep", faults64, shard_count,
+            [&] { return packed_engine.detects(test, population64, opts64); },
+            [&] {
+                return sharded_engine.detects(test, population64, opts64);
+            });
     summary.print();
 }
 

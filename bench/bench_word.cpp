@@ -10,6 +10,7 @@
 
 #include "bench_timing.hpp"
 
+#include "engine/engine.hpp"
 #include "march/library.hpp"
 #include "sim/lane_dispatch.hpp"
 #include "util/table.hpp"
@@ -96,6 +97,16 @@ void print_scalar_vs_packed() {
         wide_population.size(), w1_fps, active_width, wide_fps,
         wide_fps / w1_fps);
 
+    // Engine backend head-to-head on the coverage workload: one packed
+    // session versus a ShardedBackend with one shard per core (the
+    // in-process multi-host split), tracking the merge overhead.
+    const int shard_count = static_cast<int>(pool.worker_count());
+    const engine::Engine packed_engine(
+        engine::EngineConfig{.backend = engine::BackendKind::Packed});
+    const engine::Engine sharded_engine(
+        engine::EngineConfig{.backend = engine::BackendKind::Sharded,
+                             .shards = shard_count});
+
     benchutil::JsonSummary summary("word");
     summary.field("workload", "covers_everywhere")
         .field("march", "March C-")
@@ -115,7 +126,17 @@ void print_scalar_vs_packed() {
         .field("width_population", wide_population.size())
         .field("w1_faults_per_sec", w1_fps)
         .field("wide_faults_per_sec", wide_fps)
-        .field("simd_speedup", wide_fps / w1_fps, 2);
+        .field("simd_speedup", wide_fps / w1_fps, 2)
+        .engine_backend_head_to_head(
+            "coverage workload", faults, shard_count,
+            [&] {
+                return packed_engine.detects(test, backgrounds, population,
+                                             opts);
+            },
+            [&] {
+                return sharded_engine.detects(test, backgrounds, population,
+                                              opts);
+            });
     summary.print();
 }
 

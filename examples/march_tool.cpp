@@ -22,6 +22,7 @@
 
 #include "core/generator.hpp"
 #include "diagnosis/dictionary.hpp"
+#include "engine/engine.hpp"
 #include "march/library.hpp"
 #include "march/parser.hpp"
 #include "setcover/coverage_matrix.hpp"
@@ -70,9 +71,10 @@ int cmd_verify(const std::string& text, const std::string& list) {
                     "a fault-free memory\n");
         return 1;
     }
+    const engine::Engine& engine = engine::Engine::global();
     bool all = true;
     for (fault::FaultKind kind : kinds) {
-        const bool ok = sim::covers_everywhere(test, kind);
+        const bool ok = engine.covers_everywhere(test, kind);
         std::printf("%-12s %s\n", fault::fault_kind_name(kind).c_str(),
                     ok ? "covered" : "ESCAPES");
         all = all && ok;
@@ -108,10 +110,11 @@ int cmd_word(const std::string& list, int width) {
     std::printf("word-oriented: %zu backgrounds, %d ops/word\n",
                 backgrounds.size(),
                 word::word_complexity(result.test, backgrounds));
+    const engine::Engine& engine = engine::Engine::global();
     bool all = true;
     for (fault::FaultKind kind : fault::parse_fault_kinds(list)) {
         const bool ok =
-            word::covers_everywhere(result.test, backgrounds, kind, opts);
+            engine.covers_everywhere(result.test, backgrounds, kind, opts);
         std::printf("%-12s %s\n", fault::fault_kind_name(kind).c_str(),
                     ok ? "covered" : "ESCAPES");
         all = all && ok;

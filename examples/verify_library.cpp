@@ -11,13 +11,18 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.hpp"
 #include "fault/kinds.hpp"
 #include "march/library.hpp"
-#include "sim/march_runner.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
     using namespace mtg;
+
+    // One simulation session for the whole sweep: the packed backend, the
+    // process-wide pool, and a population cache shared by every
+    // (test, kind) coverage query.
+    const engine::Engine engine;
 
     std::vector<std::string> families;
     if (argc > 1) {
@@ -39,7 +44,7 @@ int main(int argc, char** argv) {
             bool all = true;
             bool some = false;
             for (fault::FaultKind kind : fault::expand_fault_family(family)) {
-                const bool ok = sim::covers_everywhere(named.test, kind);
+                const bool ok = engine.covers_everywhere(named.test, kind);
                 all = all && ok;
                 some = some || ok;
             }

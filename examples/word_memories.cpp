@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "diagnosis/word_dictionary.hpp"
+#include "engine/engine.hpp"
 #include "fault/kinds.hpp"
 #include "march/library.hpp"
 #include "util/table.hpp"
@@ -18,6 +19,10 @@
 
 int main(int argc, char** argv) {
     using namespace mtg;
+
+    // One session for every coverage query below (the dictionary builds
+    // route through the same process-wide engine internally).
+    const engine::Engine engine;
 
     const int width = argc > 1 ? std::atoi(argv[1]) : 8;
     const auto solid = word::solid_background(width);
@@ -44,10 +49,11 @@ int main(int argc, char** argv) {
     for (const char* family : {"SAF", "TF", "CFin", "CFid", "CFst"}) {
         for (fault::FaultKind kind : fault::expand_fault_family(family)) {
             table.add_row({fault::fault_kind_name(kind),
-                           word::covers_everywhere(test, solid, kind, opts)
+                           engine.covers_everywhere(test, solid, kind, opts)
                                ? "yes"
                                : "MISS",
-                           word::covers_everywhere(test, counting, kind, opts)
+                           engine.covers_everywhere(test, counting, kind,
+                                                    opts)
                                ? "yes"
                                : "MISS"});
         }

@@ -10,7 +10,7 @@
 #include "core/march_builder.hpp"
 #include "core/rewrite.hpp"
 #include "core/test_pattern_graph.hpp"
-#include "sim/batch_runner.hpp"
+#include "engine/engine.hpp"
 #include "sim/two_cell_sim.hpp"
 #include "util/contracts.hpp"
 
@@ -53,24 +53,23 @@ int tp_signature(const TestPattern& tp) {
 }
 
 /// Simulator check: the March test covers every placement of the target
-/// list — one sharded all-kind BatchRunner sweep instead of a
+/// list — one fail-fast all-kind Engine query instead of a
 /// covers_everywhere call (and runner setup) per kind. The placed
-/// population only depends on (kinds, memory_size), so callers build it
-/// once per generation and reuse it across every candidate.
+/// population only depends on (kinds, memory_size), so the Engine's
+/// population cache hands every candidate probe the same expansion.
 bool march_valid(const MarchTest& test,
-                 const std::vector<sim::InjectedFault>& population,
+                 const std::vector<FaultKind>& kinds,
                  const sim::RunOptions& run) {
     if (test.empty()) return false;
     if (!sim::is_well_formed(test, run)) return false;
-    if (population.empty()) return true;
-    return sim::BatchRunner(test, run).detects_all(population);
+    return engine::Engine::global().covers_all(test, kinds, run);
 }
 
 /// Greedy deletion pass: removes single operations, then whole elements,
 /// while the test remains valid. Guarantees block-level non-redundancy of
 /// the final result.
 MarchTest march_minimise_pass(MarchTest test,
-                              const std::vector<sim::InjectedFault>& population,
+                              const std::vector<FaultKind>& kinds,
                               const sim::RunOptions& run) {
     bool changed = true;
     while (changed) {
@@ -85,7 +84,7 @@ MarchTest march_minimise_pass(MarchTest test,
                     elements.erase(elements.begin() +
                                    static_cast<std::ptrdiff_t>(e));
                 MarchTest candidate(elements);
-                if (march_valid(candidate, population, run)) {
+                if (march_valid(candidate, kinds, run)) {
                     test = std::move(candidate);
                     changed = true;
                 }
@@ -97,7 +96,7 @@ MarchTest march_minimise_pass(MarchTest test,
             elements.erase(elements.begin() + static_cast<std::ptrdiff_t>(e));
             if (elements.empty()) continue;
             MarchTest candidate(elements);
-            if (march_valid(candidate, population, run)) {
+            if (march_valid(candidate, kinds, run)) {
                 test = std::move(candidate);
                 changed = true;
             }
@@ -209,12 +208,6 @@ GenerationResult Generator::generate(const std::vector<FaultKind>& kinds) const 
     // gate's verdict, only how fast a failure is found.)
     std::vector<FaultInstance> probe_order = fault::instantiate(kinds);
 
-    // Placed all-kind population for the §6 simulator gate — depends only
-    // on (kinds, memory_size), so it is built once and reused across every
-    // candidate validation and minimisation step.
-    const std::vector<sim::InjectedFault> placed_population =
-        sim::full_population(kinds, options_.sim.memory_size);
-
     // --- §5 enumeration over class alternatives -------------------------
     std::vector<std::size_t> digits(choice_classes.size(), 0);
     std::set<std::string> seen_tests;
@@ -254,12 +247,11 @@ GenerationResult Generator::generate(const std::vector<FaultKind>& kinds) const 
 
         MarchTest synthesised = build_march(minimised);
         if (!seen_tests.insert(synthesised.str()).second) return;
-        if (!march_valid(synthesised, placed_population, options_.sim)) return;
+        if (!march_valid(synthesised, kinds, options_.sim)) return;
 
         MarchTest final_test = synthesised;
         if (options_.march_minimise)
-            final_test = march_minimise_pass(final_test, placed_population,
-                                             options_.sim);
+            final_test = march_minimise_pass(final_test, kinds, options_.sim);
 
         const int complexity = final_test.complexity();
         if (!have_best || complexity < result.complexity ||

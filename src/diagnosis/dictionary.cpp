@@ -1,9 +1,10 @@
 #include "diagnosis/dictionary.hpp"
 
-#include <algorithm>
 #include <sstream>
+#include <utility>
 
-#include "sim/batch_runner.hpp"
+#include "diagnosis/signature_bucketing.hpp"
+#include "engine/engine.hpp"
 
 namespace mtg::diagnosis {
 
@@ -32,35 +33,22 @@ FaultDictionary FaultDictionary::build(const MarchTest& test,
                                        const std::vector<FaultKind>& kinds,
                                        const sim::RunOptions& opts) {
     FaultDictionary dictionary;
-    const std::vector<FaultInstance> instances = fault::instantiate(kinds);
 
-    // One batched pass over the placed population; each instance's
-    // guaranteed observations become its dictionary signature.
-    std::vector<InjectedFault> population;
-    population.reserve(instances.size());
-    for (const FaultInstance& inst : instances)
-        population.push_back(sim::place_instance(inst, opts.memory_size));
-    std::vector<sim::RunTrace> traces =
-        sim::BatchRunner(test, opts).run(population);
+    // One engine dictionary sweep over the placed population; each
+    // instance's guaranteed observations become its dictionary signature.
+    engine::Result sweep =
+        engine::Engine::global().dictionary_sweep(test, kinds, opts);
 
-    for (std::size_t i = 0; i < instances.size(); ++i) {
-        const FaultInstance& inst = instances[i];
-        ++dictionary.instance_count_;
-        Signature sig{std::move(traces[i].failing_observations)};
-        if (sig.detected()) ++dictionary.detected_count_;
-        auto it = std::find_if(
-            dictionary.entries_.begin(), dictionary.entries_.end(),
-            [&](const DictionaryEntry& e) { return e.signature == sig; });
-        if (it == dictionary.entries_.end()) {
-            dictionary.entries_.push_back({std::move(sig), {inst}});
-        } else {
-            it->instances.push_back(inst);
-        }
-    }
-    std::sort(dictionary.entries_.begin(), dictionary.entries_.end(),
-              [](const DictionaryEntry& a, const DictionaryEntry& b) {
-                  return a.signature < b.signature;
-              });
+    std::vector<Signature> signatures;
+    signatures.reserve(sweep.instances.size());
+    for (sim::RunTrace& trace : sweep.traces)
+        signatures.push_back(Signature{std::move(trace.failing_observations)});
+    auto bucketed = detail::bucket_by_signature<DictionaryEntry>(
+        sweep.instances, std::move(signatures));
+    dictionary.instance_count_ = static_cast<int>(sweep.instances.size());
+    dictionary.detected_count_ = bucketed.detected;
+    dictionary.entries_ = std::move(bucketed.entries);
+    dictionary.index_ = std::move(bucketed.index);
     return dictionary;
 }
 
@@ -78,6 +66,13 @@ double FaultDictionary::resolution() const {
 }
 
 std::vector<FaultInstance> FaultDictionary::diagnose(
+    const Signature& observed) const {
+    const auto it = index_.find(observed.str());
+    if (it == index_.end()) return {};
+    return entries_[it->second].instances;
+}
+
+std::vector<FaultInstance> FaultDictionary::diagnose_linear(
     const Signature& observed) const {
     for (const DictionaryEntry& entry : entries_)
         if (entry.signature == observed) return entry.instances;

@@ -10,6 +10,7 @@
 /// metric that separates e.g. PMOVI from March C-.
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "fault/instance.hpp"
@@ -73,8 +74,15 @@ public:
     [[nodiscard]] double resolution() const;
 
     /// All instances compatible with an observed signature (empty when the
-    /// signature is unknown to the dictionary).
+    /// signature is unknown to the dictionary). O(1): hash lookup of the
+    /// rendered signature (the rendering is an injective encoding of the
+    /// observation list, so string equality ⇔ signature equality).
     [[nodiscard]] std::vector<fault::FaultInstance> diagnose(
+        const Signature& observed) const;
+
+    /// The original linear bucket scan, kept as the reference path the
+    /// hash lookup is differentially tested against.
+    [[nodiscard]] std::vector<fault::FaultInstance> diagnose_linear(
         const Signature& observed) const;
 
     /// Table rendering: signature -> instance names.
@@ -82,6 +90,8 @@ public:
 
 private:
     std::vector<DictionaryEntry> entries_;  // sorted by signature
+    /// Rendered signature -> index into entries_.
+    std::unordered_map<std::string, std::size_t> index_;
     int instance_count_{0};
     int detected_count_{0};
 };

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file signature_bucketing.hpp
+/// The bucket/sort/index machinery shared by FaultDictionary and
+/// WordFaultDictionary — one implementation over both signature types so
+/// the two build paths cannot drift (the same reason the expansion and
+/// placement twins live in march/expansion.hpp and fault/placement.hpp).
+///
+/// Buckets instances by their signature's rendered string (the rendering
+/// is an injective encoding of the observation list, so string equality ⇔
+/// signature equality), sorts the buckets into the canonical
+/// rendered-string order (operator<=> on both signature types compares by
+/// str(), so this equals the signature order), and emits the
+/// rendered-string → entry-index map diagnose() serves from. Each
+/// signature is rendered exactly once: the bucket keys are reused for the
+/// sort and for the final index instead of re-rendering after the sort.
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fault/instance.hpp"
+
+namespace mtg::diagnosis::detail {
+
+/// Result of bucketing: `entries` sorted by signature, `index` keyed by
+/// the rendered signature, `detected` = instances with a non-empty
+/// signature.
+template <typename Entry>
+struct Bucketed {
+    std::vector<Entry> entries;
+    std::unordered_map<std::string, std::size_t> index;
+    int detected{0};
+};
+
+/// `signatures[i]` is the (moved-from afterwards) signature of
+/// `instances[i]`.
+template <typename Entry, typename Signature>
+Bucketed<Entry> bucket_by_signature(
+    const std::vector<fault::FaultInstance>& instances,
+    std::vector<Signature> signatures) {
+    Bucketed<Entry> out;
+    std::vector<Entry> buckets;
+    std::vector<std::string> rendered;  // aligned with `buckets`
+    std::unordered_map<std::string, std::size_t> bucket_of;
+    for (std::size_t i = 0; i < instances.size(); ++i) {
+        std::string key = signatures[i].str();
+        const auto [it, inserted] =
+            bucket_of.try_emplace(std::move(key), buckets.size());
+        if (inserted) {
+            buckets.push_back({std::move(signatures[i]), {instances[i]}});
+            rendered.push_back(it->first);
+        } else {
+            buckets[it->second].instances.push_back(instances[i]);
+        }
+    }
+
+    std::vector<std::size_t> order(buckets.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return rendered[a] < rendered[b];
+              });
+
+    out.entries.reserve(buckets.size());
+    for (std::size_t k = 0; k < order.size(); ++k) {
+        Entry& bucket = buckets[order[k]];
+        if (bucket.signature.detected())
+            out.detected += static_cast<int>(bucket.instances.size());
+        out.index.emplace(std::move(rendered[order[k]]), k);
+        out.entries.push_back(std::move(bucket));
+    }
+    return out;
+}
+
+}  // namespace mtg::diagnosis::detail

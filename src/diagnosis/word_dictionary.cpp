@@ -1,9 +1,10 @@
 #include "diagnosis/word_dictionary.hpp"
 
-#include <algorithm>
 #include <sstream>
+#include <utility>
 
-#include "word/word_batch_runner.hpp"
+#include "diagnosis/signature_bucketing.hpp"
+#include "engine/engine.hpp"
 
 namespace mtg::diagnosis {
 
@@ -40,35 +41,23 @@ WordFaultDictionary WordFaultDictionary::build(
     const MarchTest& test, const std::vector<Background>& backgrounds,
     const std::vector<FaultKind>& kinds, const WordRunOptions& opts) {
     WordFaultDictionary dictionary;
-    const std::vector<FaultInstance> instances = fault::instantiate(kinds);
 
-    // One packed trace sweep over the placed population; each instance's
-    // guaranteed observations become its dictionary signature.
-    std::vector<InjectedBitFault> population;
-    population.reserve(instances.size());
-    for (const FaultInstance& inst : instances)
-        population.push_back(word::place_instance(inst, opts));
-    std::vector<word::WordRunTrace> traces =
-        word::WordBatchRunner(test, backgrounds, opts).run(population);
+    // One engine dictionary sweep over the placed population; each
+    // instance's guaranteed observations become its dictionary signature.
+    engine::Result sweep = engine::Engine::global().dictionary_sweep(
+        test, backgrounds, kinds, opts);
 
-    for (std::size_t i = 0; i < instances.size(); ++i) {
-        const FaultInstance& inst = instances[i];
-        ++dictionary.instance_count_;
-        WordSignature sig{std::move(traces[i].failing_observations)};
-        if (sig.detected()) ++dictionary.detected_count_;
-        auto it = std::find_if(
-            dictionary.entries_.begin(), dictionary.entries_.end(),
-            [&](const WordDictionaryEntry& e) { return e.signature == sig; });
-        if (it == dictionary.entries_.end()) {
-            dictionary.entries_.push_back({std::move(sig), {inst}});
-        } else {
-            it->instances.push_back(inst);
-        }
-    }
-    std::sort(dictionary.entries_.begin(), dictionary.entries_.end(),
-              [](const WordDictionaryEntry& a, const WordDictionaryEntry& b) {
-                  return a.signature < b.signature;
-              });
+    std::vector<WordSignature> signatures;
+    signatures.reserve(sweep.instances.size());
+    for (word::WordRunTrace& trace : sweep.word_traces)
+        signatures.push_back(
+            WordSignature{std::move(trace.failing_observations)});
+    auto bucketed = detail::bucket_by_signature<WordDictionaryEntry>(
+        sweep.instances, std::move(signatures));
+    dictionary.instance_count_ = static_cast<int>(sweep.instances.size());
+    dictionary.detected_count_ = bucketed.detected;
+    dictionary.entries_ = std::move(bucketed.entries);
+    dictionary.index_ = std::move(bucketed.index);
     return dictionary;
 }
 
@@ -87,6 +76,13 @@ double WordFaultDictionary::resolution() const {
 }
 
 std::vector<FaultInstance> WordFaultDictionary::diagnose(
+    const WordSignature& observed) const {
+    const auto it = index_.find(observed.str());
+    if (it == index_.end()) return {};
+    return entries_[it->second].instances;
+}
+
+std::vector<FaultInstance> WordFaultDictionary::diagnose_linear(
     const WordSignature& observed) const {
     for (const WordDictionaryEntry& entry : entries_)
         if (entry.signature == observed) return entry.instances;

@@ -1,0 +1,319 @@
+#include "engine/backend.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/batch_runner.hpp"
+#include "word/word_batch_runner.hpp"
+
+namespace mtg::engine {
+
+namespace {
+
+util::ThreadPool& pool_of(util::ThreadPool* pool) {
+    return pool != nullptr ? *pool : util::ThreadPool::global();
+}
+
+// ------------------------------------------------------------- scalar ----
+
+/// Guaranteed bit trace via one sim::run_once per ⇕ expansion: reads and
+/// (site, cell) observations intersected across expansions and emitted in
+/// the canonical order (textual site order, ascending cell) — the
+/// definition the packed kernels are differenced against.
+sim::RunTrace scalar_bit_trace(const BitContext& ctx,
+                               const sim::InjectedFault& fault) {
+    const std::vector<sim::ReadSite> sites = sim::read_sites(ctx.test);
+    const int n = ctx.opts.memory_size;
+    std::vector<char> site_ok(sites.size(), 1);
+    std::vector<char> obs_ok(sites.size() * static_cast<std::size_t>(n), 1);
+    bool detected = true;
+    for (unsigned choice : sim::expansion_choices(ctx.test, ctx.opts)) {
+        const sim::RunTrace once =
+            sim::run_once(ctx.test, {fault}, choice, ctx.opts);
+        detected = detected && once.detected;
+        for (std::size_t s = 0; s < sites.size(); ++s) {
+            if (site_ok[s] != 0 &&
+                std::find(once.failing_reads.begin(),
+                          once.failing_reads.end(),
+                          sites[s]) == once.failing_reads.end())
+                site_ok[s] = 0;
+            for (int cell = 0; cell < n; ++cell) {
+                char& ok = obs_ok[s * static_cast<std::size_t>(n) +
+                                  static_cast<std::size_t>(cell)];
+                if (ok != 0 &&
+                    std::find(once.failing_observations.begin(),
+                              once.failing_observations.end(),
+                              sim::Observation{sites[s], cell}) ==
+                        once.failing_observations.end())
+                    ok = 0;
+            }
+        }
+    }
+    sim::RunTrace out;
+    out.detected = detected;
+    for (std::size_t s = 0; s < sites.size(); ++s) {
+        if (site_ok[s] != 0) out.failing_reads.push_back(sites[s]);
+        for (int cell = 0; cell < n; ++cell)
+            if (obs_ok[s * static_cast<std::size_t>(n) +
+                       static_cast<std::size_t>(cell)] != 0)
+                out.failing_observations.push_back({sites[s], cell});
+    }
+    return out;
+}
+
+class ScalarBackend final : public Backend {
+public:
+    [[nodiscard]] const char* name() const override { return "scalar"; }
+
+    [[nodiscard]] std::vector<bool> detects(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        std::vector<bool> result;
+        result.reserve(population.size());
+        for (const sim::InjectedFault& fault : population)
+            result.push_back(sim::detects(ctx.test, fault, ctx.opts));
+        return result;
+    }
+
+    [[nodiscard]] bool detects_all(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        for (const sim::InjectedFault& fault : population)
+            if (!sim::detects(ctx.test, fault, ctx.opts)) return false;
+        return true;
+    }
+
+    [[nodiscard]] std::vector<sim::RunTrace> traces(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        std::vector<sim::RunTrace> result;
+        result.reserve(population.size());
+        for (const sim::InjectedFault& fault : population)
+            result.push_back(scalar_bit_trace(ctx, fault));
+        return result;
+    }
+
+    [[nodiscard]] std::vector<bool> detects(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        std::vector<bool> result;
+        result.reserve(population.size());
+        for (const word::InjectedBitFault& fault : population)
+            result.push_back(
+                word::detects(ctx.test, ctx.backgrounds, fault, ctx.opts));
+        return result;
+    }
+
+    [[nodiscard]] bool detects_all(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        for (const word::InjectedBitFault& fault : population)
+            if (!word::detects(ctx.test, ctx.backgrounds, fault, ctx.opts))
+                return false;
+        return true;
+    }
+
+    [[nodiscard]] std::vector<word::WordRunTrace> traces(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        std::vector<word::WordRunTrace> result;
+        result.reserve(population.size());
+        for (const word::InjectedBitFault& fault : population)
+            result.push_back(word::guaranteed_trace(ctx.test, ctx.backgrounds,
+                                                    fault, ctx.opts));
+        return result;
+    }
+};
+
+// ------------------------------------------------------------- packed ----
+
+class PackedBackend final : public Backend {
+public:
+    [[nodiscard]] const char* name() const override { return "packed"; }
+
+    [[nodiscard]] std::vector<bool> detects(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        return runner(ctx).detects(population);
+    }
+
+    [[nodiscard]] bool detects_all(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        return runner(ctx).detects_all(population);
+    }
+
+    [[nodiscard]] std::vector<sim::RunTrace> traces(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        return runner(ctx).run(population);
+    }
+
+    [[nodiscard]] std::vector<bool> detects(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        return runner(ctx).detects(population);
+    }
+
+    [[nodiscard]] bool detects_all(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        return runner(ctx).detects_all(population);
+    }
+
+    [[nodiscard]] std::vector<word::WordRunTrace> traces(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        return runner(ctx).run(population);
+    }
+
+private:
+    [[nodiscard]] static sim::BatchRunner runner(const BitContext& ctx) {
+        return sim::BatchRunner(ctx.test, ctx.opts, ctx.pool,
+                                ctx.lane_width);
+    }
+    [[nodiscard]] static word::WordBatchRunner runner(const WordContext& ctx) {
+        return word::WordBatchRunner(ctx.test, ctx.backgrounds, ctx.opts,
+                                     ctx.pool, ctx.lane_width);
+    }
+};
+
+// ------------------------------------------------------------ sharded ----
+
+/// Contiguous [begin, end) fault ranges, aligned to whole W=8 lane blocks
+/// (504 lanes) so every boundary is a chunk boundary at any lane width:
+/// each shard's per-chunk 64-bit lane masks and trace grids are disjoint,
+/// and merging is pure concatenation (per-fault answers) or AND (the
+/// all-detected verdict) — the reduction protocol a multi-host transport
+/// would speak verbatim.
+std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t total, int shards) {
+    constexpr std::size_t kAlign = 63 * 8;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    if (total == 0) return ranges;
+    const std::size_t blocks = (total + kAlign - 1) / kAlign;
+    const auto n = static_cast<std::size_t>(std::max(shards, 1));
+    std::size_t block = 0;
+    for (std::size_t s = 0; s < n && block < blocks; ++s) {
+        const std::size_t take =
+            (blocks - block + (n - s - 1)) / (n - s);  // even split, ceil
+        const std::size_t begin = block * kAlign;
+        const std::size_t end = std::min(total, (block + take) * kAlign);
+        ranges.emplace_back(begin, end);
+        block += take;
+    }
+    return ranges;
+}
+
+class ShardedBackend final : public Backend {
+public:
+    explicit ShardedBackend(int shards)
+        : shards_(shards), inner_(make_packed_backend()) {}
+
+    [[nodiscard]] const char* name() const override { return "sharded"; }
+
+    [[nodiscard]] std::vector<bool> detects(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        return merge_detects(ctx, population);
+    }
+
+    [[nodiscard]] bool detects_all(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        return merge_detects_all(ctx, population);
+    }
+
+    [[nodiscard]] std::vector<sim::RunTrace> traces(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        return merge_traces<sim::RunTrace>(ctx, population);
+    }
+
+    [[nodiscard]] std::vector<bool> detects(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        return merge_detects(ctx, population);
+    }
+
+    [[nodiscard]] bool detects_all(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        return merge_detects_all(ctx, population);
+    }
+
+    [[nodiscard]] std::vector<word::WordRunTrace> traces(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        return merge_traces<word::WordRunTrace>(ctx, population);
+    }
+
+private:
+    int shards_;
+    std::unique_ptr<Backend> inner_;
+
+    [[nodiscard]] int shard_count(util::ThreadPool* pool) const {
+        return shards_ > 0
+                   ? shards_
+                   : static_cast<int>(pool_of(pool).worker_count());
+    }
+
+    template <typename Context, typename Fault>
+    [[nodiscard]] std::vector<bool> merge_detects(
+        const Context& ctx, std::span<const Fault> population) const {
+        std::vector<bool> result;
+        result.reserve(population.size());
+        for (const auto& [begin, end] :
+             shard_ranges(population.size(), shard_count(ctx.pool))) {
+            const std::vector<bool> shard =
+                inner_->detects(ctx, population.subspan(begin, end - begin));
+            result.insert(result.end(), shard.begin(), shard.end());
+        }
+        return result;
+    }
+
+    template <typename Context, typename Fault>
+    [[nodiscard]] bool merge_detects_all(
+        const Context& ctx, std::span<const Fault> population) const {
+        // AND reduction with an early exit after the first escaping shard
+        // — the fail-fast the packed detects_all keeps per chunk.
+        for (const auto& [begin, end] :
+             shard_ranges(population.size(), shard_count(ctx.pool))) {
+            if (!inner_->detects_all(ctx,
+                                     population.subspan(begin, end - begin)))
+                return false;
+        }
+        return true;
+    }
+
+    template <typename Trace, typename Context, typename Fault>
+    [[nodiscard]] std::vector<Trace> merge_traces(
+        const Context& ctx, std::span<const Fault> population) const {
+        std::vector<Trace> result;
+        result.reserve(population.size());
+        for (const auto& [begin, end] :
+             shard_ranges(population.size(), shard_count(ctx.pool))) {
+            std::vector<Trace> shard =
+                inner_->traces(ctx, population.subspan(begin, end - begin));
+            std::move(shard.begin(), shard.end(),
+                      std::back_inserter(result));
+        }
+        return result;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_scalar_backend() {
+    return std::make_unique<ScalarBackend>();
+}
+
+std::unique_ptr<Backend> make_packed_backend() {
+    return std::make_unique<PackedBackend>();
+}
+
+std::unique_ptr<Backend> make_sharded_backend(int shards) {
+    return std::make_unique<ShardedBackend>(shards);
+}
+
+}  // namespace mtg::engine

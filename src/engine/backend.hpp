@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file backend.hpp
+/// Execution backends behind engine::Engine.
+///
+/// A Backend answers the three primitive simulation questions — per-fault
+/// guaranteed detection, all-detected with fail-fast, and full guaranteed
+/// traces — for both fault universes (bit populations on an n-cell memory,
+/// bit-fault placements on a words × width word memory). The Engine picks
+/// the backend once per session; every consumer above it (generator gate,
+/// coverage matrix, dictionaries, compatibility wrappers) is backend-
+/// agnostic.
+///
+/// Three implementations ship today:
+///   - ScalarBackend: the original one-memory-per-fault oracles
+///     (sim::run_once / word::detects intersection). Slow, obviously
+///     correct — kept for differential testing.
+///   - PackedBackend: the production path; wraps sim::BatchRunner /
+///     word::WordBatchRunner (63·W-lane packed passes, (chunk × ⇕)
+///     grid sharded across the thread pool).
+///   - ShardedBackend: splits the population across N sub-ranges aligned
+///     to whole lane blocks and runs each through a PackedBackend,
+///     merging per-fault verdicts by concatenation and the all-detected
+///     verdict by AND — in-process today, but the split/merge protocol is
+///     exactly what a multi-host transport needs (per chunk the result is
+///     one 64-bit lane mask), so a remote transport becomes a fourth
+///     backend rather than a rewrite.
+///
+/// Every backend produces bit-identical results for every lane width,
+/// worker count and shard count (tests/engine_test.cpp enforces this
+/// against the scalar oracle).
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "march/march_test.hpp"
+#include "sim/march_runner.hpp"
+#include "util/thread_pool.hpp"
+#include "word/background.hpp"
+#include "word/word_march.hpp"
+#include "word/word_trace.hpp"
+
+namespace mtg::engine {
+
+/// Session state a backend needs to evaluate a bit-universe query.
+struct BitContext {
+    const march::MarchTest& test;
+    const sim::RunOptions& opts;
+    util::ThreadPool* pool{nullptr};  ///< nullptr = process-wide pool
+    int lane_width{0};                ///< 0 = active_lane_width()
+};
+
+/// Session state a backend needs to evaluate a word-universe query.
+struct WordContext {
+    const march::MarchTest& test;
+    const std::vector<word::Background>& backgrounds;
+    const word::WordRunOptions& opts;
+    util::ThreadPool* pool{nullptr};
+    int lane_width{0};
+};
+
+/// The uniform execution interface: three verdict shapes × two universes.
+/// All methods are const and safe to call concurrently.
+class Backend {
+public:
+    virtual ~Backend() = default;
+
+    [[nodiscard]] virtual const char* name() const = 0;
+
+    /// Per-fault guaranteed detection (every ⇕ expansion detects),
+    /// element i answering for population[i].
+    [[nodiscard]] virtual std::vector<bool> detects(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const = 0;
+
+    /// True when every population member is detected (fail-fast allowed).
+    [[nodiscard]] virtual bool detects_all(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const = 0;
+
+    /// Full guaranteed traces in canonical order, element i for
+    /// population[i].
+    [[nodiscard]] virtual std::vector<sim::RunTrace> traces(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const = 0;
+
+    [[nodiscard]] virtual std::vector<bool> detects(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const = 0;
+
+    [[nodiscard]] virtual bool detects_all(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const = 0;
+
+    [[nodiscard]] virtual std::vector<word::WordRunTrace> traces(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const = 0;
+};
+
+[[nodiscard]] std::unique_ptr<Backend> make_scalar_backend();
+[[nodiscard]] std::unique_ptr<Backend> make_packed_backend();
+
+/// `shards` sub-ranges over a PackedBackend; shards <= 0 resolves to the
+/// executing pool's worker count per call.
+[[nodiscard]] std::unique_ptr<Backend> make_sharded_backend(int shards);
+
+}  // namespace mtg::engine

@@ -1,0 +1,305 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+
+#include "sim/batch_runner.hpp"
+#include "util/contracts.hpp"
+#include "word/word_batch_runner.hpp"
+
+namespace mtg::engine {
+
+namespace {
+
+/// Cache budget in retained fault placements per cache (~4.2M; tens of
+/// MB). A session that cycles through many large universes evicts rather
+/// than accreting; the generator's repeated same-key probes always hit.
+constexpr std::size_t kCacheFaultBudget = std::size_t{1} << 22;
+
+std::vector<int> kind_key(const std::vector<fault::FaultKind>& kinds) {
+    std::vector<int> key;
+    key.reserve(kinds.size());
+    for (fault::FaultKind kind : kinds) key.push_back(static_cast<int>(kind));
+    return key;
+}
+
+std::unique_ptr<Backend> make_backend(const EngineConfig& config) {
+    switch (config.backend) {
+        case BackendKind::Scalar: return make_scalar_backend();
+        case BackendKind::Sharded: return make_sharded_backend(config.shards);
+        case BackendKind::Packed: break;
+    }
+    return make_packed_backend();
+}
+
+bool all_of(const std::vector<bool>& flags) {
+    return std::all_of(flags.begin(), flags.end(),
+                       [](bool b) { return b; });
+}
+
+/// The verdict dispatch shared by both universes — one implementation so
+/// the derivation of `detected`/`all` from each Want can never drift
+/// between the bit and word paths. `traces_field` selects Result::traces
+/// or Result::word_traces.
+template <typename Context, typename Fault, typename TraceVector>
+void evaluate(Result& out, const Backend& backend, const Context& ctx,
+              std::span<const Fault> population,
+              TraceVector Result::* traces_field) {
+    switch (out.want) {
+        case Want::Detects:
+            out.detected = backend.detects(ctx, population);
+            out.all = all_of(out.detected);
+            break;
+        case Want::DetectsAll:
+            out.all = backend.detects_all(ctx, population);
+            break;
+        case Want::Traces:
+        case Want::DictionarySweep: {
+            TraceVector& traces = out.*traces_field;
+            traces = backend.traces(ctx, population);
+            out.detected.reserve(traces.size());
+            for (const auto& trace : traces)
+                out.detected.push_back(trace.detected);
+            out.all = all_of(out.detected);
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+Engine::Engine(EngineConfig config)
+    : config_(config), backend_(make_backend(config)) {}
+
+Engine::~Engine() = default;
+
+Engine& Engine::global() {
+    static Engine instance;
+    return instance;
+}
+
+std::shared_ptr<const std::vector<sim::InjectedFault>> Engine::bit_population(
+    const std::vector<fault::FaultKind>& kinds, int memory_size) const {
+    const BitKey key{kind_key(kinds), memory_size};
+    {
+        const std::lock_guard<std::mutex> lock(cache_mutex_);
+        const auto it = bit_cache_.find(key);
+        if (it != bit_cache_.end()) return it->second;
+    }
+    // Build outside the lock: a multi-million-fault expansion must not
+    // stall concurrent queries (including hits on unrelated keys).
+    auto population = std::make_shared<const std::vector<sim::InjectedFault>>(
+        sim::full_population(kinds, memory_size));
+    // A population beyond the whole budget is served uncached — the old
+    // transient-allocation behaviour — instead of pinning it for the
+    // session lifetime.
+    if (population->size() > kCacheFaultBudget) return population;
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = bit_cache_.find(key);
+    if (it != bit_cache_.end()) return it->second;  // lost a build race
+    if (bit_cache_faults_ + population->size() > kCacheFaultBudget) {
+        bit_cache_.clear();
+        bit_cache_faults_ = 0;
+    }
+    bit_cache_faults_ += population->size();
+    return bit_cache_.emplace(key, std::move(population)).first->second;
+}
+
+std::shared_ptr<const std::vector<word::InjectedBitFault>>
+Engine::word_population(const std::vector<fault::FaultKind>& kinds,
+                        const word::WordRunOptions& opts) const {
+    const WordKey key{kind_key(kinds), opts.words, opts.width};
+    {
+        const std::lock_guard<std::mutex> lock(cache_mutex_);
+        const auto it = word_cache_.find(key);
+        if (it != word_cache_.end()) return it->second;
+    }
+    std::vector<word::InjectedBitFault> placements;
+    for (fault::FaultKind kind : kinds) {
+        const std::vector<word::InjectedBitFault> placed =
+            word::coverage_population(kind, opts);
+        placements.insert(placements.end(), placed.begin(), placed.end());
+    }
+    auto population =
+        std::make_shared<const std::vector<word::InjectedBitFault>>(
+            std::move(placements));
+    if (population->size() > kCacheFaultBudget) return population;
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = word_cache_.find(key);
+    if (it != word_cache_.end()) return it->second;  // lost a build race
+    if (word_cache_faults_ + population->size() > kCacheFaultBudget) {
+        word_cache_.clear();
+        word_cache_faults_ = 0;
+    }
+    word_cache_faults_ += population->size();
+    return word_cache_.emplace(key, std::move(population)).first->second;
+}
+
+Result Engine::run(const Query& query) const {
+    if (const auto* bit = std::get_if<BitUniverse>(&query.universe))
+        return run_bit(query, *bit);
+    return run_word(query, std::get<WordUniverse>(query.universe));
+}
+
+Result Engine::run_bit(const Query& query,
+                       const BitUniverse& universe) const {
+    MTG_EXPECTS(query.word_faults.empty());
+    Result out;
+    out.want = query.want;
+    const BitContext ctx{query.test, universe.opts, config_.pool,
+                         config_.lane_width};
+
+    // Resolve the population: canonical instance placements for a
+    // dictionary sweep, the cached kind expansion, or explicit faults.
+    std::shared_ptr<const std::vector<sim::InjectedFault>> cached;
+    std::vector<sim::InjectedFault> placed;
+    std::span<const sim::InjectedFault> population = query.bit_faults;
+    if (query.want == Want::DictionarySweep) {
+        // An empty kind list yields the empty sweep (no instances, no
+        // traces) — the graceful degenerate the dictionaries and the
+        // coverage matrix have always produced.
+        MTG_EXPECTS(query.bit_faults.empty());
+        out.instances = fault::instantiate(query.kinds);
+        placed.reserve(out.instances.size());
+        for (const fault::FaultInstance& inst : out.instances)
+            placed.push_back(
+                sim::place_instance(inst, universe.opts.memory_size));
+        population = placed;
+    } else if (!query.kinds.empty()) {
+        MTG_EXPECTS(query.bit_faults.empty());
+        cached = bit_population(query.kinds, universe.opts.memory_size);
+        population = *cached;
+    }
+
+    evaluate(out, *backend_, ctx, population, &Result::traces);
+    return out;
+}
+
+Result Engine::run_word(const Query& query,
+                        const WordUniverse& universe) const {
+    MTG_EXPECTS(query.bit_faults.empty());
+    MTG_EXPECTS(!universe.backgrounds.empty());
+    Result out;
+    out.want = query.want;
+    const WordContext ctx{query.test, universe.backgrounds, universe.opts,
+                          config_.pool, config_.lane_width};
+
+    std::shared_ptr<const std::vector<word::InjectedBitFault>> cached;
+    std::vector<word::InjectedBitFault> placed;
+    std::span<const word::InjectedBitFault> population = query.word_faults;
+    if (query.want == Want::DictionarySweep) {
+        // Empty kind list -> empty sweep, mirroring run_bit.
+        MTG_EXPECTS(query.word_faults.empty());
+        out.instances = fault::instantiate(query.kinds);
+        placed.reserve(out.instances.size());
+        for (const fault::FaultInstance& inst : out.instances)
+            placed.push_back(word::place_instance(inst, universe.opts));
+        population = placed;
+    } else if (!query.kinds.empty()) {
+        MTG_EXPECTS(query.word_faults.empty());
+        cached = word_population(query.kinds, universe.opts);
+        population = *cached;
+    }
+
+    evaluate(out, *backend_, ctx, population, &Result::word_traces);
+    return out;
+}
+
+// ---- typed conveniences ---------------------------------------------------
+
+bool Engine::covers_everywhere(const march::MarchTest& test,
+                               fault::FaultKind kind,
+                               const sim::RunOptions& opts) const {
+    return covers_all(test, {kind}, opts);
+}
+
+bool Engine::covers_all(const march::MarchTest& test,
+                        const std::vector<fault::FaultKind>& kinds,
+                        const sim::RunOptions& opts) const {
+    Query query;
+    query.test = test;
+    query.universe = BitUniverse{opts};
+    query.want = Want::DetectsAll;
+    query.kinds = kinds;
+    return run(query).all;
+}
+
+std::optional<fault::FaultKind> Engine::first_uncovered(
+    const march::MarchTest& test, const std::vector<fault::FaultKind>& kinds,
+    const sim::RunOptions& opts) const {
+    for (fault::FaultKind kind : kinds)
+        if (!covers_everywhere(test, kind, opts)) return kind;
+    return std::nullopt;
+}
+
+std::vector<bool> Engine::detects(
+    const march::MarchTest& test,
+    std::span<const sim::InjectedFault> population,
+    const sim::RunOptions& opts) const {
+    const BitContext ctx{test, opts, config_.pool, config_.lane_width};
+    return backend_->detects(ctx, population);
+}
+
+std::vector<sim::RunTrace> Engine::traces(
+    const march::MarchTest& test,
+    std::span<const sim::InjectedFault> population,
+    const sim::RunOptions& opts) const {
+    const BitContext ctx{test, opts, config_.pool, config_.lane_width};
+    return backend_->traces(ctx, population);
+}
+
+bool Engine::covers_everywhere(const march::MarchTest& test,
+                               const std::vector<word::Background>& backgrounds,
+                               fault::FaultKind kind,
+                               const word::WordRunOptions& opts) const {
+    Query query;
+    query.test = test;
+    query.universe = WordUniverse{backgrounds, opts};
+    query.want = Want::DetectsAll;
+    query.kinds = {kind};
+    return run(query).all;
+}
+
+std::vector<bool> Engine::detects(
+    const march::MarchTest& test,
+    const std::vector<word::Background>& backgrounds,
+    std::span<const word::InjectedBitFault> population,
+    const word::WordRunOptions& opts) const {
+    const WordContext ctx{test, backgrounds, opts, config_.pool,
+                          config_.lane_width};
+    return backend_->detects(ctx, population);
+}
+
+std::vector<word::WordRunTrace> Engine::traces(
+    const march::MarchTest& test,
+    const std::vector<word::Background>& backgrounds,
+    std::span<const word::InjectedBitFault> population,
+    const word::WordRunOptions& opts) const {
+    const WordContext ctx{test, backgrounds, opts, config_.pool,
+                          config_.lane_width};
+    return backend_->traces(ctx, population);
+}
+
+Result Engine::dictionary_sweep(const march::MarchTest& test,
+                                const std::vector<fault::FaultKind>& kinds,
+                                const sim::RunOptions& opts) const {
+    Query query;
+    query.test = test;
+    query.universe = BitUniverse{opts};
+    query.want = Want::DictionarySweep;
+    query.kinds = kinds;
+    return run(query);
+}
+
+Result Engine::dictionary_sweep(const march::MarchTest& test,
+                                const std::vector<word::Background>& backgrounds,
+                                const std::vector<fault::FaultKind>& kinds,
+                                const word::WordRunOptions& opts) const {
+    Query query;
+    query.test = test;
+    query.universe = WordUniverse{backgrounds, opts};
+    query.want = Want::DictionarySweep;
+    query.kinds = kinds;
+    return run(query);
+}
+
+}  // namespace mtg::engine

@@ -1,0 +1,241 @@
+#pragma once
+
+/// \file engine.hpp
+/// The unified fault-simulation session: one typed query API over the bit
+/// and word simulation stacks, over every execution backend.
+///
+/// Before the Engine, the capabilities of the two parallel stacks —
+/// guaranteed detects, detects-all gates, guaranteed traces, dictionary
+/// sweeps — were reached through a grab-bag of free functions and
+/// hand-constructed runners, and the decision of population, lane width,
+/// thread pool and execution strategy was re-made ad hoc at every call
+/// site. An Engine makes that decision once per session:
+///
+///   engine::Engine eng;                         // packed, global pool
+///   engine::Query q;
+///   q.test = march::march_c_minus();
+///   q.universe = engine::BitUniverse{{.memory_size = 8}};
+///   q.want = engine::Want::DetectsAll;
+///   q.kinds = {fault::FaultKind::CfidUp0};
+///   const bool covered = eng.run(q).all;
+///
+/// The Query names the March test, the fault universe (bit cells or
+/// words × width × backgrounds) and the verdict shape (Want); the
+/// population is either explicit faults or a kind list the Engine expands
+/// — and caches — itself. Results carry per-fault verdicts, the
+/// all-detected bit, guaranteed traces (bit or word), and for dictionary
+/// sweeps the instance list aligned with its traces.
+///
+/// Execution is delegated to a Backend (see backend.hpp): Scalar (the
+/// original per-fault oracles, for differential testing), Packed (the
+/// production 63·W-lane kernels) or Sharded (N sub-ranges merged by
+/// concatenation/AND — the in-process rehearsal of the multi-host
+/// reduction protocol). All backends are bit-identical; the legacy free
+/// functions (sim::covers_everywhere, sim::covers_all, word::
+/// covers_everywhere, the guaranteed_* trace accessors, both dictionary
+/// build paths) are thin wrappers over Engine::global().
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "engine/backend.hpp"
+#include "fault/instance.hpp"
+
+namespace mtg::engine {
+
+/// Bit universe: full placements on an n-cell bit-oriented memory.
+struct BitUniverse {
+    sim::RunOptions opts{};
+};
+
+/// Word universe: bit-fault placements on a words × width memory, the
+/// test run once per data background.
+struct WordUniverse {
+    std::vector<word::Background> backgrounds;
+    word::WordRunOptions opts{};
+};
+
+using Universe = std::variant<BitUniverse, WordUniverse>;
+
+/// Verdict shape of a query.
+enum class Want {
+    Detects,          ///< per-fault guaranteed detection flags
+    DetectsAll,       ///< one fail-fast all-detected bit (coverage gates)
+    Traces,           ///< full guaranteed traces per fault
+    DictionarySweep,  ///< fault::instantiate(kinds) placed canonically,
+                      ///< traces aligned with the instance list
+};
+
+/// One simulation question. The population is exactly one of:
+///   - `kinds`: the Engine expands (and caches) the universe's full
+///     placement set — full_population for bit, coverage_population for
+///     word; for DictionarySweep, the canonical place_instance placements
+///     of fault::instantiate(kinds);
+///   - `bit_faults` (bit universe) / `word_faults` (word universe):
+///     explicit placements, evaluated as-is.
+struct Query {
+    march::MarchTest test;
+    Universe universe;
+    Want want{Want::Detects};
+    std::vector<fault::FaultKind> kinds;
+    std::vector<sim::InjectedFault> bit_faults;
+    std::vector<word::InjectedBitFault> word_faults;
+};
+
+/// Answer to a Query. Which fields are populated depends on `want`:
+/// Detects fills `detected` (and `all` as its conjunction); DetectsAll
+/// fills only `all`; Traces and DictionarySweep fill `traces` (bit
+/// universe) or `word_traces` (word universe) plus `detected`/`all`, and
+/// DictionarySweep additionally fills `instances` (instances[i] owns
+/// traces[i]).
+struct Result {
+    Want want{Want::Detects};
+    std::vector<bool> detected;
+    bool all{true};
+    std::vector<sim::RunTrace> traces;
+    std::vector<word::WordRunTrace> word_traces;
+    std::vector<fault::FaultInstance> instances;
+};
+
+/// Execution strategy of a session.
+enum class BackendKind { Scalar, Packed, Sharded };
+
+struct EngineConfig {
+    BackendKind backend{BackendKind::Packed};
+    util::ThreadPool* pool{nullptr};  ///< nullptr = process-wide pool
+    int lane_width{0};                ///< 0 = CPUID / MTG_LANE_WIDTH
+    int shards{0};  ///< Sharded only; <= 0 = pool worker count
+};
+
+/// A simulation session: owns the backend, the lane-width and pool policy,
+/// and the population caches. Queries are const and safe to issue from
+/// multiple threads (the caches are internally locked). Engine::global()
+/// is the process-wide packed session the legacy free functions route
+/// through; build a local Engine to pin a different backend, pool, width
+/// or shard count.
+class Engine {
+public:
+    explicit Engine(EngineConfig config = {});
+    ~Engine();
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /// Evaluates one query on this session's backend.
+    [[nodiscard]] Result run(const Query& query) const;
+
+    // ---- typed conveniences over run() ---------------------------------
+
+    /// Detection of every full placement of `kind` (paper-§6 coverage).
+    [[nodiscard]] bool covers_everywhere(const march::MarchTest& test,
+                                         fault::FaultKind kind,
+                                         const sim::RunOptions& opts = {}) const;
+
+    /// One fail-fast sweep over the concatenated populations of `kinds`.
+    [[nodiscard]] bool covers_all(const march::MarchTest& test,
+                                  const std::vector<fault::FaultKind>& kinds,
+                                  const sim::RunOptions& opts = {}) const;
+
+    /// First kind NOT covered, or nullopt when fully covered.
+    [[nodiscard]] std::optional<fault::FaultKind> first_uncovered(
+        const march::MarchTest& test,
+        const std::vector<fault::FaultKind>& kinds,
+        const sim::RunOptions& opts = {}) const;
+
+    /// Per-fault guaranteed detection of an explicit population.
+    [[nodiscard]] std::vector<bool> detects(
+        const march::MarchTest& test,
+        std::span<const sim::InjectedFault> population,
+        const sim::RunOptions& opts = {}) const;
+
+    /// Guaranteed traces of an explicit population, canonical order.
+    [[nodiscard]] std::vector<sim::RunTrace> traces(
+        const march::MarchTest& test,
+        std::span<const sim::InjectedFault> population,
+        const sim::RunOptions& opts = {}) const;
+
+    /// Word-universe coverage of `kind` over its cached placement set.
+    [[nodiscard]] bool covers_everywhere(
+        const march::MarchTest& test,
+        const std::vector<word::Background>& backgrounds,
+        fault::FaultKind kind, const word::WordRunOptions& opts = {}) const;
+
+    [[nodiscard]] std::vector<bool> detects(
+        const march::MarchTest& test,
+        const std::vector<word::Background>& backgrounds,
+        std::span<const word::InjectedBitFault> population,
+        const word::WordRunOptions& opts = {}) const;
+
+    [[nodiscard]] std::vector<word::WordRunTrace> traces(
+        const march::MarchTest& test,
+        const std::vector<word::Background>& backgrounds,
+        std::span<const word::InjectedBitFault> population,
+        const word::WordRunOptions& opts = {}) const;
+
+    /// The dictionary build sweep: instances + aligned guaranteed traces.
+    [[nodiscard]] Result dictionary_sweep(
+        const march::MarchTest& test,
+        const std::vector<fault::FaultKind>& kinds,
+        const sim::RunOptions& opts = {}) const;
+
+    [[nodiscard]] Result dictionary_sweep(
+        const march::MarchTest& test,
+        const std::vector<word::Background>& backgrounds,
+        const std::vector<fault::FaultKind>& kinds,
+        const word::WordRunOptions& opts = {}) const;
+
+    // ---- cached populations --------------------------------------------
+
+    /// Concatenated full populations of `kinds` on an n-cell memory,
+    /// cached by (kinds, n) — repeated generator probes stop rebuilding
+    /// identical populations. The caches are bounded: a population larger
+    /// than the budget is served uncached (the old transient-allocation
+    /// behaviour), and when retained entries would exceed the budget the
+    /// cache is cleared before inserting (callers hold shared_ptrs, so
+    /// outstanding populations stay valid; eviction only costs a rebuild
+    /// on the next miss). Populations are built outside the cache lock.
+    [[nodiscard]] std::shared_ptr<const std::vector<sim::InjectedFault>>
+    bit_population(const std::vector<fault::FaultKind>& kinds,
+                   int memory_size) const;
+
+    /// Concatenated coverage populations of `kinds` on a words × width
+    /// memory, cached by (kinds, words, width).
+    [[nodiscard]] std::shared_ptr<const std::vector<word::InjectedBitFault>>
+    word_population(const std::vector<fault::FaultKind>& kinds,
+                    const word::WordRunOptions& opts) const;
+
+    [[nodiscard]] const EngineConfig& config() const { return config_; }
+    [[nodiscard]] const Backend& backend() const { return *backend_; }
+
+    /// The process-wide session (packed backend, global pool, auto width)
+    /// behind the legacy compatibility wrappers.
+    [[nodiscard]] static Engine& global();
+
+private:
+    EngineConfig config_;
+    std::unique_ptr<Backend> backend_;
+
+    using BitKey = std::pair<std::vector<int>, int>;
+    using WordKey = std::tuple<std::vector<int>, int, int>;
+    mutable std::mutex cache_mutex_;
+    mutable std::map<BitKey,
+                     std::shared_ptr<const std::vector<sim::InjectedFault>>>
+        bit_cache_;
+    mutable std::map<
+        WordKey, std::shared_ptr<const std::vector<word::InjectedBitFault>>>
+        word_cache_;
+    mutable std::size_t bit_cache_faults_{0};
+    mutable std::size_t word_cache_faults_{0};
+
+    [[nodiscard]] Result run_bit(const Query& query,
+                                 const BitUniverse& universe) const;
+    [[nodiscard]] Result run_word(const Query& query,
+                                  const WordUniverse& universe) const;
+};
+
+}  // namespace mtg::engine

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file expansion.hpp
+/// The ⇕ (either-order) expansion scheme shared by the bit and word
+/// simulation stacks.
+///
+/// A March test only *guarantees* detection when every combination of ⇕
+/// order choices detects the fault, so the runners enumerate concrete
+/// resolutions: all 2^k choices when the test has k <= cap ⇕ elements,
+/// otherwise only the two uniform (all-ascending, all-descending) sweeps.
+/// Bit j of a choice resolves the j-th ⇕ element (set = descending).
+///
+/// Both sim::expansion_choices and word::expansion_choices are thin
+/// wrappers over this helper, so the two stacks can never drift apart on
+/// the capped-expansion semantics.
+
+#include <vector>
+
+#include "march/march_test.hpp"
+
+namespace mtg::march {
+
+/// Number of ⇕ elements of a test.
+[[nodiscard]] int any_order_count(const MarchTest& test);
+
+/// The concrete ⇕ resolutions described above.
+[[nodiscard]] std::vector<unsigned> expansion_choices(const MarchTest& test,
+                                                      int max_any_expansion);
+
+}  // namespace mtg::march

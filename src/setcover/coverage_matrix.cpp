@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#include "sim/batch_runner.hpp"
+#include "engine/engine.hpp"
 #include "util/contracts.hpp"
 
 namespace mtg::setcover {
@@ -43,20 +43,16 @@ CoverageMatrix build_coverage_matrix(const MarchTest& test,
         matrix.block_names.push_back(name.str());
     }
 
-    const std::vector<FaultInstance> instances = fault::instantiate(kinds);
+    // One engine dictionary sweep: canonically placed instances plus
+    // their guaranteed traces, aligned.
+    const engine::Result sweep =
+        engine::Engine::global().dictionary_sweep(test, kinds, opts);
+    const std::vector<FaultInstance>& instances = sweep.instances;
+    const std::vector<sim::RunTrace>& traces = sweep.traces;
     matrix.covers.assign(matrix.blocks.size(),
                          std::vector<bool>(instances.size(), false));
-
-    // One batched pass over the whole placed population instead of one
-    // scalar sweep per instance.
-    std::vector<InjectedFault> population;
-    population.reserve(instances.size());
-    for (const FaultInstance& inst : instances) {
+    for (const FaultInstance& inst : instances)
         matrix.fault_names.push_back(inst.name());
-        population.push_back(sim::place_instance(inst, opts.memory_size));
-    }
-    const std::vector<sim::RunTrace> traces =
-        sim::BatchRunner(test, opts).run(population);
     for (std::size_t c = 0; c < instances.size(); ++c) {
         const auto& failing = traces[c].failing_reads;
         for (std::size_t r = 0; r < matrix.blocks.size(); ++r) {

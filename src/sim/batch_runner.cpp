@@ -1,6 +1,7 @@
 #include "sim/batch_runner.hpp"
 
 #include "fault/instance.hpp"
+#include "fault/placement.hpp"
 #include "sim/lane_dispatch.hpp"
 
 namespace mtg::sim {
@@ -26,7 +27,7 @@ int BatchRunner::width_for(std::size_t population) const {
 }
 
 std::vector<bool> BatchRunner::detects(
-    const std::vector<InjectedFault>& population) const {
+    std::span<const InjectedFault> population) const {
     switch (width_for(population.size())) {
         case 4:
             return detail::sim_detects<LaneBlock<4>>(
@@ -42,7 +43,7 @@ std::vector<bool> BatchRunner::detects(
 }
 
 bool BatchRunner::detects_all(
-    const std::vector<InjectedFault>& population) const {
+    std::span<const InjectedFault> population) const {
     switch (width_for(population.size())) {
         case 4:
             return detail::sim_detects_all<LaneBlock<4>>(
@@ -57,7 +58,7 @@ bool BatchRunner::detects_all(
 }
 
 std::vector<RunTrace> BatchRunner::run(
-    const std::vector<InjectedFault>& population) const {
+    std::span<const InjectedFault> population) const {
     switch (width_for(population.size())) {
         case 4:
             return detail::sim_run<LaneBlock<4>>(plan_,
@@ -106,12 +107,11 @@ std::vector<InjectedFault> full_population(
 
 InjectedFault place_instance(const fault::FaultInstance& instance,
                              int memory_size) {
-    const int lo = memory_size / 3;
-    const int hi = 2 * memory_size / 3;
+    const auto [lo, hi] = fault::canonical_slots(memory_size);
     MTG_EXPECTS(lo != hi);
     if (!fault::is_two_cell(instance.kind))
         return InjectedFault::single(instance.kind, lo);
-    if (instance.aggressor == fsm::Cell::I)
+    if (fault::aggressor_at_lo(instance))
         return InjectedFault::coupling(instance.kind, lo, hi);
     return InjectedFault::coupling(instance.kind, hi, lo);
 }

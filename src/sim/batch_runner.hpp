@@ -27,6 +27,7 @@
 /// count (intersection is order-independent), which the determinism tests
 /// enforce against the scalar oracle.
 
+#include <span>
 #include <vector>
 
 #include "march/march_test.hpp"
@@ -58,13 +59,13 @@ public:
     /// handles 63·W faults, so the cost is ceil(population/63W) ×
     /// expansions runs, sharded across the pool.
     [[nodiscard]] std::vector<bool> detects(
-        const std::vector<InjectedFault>& population) const;
+        std::span<const InjectedFault> population) const;
 
     /// True when every population member is detected; an atomic flag stops
     /// the remaining work items at the first escaping lane (the fail-fast
     /// covers_everywhere needs).
     [[nodiscard]] bool detects_all(
-        const std::vector<InjectedFault>& population) const;
+        std::span<const InjectedFault> population) const;
 
     /// Full guaranteed traces: element i holds the reads / (site, cell)
     /// observations of population[i] that fail in EVERY ⇕ expansion, in
@@ -72,7 +73,7 @@ public:
     /// / guaranteed_failing_observations pair. Sharded chunk-wise (each
     /// chunk writes a disjoint result range).
     [[nodiscard]] std::vector<RunTrace> run(
-        const std::vector<InjectedFault>& population) const;
+        std::span<const InjectedFault> population) const;
 
     [[nodiscard]] const march::MarchTest& test() const { return plan_.test; }
     [[nodiscard]] const RunOptions& options() const { return plan_.opts; }

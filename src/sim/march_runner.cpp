@@ -2,7 +2,8 @@
 
 #include <algorithm>
 
-#include "sim/batch_runner.hpp"
+#include "engine/engine.hpp"
+#include "march/expansion.hpp"
 
 namespace mtg::sim {
 
@@ -34,14 +35,6 @@ std::vector<std::vector<int>> read_site_ids(const MarchTest& test) {
 }
 
 namespace {
-
-/// Number of ⇕ elements of a test.
-int any_count(const MarchTest& test) {
-    int k = 0;
-    for (const auto& e : test.elements())
-        if (e.order == AddressOrder::Any) ++k;
-    return k;
-}
 
 /// Concrete visiting order for one element given the ⇕ choice bit.
 bool runs_descending(AddressOrder order, bool any_desc) {
@@ -112,13 +105,7 @@ RunTrace run_once(const MarchTest& test, const std::vector<InjectedFault>& fault
 
 std::vector<unsigned> expansion_choices(const MarchTest& test,
                                         const RunOptions& opts) {
-    const int k = any_count(test);
-    if (k <= opts.max_any_expansion) {
-        std::vector<unsigned> all;
-        for (unsigned c = 0; c < (1u << k); ++c) all.push_back(c);
-        return all;
-    }
-    return {0u, ~0u};
+    return march::expansion_choices(test, opts.max_any_expansion);
 }
 
 bool detects(const MarchTest& test, const InjectedFault& fault,
@@ -131,23 +118,19 @@ bool detects(const MarchTest& test, const InjectedFault& fault,
 
 bool covers_everywhere(const MarchTest& test, fault::FaultKind kind,
                        const RunOptions& opts) {
-    return BatchRunner(test, opts).detects_all(
-        full_population(kind, opts.memory_size));
+    return engine::Engine::global().covers_everywhere(test, kind, opts);
 }
 
 std::optional<fault::FaultKind> first_uncovered(
     const MarchTest& test, const std::vector<fault::FaultKind>& kinds,
     const RunOptions& opts) {
-    for (fault::FaultKind k : kinds)
-        if (!covers_everywhere(test, k, opts)) return k;
-    return std::nullopt;
+    return engine::Engine::global().first_uncovered(test, kinds, opts);
 }
 
 bool covers_all(const MarchTest& test,
                 const std::vector<fault::FaultKind>& kinds,
                 const RunOptions& opts) {
-    return BatchRunner(test, opts).detects_all(
-        full_population(kinds, opts.memory_size));
+    return engine::Engine::global().covers_all(test, kinds, opts);
 }
 
 bool is_well_formed(const MarchTest& test, const RunOptions& opts) {
@@ -186,13 +169,21 @@ bool is_well_formed(const MarchTest& test, const RunOptions& opts) {
 std::vector<Observation> guaranteed_failing_observations(
     const MarchTest& test, const InjectedFault& fault,
     const RunOptions& opts) {
-    return BatchRunner(test, opts).run({fault}).front().failing_observations;
+    const std::vector<InjectedFault> population{fault};
+    return engine::Engine::global()
+        .traces(test, population, opts)
+        .front()
+        .failing_observations;
 }
 
 std::vector<ReadSite> guaranteed_failing_reads(const MarchTest& test,
                                                const InjectedFault& fault,
                                                const RunOptions& opts) {
-    return BatchRunner(test, opts).run({fault}).front().failing_reads;
+    const std::vector<InjectedFault> population{fault};
+    return engine::Engine::global()
+        .traces(test, population, opts)
+        .front()
+        .failing_reads;
 }
 
 }  // namespace mtg::sim

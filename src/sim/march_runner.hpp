@@ -7,6 +7,12 @@
 /// detection if every combination of order choices detects the fault, so
 /// the runner enumerates all 2^k combinations (k = number of ⇕ elements,
 /// capped; beyond the cap the two uniform choices are used).
+///
+/// The population-level entry points below (covers_everywhere,
+/// first_uncovered, covers_all, guaranteed_*) are thin compatibility
+/// wrappers over the process-wide engine::Engine session — new code
+/// should issue engine Queries directly (see engine/engine.hpp); the
+/// per-fault run_once/detects pair remains the scalar oracle.
 
 #include <optional>
 #include <string>

@@ -34,6 +34,9 @@ struct InjectedFault {
         MTG_EXPECTS(a != v);
         return {k, a, v};
     }
+
+    friend bool operator==(const InjectedFault&,
+                           const InjectedFault&) = default;
 };
 
 /// n-cell RAM; cells start uninitialised (X). Zero or more faults may be

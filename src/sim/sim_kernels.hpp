@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <atomic>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "march/march_test.hpp"
@@ -176,7 +177,7 @@ SimChunkResult<Block> sim_run_chunk(const SimPlan& plan,
 
 template <typename Block>
 std::vector<bool> sim_detects(const SimPlan& plan, SimPassFn<Block> pass,
-                              const std::vector<InjectedFault>& population) {
+                              std::span<const InjectedFault> population) {
     std::vector<bool> result(population.size(), false);
     if (population.empty()) return result;
     const std::size_t chunks = block_chunk_total<Block>(population.size());
@@ -215,7 +216,7 @@ std::vector<bool> sim_detects(const SimPlan& plan, SimPassFn<Block> pass,
 
 template <typename Block>
 bool sim_detects_all(const SimPlan& plan, SimPassFn<Block> pass,
-                     const std::vector<InjectedFault>& population) {
+                     std::span<const InjectedFault> population) {
     if (population.empty()) return true;
     const std::size_t chunks = block_chunk_total<Block>(population.size());
     const std::size_t expansions = plan.expansions.size();
@@ -243,7 +244,7 @@ bool sim_detects_all(const SimPlan& plan, SimPassFn<Block> pass,
 
 template <typename Block>
 std::vector<RunTrace> sim_run(const SimPlan& plan, SimPassFn<Block> pass,
-                              const std::vector<InjectedFault>& population) {
+                              std::span<const InjectedFault> population) {
     const int n = plan.opts.memory_size;
     std::vector<RunTrace> result(population.size());
     if (population.empty()) return result;

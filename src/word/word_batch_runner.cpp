@@ -1,6 +1,7 @@
 #include "word/word_batch_runner.hpp"
 
 #include "fault/instance.hpp"
+#include "fault/placement.hpp"
 #include "sim/lane_dispatch.hpp"
 
 namespace mtg::word {
@@ -31,7 +32,7 @@ int WordBatchRunner::width_for(std::size_t population) const {
 }
 
 std::vector<bool> WordBatchRunner::detects(
-    const std::vector<InjectedBitFault>& population) const {
+    std::span<const InjectedBitFault> population) const {
     switch (width_for(population.size())) {
         case 4:
             return detail::word_detects<LaneBlock<4>>(
@@ -46,7 +47,7 @@ std::vector<bool> WordBatchRunner::detects(
 }
 
 bool WordBatchRunner::detects_all(
-    const std::vector<InjectedBitFault>& population) const {
+    std::span<const InjectedBitFault> population) const {
     switch (width_for(population.size())) {
         case 4:
             return detail::word_detects_all<LaneBlock<4>>(
@@ -61,7 +62,7 @@ bool WordBatchRunner::detects_all(
 }
 
 std::vector<WordRunTrace> WordBatchRunner::run(
-    const std::vector<InjectedBitFault>& population) const {
+    std::span<const InjectedBitFault> population) const {
     switch (width_for(population.size())) {
         case 4:
             return detail::word_run<LaneBlock<4>>(
@@ -109,13 +110,12 @@ std::vector<InjectedBitFault> coverage_population(fault::FaultKind kind,
 
 InjectedBitFault place_instance(const fault::FaultInstance& instance,
                                 const WordRunOptions& opts) {
-    const int lo = opts.words / 3;
-    const int hi = 2 * opts.words / 3;
+    const auto [lo, hi] = fault::canonical_slots(opts.words);
     MTG_EXPECTS(lo != hi);
     const int bit = opts.width / 2;
     if (!fault::is_two_cell(instance.kind))
         return InjectedBitFault::single(instance.kind, {lo, bit});
-    if (instance.aggressor == fsm::Cell::I)
+    if (fault::aggressor_at_lo(instance))
         return InjectedBitFault::coupling(instance.kind, {lo, bit},
                                           {hi, bit});
     return InjectedBitFault::coupling(instance.kind, {hi, bit}, {lo, bit});

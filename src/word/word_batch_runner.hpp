@@ -22,6 +22,7 @@
 /// atomic-free per-worker accumulators, and detects_all fail-fasts through
 /// a shared atomic flag. Results are bit-identical for every worker count.
 
+#include <span>
 #include <vector>
 
 #include "march/march_test.hpp"
@@ -50,12 +51,12 @@ public:
     /// Guaranteed detection under EVERY ⇕ expansion (the word::detects
     /// semantics), element i answering for population[i].
     [[nodiscard]] std::vector<bool> detects(
-        const std::vector<InjectedBitFault>& population) const;
+        std::span<const InjectedBitFault> population) const;
 
     /// True when every population member is detected; an atomic flag stops
     /// the remaining work items at the first escaping lane.
     [[nodiscard]] bool detects_all(
-        const std::vector<InjectedBitFault>& population) const;
+        std::span<const InjectedBitFault> population) const;
 
     /// Full guaranteed traces: element i holds the (background, site)
     /// reads and (background, site, word, bits) observations of
@@ -63,7 +64,7 @@ public:
     /// bit-identical to the scalar word::guaranteed_trace oracle. Sharded
     /// chunk-wise (each chunk writes a disjoint result range).
     [[nodiscard]] std::vector<WordRunTrace> run(
-        const std::vector<InjectedBitFault>& population) const;
+        std::span<const InjectedBitFault> population) const;
 
     [[nodiscard]] const march::MarchTest& test() const { return plan_.test; }
     [[nodiscard]] const WordRunOptions& options() const {

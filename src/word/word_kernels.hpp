@@ -22,6 +22,7 @@
 
 #include <atomic>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "march/march_test.hpp"
@@ -182,7 +183,7 @@ void word_run_pass(const WordPlan& plan, const InjectedBitFault* faults,
 template <typename Block>
 std::vector<bool> word_detects(
     const WordPlan& plan, WordPassFn<Block> pass,
-    const std::vector<InjectedBitFault>& population) {
+    std::span<const InjectedBitFault> population) {
     std::vector<bool> result(population.size(), false);
     if (population.empty()) return result;
     const std::size_t chunks = block_chunk_total<Block>(population.size());
@@ -218,7 +219,7 @@ std::vector<bool> word_detects(
 
 template <typename Block>
 bool word_detects_all(const WordPlan& plan, WordPassFn<Block> pass,
-                      const std::vector<InjectedBitFault>& population) {
+                      std::span<const InjectedBitFault> population) {
     if (population.empty()) return true;
     const std::size_t chunks = block_chunk_total<Block>(population.size());
     const std::size_t expansions = plan.expansions.size();
@@ -292,7 +293,7 @@ WordChunkResult<Block> word_run_chunk(const WordPlan& plan,
 template <typename Block>
 std::vector<WordRunTrace> word_run(
     const WordPlan& plan, WordPassFn<Block> pass,
-    const std::vector<InjectedBitFault>& population) {
+    std::span<const InjectedBitFault> population) {
     std::vector<WordRunTrace> result(population.size());
     if (population.empty()) return result;
     const std::size_t chunks = block_chunk_total<Block>(population.size());

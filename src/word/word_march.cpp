@@ -1,6 +1,7 @@
 #include "word/word_march.hpp"
 
-#include "word/word_batch_runner.hpp"
+#include "engine/engine.hpp"
+#include "march/expansion.hpp"
 
 namespace mtg::word {
 
@@ -15,13 +16,6 @@ int word_complexity(const MarchTest& test,
 }
 
 namespace {
-
-int any_count(const MarchTest& test) {
-    int k = 0;
-    for (const auto& e : test.elements())
-        if (e.order == AddressOrder::Any) ++k;
-    return k;
-}
 
 /// Runs the test under one background; returns true on any definite
 /// mismatch, false otherwise; `well_formed` (when non-null) is cleared if a
@@ -86,13 +80,7 @@ bool run_once_detects(const MarchTest& test,
 
 std::vector<unsigned> expansion_choices(const MarchTest& test,
                                         const WordRunOptions& opts) {
-    const int k = any_count(test);
-    if (k <= opts.max_any_expansion) {
-        std::vector<unsigned> all;
-        for (unsigned c = 0; c < (1u << k); ++c) all.push_back(c);
-        return all;
-    }
-    return {0u, ~0u};
+    return march::expansion_choices(test, opts.max_any_expansion);
 }
 
 bool detects(const MarchTest& test, const std::vector<Background>& backgrounds,
@@ -107,10 +95,10 @@ bool detects(const MarchTest& test, const std::vector<Background>& backgrounds,
 bool covers_everywhere(const MarchTest& test,
                        const std::vector<Background>& backgrounds,
                        fault::FaultKind kind, const WordRunOptions& opts) {
-    // One sharded batched sweep over the whole placement set; the scalar
+    // One engine query over the whole (cached) placement set; the scalar
     // per-fault loop remains available through detects() as the oracle.
-    return WordBatchRunner(test, backgrounds, opts)
-        .detects_all(coverage_population(kind, opts));
+    return engine::Engine::global().covers_everywhere(test, backgrounds, kind,
+                                                      opts);
 }
 
 bool is_well_formed(const MarchTest& test,

@@ -5,6 +5,10 @@
 /// background set defines a word test — the test is run once per
 /// background b with w0/r0 meaning write/expect b and w1/r1 meaning
 /// write/expect ~b.
+///
+/// covers_everywhere is a thin compatibility wrapper over the
+/// process-wide engine::Engine session (see engine/engine.hpp);
+/// run_once_detects/detects remain the scalar oracle.
 
 #include <optional>
 

@@ -45,6 +45,9 @@ struct InjectedBitFault {
     }
 
     [[nodiscard]] bool intra_word() const { return a.word == b.word; }
+
+    friend bool operator==(const InjectedBitFault&,
+                           const InjectedBitFault&) = default;
 };
 
 /// The memory. Words start fully unknown.

@@ -59,6 +59,25 @@ TEST(Dictionary, DiagnoseReturnsCompatibleInstances) {
     EXPECT_TRUE(dict.diagnose(Signature{{{0, 99}}}).empty());
 }
 
+/// The hash-bucket lookup must agree with the original linear bucket scan
+/// on every known signature, the escape bucket, and unknown signatures.
+TEST(Dictionary, HashDiagnoseMatchesLinearScan) {
+    const auto kinds = fault::parse_fault_kinds("SAF,TF,CFin,CFid");
+    for (const char* name : {"MATS++", "March C-"}) {
+        const auto dict =
+            FaultDictionary::build(march::find_march_test(name).test, kinds);
+        for (const auto& entry : dict.entries())
+            EXPECT_EQ(dict.diagnose(entry.signature),
+                      dict.diagnose_linear(entry.signature))
+                << name << ' ' << entry.signature.str();
+        const Signature escape;
+        EXPECT_EQ(dict.diagnose(escape), dict.diagnose_linear(escape));
+        const Signature unknown{{{{0, 99}, 7}}};
+        EXPECT_EQ(dict.diagnose(unknown), dict.diagnose_linear(unknown));
+        EXPECT_TRUE(dict.diagnose(unknown).empty());
+    }
+}
+
 TEST(Dictionary, ResolutionBounds) {
     const auto kinds = fault::parse_fault_kinds("SAF,TF,CFin,CFid");
     for (const char* name : {"MATS++", "March C-", "PMOVI", "March SS"}) {

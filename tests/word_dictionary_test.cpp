@@ -115,6 +115,24 @@ TEST(WordDictionary, SingleInstanceClassesAreDistinguished) {
     EXPECT_DOUBLE_EQ(dict.resolution(), 1.0);
 }
 
+/// The hash-bucket lookup must agree with the original linear bucket scan
+/// on every known signature, the escape bucket, and unknown signatures.
+TEST(WordDictionary, HashDiagnoseMatchesLinearScan) {
+    word::WordRunOptions opts;  // 8 words × 8 bits
+    const auto dict = WordFaultDictionary::build(
+        march::march_c_minus(), word::counting_backgrounds(opts.width),
+        fault::parse_fault_kinds("SAF,TF,CFin,CFid"), opts);
+    for (const auto& entry : dict.entries())
+        EXPECT_EQ(dict.diagnose(entry.signature),
+                  dict.diagnose_linear(entry.signature))
+            << entry.signature.str();
+    const WordSignature escape;
+    EXPECT_EQ(dict.diagnose(escape), dict.diagnose_linear(escape));
+    const WordSignature unknown{{{0, {0, 99}, 7, 1}}};
+    EXPECT_EQ(dict.diagnose(unknown), dict.diagnose_linear(unknown));
+    EXPECT_TRUE(dict.diagnose(unknown).empty());
+}
+
 TEST(WordDictionary, WidthEightCountingBackgrounds) {
     // The genuinely word-oriented regime: 8×8 memory, counting
     // backgrounds. Every instance must be accounted for, diagnose must

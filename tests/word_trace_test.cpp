@@ -273,8 +273,9 @@ TEST(WordTraceDifferential, SiteFailingAtManyWordsStaysCanonical) {
         ASSERT_LT(std::tuple(p.background, p.site.element, p.site.op),
                   std::tuple(q.background, q.site.element, q.site.op));
     }
-    const auto traces = WordBatchRunner(test, backgrounds, opts)
-                            .run({fault});
+    const std::vector<InjectedBitFault> population{fault};
+    const auto traces =
+        WordBatchRunner(test, backgrounds, opts).run(population);
     expect_trace_eq(traces[0], oracle, "ill-formed", fault.kind, 0);
 }
 
