@@ -12,6 +12,8 @@
 #include "engine/engine.hpp"
 #include "fault/kinds.hpp"
 #include "march/library.hpp"
+#include "net/remote_backend.hpp"
+#include "net/worker.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/lane_dispatch.hpp"
 #include "sim/march_runner.hpp"
@@ -134,6 +136,10 @@ void print_scalar_vs_batched() {
     const engine::Engine sharded_engine(
         engine::EngineConfig{.backend = engine::BackendKind::Sharded,
                              .shards = shard_count});
+    constexpr int kRemotePeers = 2;
+    net::LoopbackFleet fleet(kRemotePeers);
+    const engine::Engine remote_engine(
+        engine::make_remote_backend(fleet.take_fds()));
 
     benchutil::JsonSummary summary("sim");
     summary.field("workload", "covers_everywhere")
@@ -160,6 +166,12 @@ void print_scalar_vs_batched() {
             [&] { return packed_engine.detects(test, population64, opts64); },
             [&] {
                 return sharded_engine.detects(test, population64, opts64);
+            })
+        .remote_vs_packed(
+            "n=64 covers sweep", faults64, kRemotePeers,
+            [&] { return packed_engine.detects(test, population64, opts64); },
+            [&] {
+                return remote_engine.detects(test, population64, opts64);
             });
     summary.print();
 }

@@ -109,6 +109,28 @@ public:
             .field("sharded_vs_packed", sharded_fps / packed_fps, 2);
     }
 
+    /// The remote-transport head-to-head: one packed session versus a
+    /// RemoteBackend over same-process loopback peers — the serialize +
+    /// frame + scatter/gather cost of the socket transport on top of the
+    /// identical packed evaluation.
+    template <typename PackedSweep, typename RemoteSweep>
+    JsonSummary& remote_vs_packed(const char* workload, double faults,
+                                  int peers, PackedSweep&& packed,
+                                  RemoteSweep&& remote) {
+        const double packed_fps = faults / seconds_per_sweep(packed);
+        const double remote_fps = faults / seconds_per_sweep(remote);
+        std::printf(
+            "Remote transport (%s, %d loopback peers):\n"
+            "  packed          : %12.0f faults/sec\n"
+            "  remote          : %12.0f faults/sec\n"
+            "  remote/packed   : %.2fx\n\n",
+            workload, peers, packed_fps, remote_fps,
+            remote_fps / packed_fps);
+        return field("remote_peers", peers)
+            .field("engine_remote_faults_per_sec", remote_fps)
+            .field("remote_vs_packed", remote_fps / packed_fps, 2);
+    }
+
 private:
     JsonSummary& raw(const char* key, const std::string& json) {
         if (!body_.empty()) body_ += ',';

@@ -12,6 +12,8 @@
 
 #include "engine/engine.hpp"
 #include "march/library.hpp"
+#include "net/remote_backend.hpp"
+#include "net/worker.hpp"
 #include "sim/lane_dispatch.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -106,6 +108,10 @@ void print_scalar_vs_packed() {
     const engine::Engine sharded_engine(
         engine::EngineConfig{.backend = engine::BackendKind::Sharded,
                              .shards = shard_count});
+    constexpr int kRemotePeers = 2;
+    net::LoopbackFleet fleet(kRemotePeers);
+    const engine::Engine remote_engine(
+        engine::make_remote_backend(fleet.take_fds()));
 
     benchutil::JsonSummary summary("word");
     summary.field("workload", "covers_everywhere")
@@ -136,6 +142,16 @@ void print_scalar_vs_packed() {
             [&] {
                 return sharded_engine.detects(test, backgrounds, population,
                                               opts);
+            })
+        .remote_vs_packed(
+            "coverage workload", faults, kRemotePeers,
+            [&] {
+                return packed_engine.detects(test, backgrounds, population,
+                                             opts);
+            },
+            [&] {
+                return remote_engine.detects(test, backgrounds, population,
+                                             opts);
             });
     summary.print();
 }

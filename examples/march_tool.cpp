@@ -9,6 +9,10 @@
 ///       print the fault dictionary and diagnostic resolution
 ///   march_tool word <fault-list> <width>
 ///       generate, then lift to W-bit words with counting backgrounds
+///   march_tool serve <port>
+///       run a fleet worker: answer shard queries on a TCP port
+///   march_tool fleet "<march-test>" <fault-list> <host:port>...
+///       verify over remote workers (the RemoteBackend coordinator)
 ///
 /// March tests are written in the conventional notation, e.g.
 /// "{~(w0); ^(r0,w1); v(r1,w0)}"; fault lists are comma-separated families
@@ -19,12 +23,17 @@
 #include <cstdlib>
 #include <exception>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/generator.hpp"
 #include "diagnosis/dictionary.hpp"
 #include "engine/engine.hpp"
 #include "march/library.hpp"
 #include "march/parser.hpp"
+#include "net/framing.hpp"
+#include "net/remote_backend.hpp"
+#include "net/worker.hpp"
 #include "setcover/coverage_matrix.hpp"
 #include "word/word_march.hpp"
 
@@ -38,7 +47,10 @@ int usage() {
                  "  march_tool generate <fault-list>\n"
                  "  march_tool verify \"<march-test>\" <fault-list>\n"
                  "  march_tool diagnose \"<march-test>\" <fault-list>\n"
-                 "  march_tool word <fault-list> <width>\n");
+                 "  march_tool word <fault-list> <width>\n"
+                 "  march_tool serve <port>\n"
+                 "  march_tool fleet \"<march-test>\" <fault-list> "
+                 "<host:port>...\n");
     return 2;
 }
 
@@ -122,6 +134,44 @@ int cmd_word(const std::string& list, int width) {
     return all ? 0 : 1;
 }
 
+int cmd_serve(int port) {
+    const int listen_fd = net::tcp_listen(static_cast<std::uint16_t>(port));
+    std::fprintf(stderr, "march_tool serve: listening on port %d\n", port);
+    for (;;) {
+        const int fd = net::tcp_accept(listen_fd);
+        // One detached session thread per coordinator connection; the
+        // daemon runs until killed.
+        std::thread([fd] { net::serve_connection(fd); }).detach();
+    }
+}
+
+int cmd_fleet(const std::string& text, const std::string& list,
+              const std::vector<std::string>& peers) {
+    const auto test = parse_test_arg(text);
+    const auto kinds = fault::parse_fault_kinds(list);
+    std::vector<int> fds;
+    fds.reserve(peers.size());
+    for (const std::string& peer : peers) {
+        const std::size_t colon = peer.rfind(':');
+        if (colon == std::string::npos)
+            throw std::invalid_argument("peer must be host:port: " + peer);
+        fds.push_back(net::tcp_connect(
+            peer.substr(0, colon),
+            static_cast<std::uint16_t>(
+                std::atoi(peer.c_str() + colon + 1))));
+    }
+    const engine::Engine engine(engine::make_remote_backend(std::move(fds)));
+    std::printf("fleet: %zu peer(s)\n", peers.size());
+    bool all = true;
+    for (fault::FaultKind kind : kinds) {
+        const bool ok = engine.covers_everywhere(test, kind);
+        std::printf("%-12s %s\n", fault::fault_kind_name(kind).c_str(),
+                    ok ? "covered" : "ESCAPES");
+        all = all && ok;
+    }
+    return all ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -135,6 +185,11 @@ int main(int argc, char** argv) {
             return cmd_diagnose(argv[2], argv[3]);
         if (command == "word" && argc >= 4)
             return cmd_word(argv[2], std::atoi(argv[3]));
+        if (command == "serve") return cmd_serve(std::atoi(argv[2]));
+        if (command == "fleet" && argc >= 5)
+            return cmd_fleet(
+                argv[2], argv[3],
+                std::vector<std::string>(argv + 4, argv + argc));
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

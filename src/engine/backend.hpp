@@ -11,7 +11,7 @@
 /// coverage matrix, dictionaries, compatibility wrappers) is backend-
 /// agnostic.
 ///
-/// Three implementations ship today:
+/// Four implementations ship today:
 ///   - ScalarBackend: the original one-memory-per-fault oracles
 ///     (sim::run_once / word::detects intersection). Slow, obviously
 ///     correct — kept for differential testing.
@@ -21,10 +21,11 @@
 ///   - ShardedBackend: splits the population across N sub-ranges aligned
 ///     to whole lane blocks and runs each through a PackedBackend,
 ///     merging per-fault verdicts by concatenation and the all-detected
-///     verdict by AND — in-process today, but the split/merge protocol is
-///     exactly what a multi-host transport needs (per chunk the result is
-///     one 64-bit lane mask), so a remote transport becomes a fourth
-///     backend rather than a rewrite.
+///     verdict by AND — the split/merge protocol a multi-host transport
+///     needs (per chunk the result is one 64-bit lane mask).
+///   - RemoteBackend (net/remote_backend.hpp): the same split/merge over
+///     sockets — ranges scattered to worker peers speaking the net/wire
+///     format, with straggler re-dispatch and dead-peer failover.
 ///
 /// Every backend produces bit-identical results for every lane width,
 /// worker count and shard count (tests/engine_test.cpp enforces this
@@ -32,6 +33,7 @@
 
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "march/march_test.hpp"
@@ -97,6 +99,16 @@ public:
         const WordContext& ctx,
         std::span<const word::InjectedBitFault> population) const = 0;
 };
+
+/// Contiguous [begin, end) fault ranges, aligned to whole W=8 lane blocks
+/// (504 lanes) so every boundary is a chunk boundary at any lane width:
+/// each shard's per-chunk 64-bit lane masks and trace grids are disjoint,
+/// and merging is pure concatenation (per-fault answers) or AND (the
+/// all-detected verdict). ShardedBackend splits with it in-process; the
+/// RemoteBackend coordinator (net/remote_backend.hpp) ships the same
+/// ranges over sockets.
+[[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> shard_ranges(
+    std::size_t total, int shards);
 
 [[nodiscard]] std::unique_ptr<Backend> make_scalar_backend();
 [[nodiscard]] std::unique_ptr<Backend> make_packed_backend();

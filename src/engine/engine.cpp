@@ -70,6 +70,11 @@ void evaluate(Result& out, const Backend& backend, const Context& ctx,
 Engine::Engine(EngineConfig config)
     : config_(config), backend_(make_backend(config)) {}
 
+Engine::Engine(std::unique_ptr<Backend> backend, EngineConfig config)
+    : config_(config), backend_(std::move(backend)) {
+    MTG_EXPECTS(backend_ != nullptr);
+}
+
 Engine::~Engine() = default;
 
 Engine& Engine::global() {
@@ -226,9 +231,29 @@ bool Engine::covers_all(const march::MarchTest& test,
 std::optional<fault::FaultKind> Engine::first_uncovered(
     const march::MarchTest& test, const std::vector<fault::FaultKind>& kinds,
     const sim::RunOptions& opts) const {
-    for (fault::FaultKind kind : kinds)
-        if (!covers_everywhere(test, kind, opts)) return kind;
-    return std::nullopt;
+    if (kinds.empty()) return std::nullopt;
+    // One multi-kind per-fault query over the concatenated population:
+    // hits the same (kinds, n) cache entry covers_all primes, instead of
+    // evicting it with |kinds| single-kind entries as the old per-kind
+    // covers_everywhere loop did.
+    Query query;
+    query.test = test;
+    query.universe = BitUniverse{opts};
+    query.want = Want::Detects;
+    query.kinds = kinds;
+    const Result result = run(query);
+    if (result.all) return std::nullopt;
+    const auto miss = static_cast<std::size_t>(
+        std::find(result.detected.begin(), result.detected.end(), false) -
+        result.detected.begin());
+    // Map the verdict index back to its kind by walking the per-kind
+    // population sizes — cold path, taken at most once per call.
+    std::size_t boundary = 0;
+    for (fault::FaultKind kind : kinds) {
+        boundary += sim::full_population(kind, opts.memory_size).size();
+        if (miss < boundary) return kind;
+    }
+    return kinds.back();
 }
 
 std::vector<bool> Engine::detects(

@@ -121,6 +121,10 @@ struct EngineConfig {
 class Engine {
 public:
     explicit Engine(EngineConfig config = {});
+    /// Adopts a caller-built backend (e.g. make_remote_backend, whose
+    /// socket fds a BackendKind enum cannot carry). `config.backend` is
+    /// ignored; pool/lane-width policy still applies.
+    Engine(std::unique_ptr<Backend> backend, EngineConfig config = {});
     ~Engine();
 
     Engine(const Engine&) = delete;

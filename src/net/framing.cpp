@@ -1,0 +1,224 @@
+#include "net/framing.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace mtg::net {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+/// Milliseconds left before `deadline`; -1 for the no-deadline sentinel.
+int remaining_ms(bool has_deadline, clock::time_point deadline) {
+    if (!has_deadline) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - clock::now())
+                          .count();
+    return left < 0 ? 0 : static_cast<int>(left);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+FrameChannel::FrameChannel(int fd) : fd_(fd) {}
+
+FrameChannel::~FrameChannel() {
+    if (fd_ >= 0) ::close(fd_);
+}
+
+FrameChannel::FrameChannel(FrameChannel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
+    if (this != &other) {
+        if (fd_ >= 0) ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+bool FrameChannel::send(std::span<const std::uint8_t> payload) {
+    if (fd_ < 0 || payload.size() > kMaxFrameBytes) return false;
+    std::uint8_t header[4];
+    const auto length = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i)
+        header[i] = static_cast<std::uint8_t>(length >> (8 * i));
+
+    const std::uint8_t* chunks[2] = {header, payload.data()};
+    const std::size_t sizes[2] = {sizeof(header), payload.size()};
+    for (int part = 0; part < 2; ++part) {
+        const std::uint8_t* data = chunks[part];
+        std::size_t left = sizes[part];
+        while (left > 0) {
+            const ssize_t wrote =
+                ::send(fd_, data, left, MSG_NOSIGNAL);
+            if (wrote < 0) {
+                if (errno == EINTR) continue;
+                return false;
+            }
+            data += wrote;
+            left -= static_cast<std::size_t>(wrote);
+        }
+    }
+    return true;
+}
+
+FrameChannel::IoStatus FrameChannel::read_exact(std::uint8_t* out,
+                                                std::size_t n,
+                                                int timeout_ms,
+                                                bool started) {
+    const bool has_deadline = timeout_ms >= 0;
+    const auto deadline =
+        clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+    std::size_t got = 0;
+    while (got < n) {
+        // Once the frame has started, keep reading to completion: a
+        // deadline mid-frame would leave the stream unsynchronizable.
+        const int wait = started ? -1 : remaining_ms(has_deadline, deadline);
+        pollfd pfd{fd_, POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, wait);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            return IoStatus::Closed;
+        }
+        if (ready == 0) return IoStatus::Timeout;
+        const ssize_t read = ::recv(fd_, out + got, n - got, 0);
+        if (read < 0) {
+            if (errno == EINTR) continue;
+            return IoStatus::Closed;
+        }
+        if (read == 0) return IoStatus::Closed;  // EOF
+        got += static_cast<std::size_t>(read);
+        started = true;
+    }
+    return IoStatus::Ok;
+}
+
+FrameChannel::RecvStatus FrameChannel::recv(std::vector<std::uint8_t>& payload,
+                                            int timeout_ms) {
+    if (fd_ < 0) return RecvStatus::Closed;
+    std::uint8_t header[4];
+    // The length prefix itself may stall mid-way only if the peer died or
+    // is byte-dribbling; either way the stream cannot resync -> Corrupt is
+    // handled below by the started flag logic: a partial header followed
+    // by EOF is a truncated frame.
+    std::size_t got = 0;
+    const bool has_deadline = timeout_ms >= 0;
+    const auto deadline =
+        clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
+    while (got < sizeof(header)) {
+        pollfd pfd{fd_, POLLIN, 0};
+        const int wait =
+            got > 0 ? -1 : remaining_ms(has_deadline, deadline);
+        const int ready = ::poll(&pfd, 1, wait);
+        if (ready < 0) {
+            if (errno == EINTR) continue;
+            return got > 0 ? RecvStatus::Corrupt : RecvStatus::Closed;
+        }
+        if (ready == 0) return RecvStatus::Timeout;
+        const ssize_t read = ::recv(fd_, header + got, sizeof(header) - got, 0);
+        if (read < 0 && errno == EINTR) continue;
+        if (read <= 0)
+            return got > 0 ? RecvStatus::Corrupt : RecvStatus::Closed;
+        got += static_cast<std::size_t>(read);
+    }
+    std::uint32_t length = 0;
+    for (int i = 0; i < 4; ++i)
+        length |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+    if (length > kMaxFrameBytes) return RecvStatus::Corrupt;
+    payload.resize(length);
+    if (length == 0) return RecvStatus::Ok;
+    switch (read_exact(payload.data(), length, /*timeout_ms=*/-1,
+                       /*started=*/true)) {
+        case IoStatus::Ok: return RecvStatus::Ok;
+        case IoStatus::Timeout:  // unreachable: started frames never time out
+        case IoStatus::Closed: return RecvStatus::Corrupt;
+    }
+    return RecvStatus::Corrupt;
+}
+
+void FrameChannel::shutdown() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+std::pair<int, int> socket_pair() {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+        throw_errno("socketpair");
+    return {fds[0], fds[1]};
+}
+
+int tcp_listen(std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        throw_errno("bind");
+    }
+    if (::listen(fd, 16) != 0) {
+        ::close(fd);
+        throw_errno("listen");
+    }
+    return fd;
+}
+
+int tcp_accept(int listen_fd) {
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) {
+            const int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            return fd;
+        }
+        if (errno != EINTR) throw_errno("accept");
+    }
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port) {
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* result = nullptr;
+    const std::string service = std::to_string(port);
+    const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints,
+                                 &result);
+    if (rc != 0)
+        throw std::runtime_error("getaddrinfo " + host + ": " +
+                                 gai_strerror(rc));
+    int fd = -1;
+    for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd < 0) continue;
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(result);
+    if (fd < 0)
+        throw std::runtime_error("connect " + host + ":" + service +
+                                 " failed");
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+}  // namespace mtg::net

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file framing.hpp
+/// Length-prefixed framing over stream sockets, plus the few socket
+/// helpers the transport needs (AF_UNIX socketpairs for same-process
+/// loopback peers, TCP listen/accept/connect for real multi-process
+/// fleets).
+///
+/// A frame is [u32 length (LE)][length payload bytes]; the payload is a
+/// wire.hpp message. Frames are bounded (kMaxFrameBytes) so a garbage
+/// length prefix is rejected as Corrupt instead of driving a giant
+/// allocation. recv() distinguishes the four outcomes the coordinator's
+/// fault-tolerance logic needs: a complete frame, a timeout with no frame
+/// started (the peer is merely slow), an orderly or errored close, and a
+/// corrupt stream (oversized frame, or a connection that died mid-frame —
+/// a truncated frame can never be resynchronized, so the channel is
+/// unusable afterwards).
+///
+/// FrameChannel is full-duplex: one thread may send while another
+/// blocks in recv (the coordinator's dispatcher/receiver split). Two
+/// threads must not call recv — or send — concurrently.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mtg::net {
+
+/// Upper bound on a frame payload (64 MiB) — far above any shard query we
+/// ship, far below a believable-garbage u32 length.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// A stream socket speaking length-prefixed frames. Owns the fd.
+class FrameChannel {
+public:
+    explicit FrameChannel(int fd);
+    ~FrameChannel();
+
+    FrameChannel(FrameChannel&& other) noexcept;
+    FrameChannel& operator=(FrameChannel&& other) noexcept;
+    FrameChannel(const FrameChannel&) = delete;
+    FrameChannel& operator=(const FrameChannel&) = delete;
+
+    enum class RecvStatus {
+        Ok,       ///< one complete frame delivered
+        Timeout,  ///< deadline passed before a frame *started* arriving
+        Closed,   ///< orderly EOF or connection error between frames
+        Corrupt,  ///< oversized length prefix, or EOF/error mid-frame
+    };
+
+    /// Sends one frame. Returns false when the connection is dead.
+    [[nodiscard]] bool send(std::span<const std::uint8_t> payload);
+
+    /// Receives one frame into `payload`. `timeout_ms < 0` blocks
+    /// indefinitely (until a frame, close, or shutdown()). Once a frame's
+    /// length prefix has started arriving, the frame is read to completion
+    /// regardless of the timeout — a mid-frame stall beyond the deadline
+    /// is Corrupt, never Timeout, because the stream cannot resync.
+    [[nodiscard]] RecvStatus recv(std::vector<std::uint8_t>& payload,
+                                  int timeout_ms);
+
+    /// Wakes a blocked recv()/send() from another thread; they return
+    /// Closed / false. Safe to call repeatedly.
+    void shutdown();
+
+    [[nodiscard]] int fd() const { return fd_; }
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+private:
+    int fd_{-1};
+
+    enum class IoStatus { Ok, Timeout, Closed };
+    [[nodiscard]] IoStatus read_exact(std::uint8_t* out, std::size_t n,
+                                      int timeout_ms, bool started);
+};
+
+/// A connected AF_UNIX stream socketpair — the loopback transport.
+[[nodiscard]] std::pair<int, int> socket_pair();
+
+/// TCP helpers for the march_tool serve / fleet verbs. All throw
+/// std::runtime_error on failure.
+[[nodiscard]] int tcp_listen(std::uint16_t port);
+[[nodiscard]] int tcp_accept(int listen_fd);
+[[nodiscard]] int tcp_connect(const std::string& host, std::uint16_t port);
+
+}  // namespace mtg::net

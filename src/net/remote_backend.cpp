@@ -1,0 +1,459 @@
+#include "net/remote_backend.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/wire.hpp"
+#include "util/contracts.hpp"
+
+namespace mtg::engine {
+
+namespace {
+
+using net::FrameChannel;
+using net::Message;
+using net::MessageType;
+using net::UniverseTag;
+using net::WantTag;
+using net::WireQuery;
+using net::WireResult;
+using steady = std::chrono::steady_clock;
+
+/// How often the dispatcher re-checks straggler ages / peer deaths while
+/// waiting for replies.
+constexpr auto kDispatchTick = std::chrono::milliseconds(20);
+
+class RemoteBackend final : public Backend {
+public:
+    RemoteBackend(std::vector<int> fds, const RemoteOptions& options)
+        : options_(options) {
+        MTG_EXPECTS(!fds.empty());
+        MTG_EXPECTS(options.ranges_per_peer >= 1);
+        MTG_EXPECTS(options.straggler_timeout_ms >= 1);
+        peers_.reserve(fds.size());
+        for (const int fd : fds)
+            peers_.push_back(std::make_unique<PeerState>(fd));
+        for (std::size_t p = 0; p < peers_.size(); ++p)
+            peers_[p]->receiver =
+                std::thread([this, p] { receiver_loop(p); });
+    }
+
+    ~RemoteBackend() override {
+        stop_.store(true, std::memory_order_relaxed);
+        for (const auto& peer : peers_) peer->channel.shutdown();
+        for (const auto& peer : peers_)
+            if (peer->receiver.joinable()) peer->receiver.join();
+    }
+
+    [[nodiscard]] const char* name() const override { return "remote"; }
+
+    // ------------------------------------------------------ bit universe --
+
+    [[nodiscard]] std::vector<bool> detects(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        const auto results = execute(
+            population.size(), UniverseTag::Bit, WantTag::Detects, ctx.test,
+            [&](std::size_t begin, std::size_t end, WireQuery& query) {
+                query.bit_opts = ctx.opts;
+                query.bit_faults.assign(population.begin() + begin,
+                                        population.begin() + end);
+            });
+        return merge_verdicts(results, population.size());
+    }
+
+    [[nodiscard]] bool detects_all(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        const auto results = execute(
+            population.size(), UniverseTag::Bit, WantTag::DetectsAll,
+            ctx.test,
+            [&](std::size_t begin, std::size_t end, WireQuery& query) {
+                query.bit_opts = ctx.opts;
+                query.bit_faults.assign(population.begin() + begin,
+                                        population.begin() + end);
+            });
+        return merge_all(results);
+    }
+
+    [[nodiscard]] std::vector<sim::RunTrace> traces(
+        const BitContext& ctx,
+        std::span<const sim::InjectedFault> population) const override {
+        auto results = execute(
+            population.size(), UniverseTag::Bit, WantTag::Traces, ctx.test,
+            [&](std::size_t begin, std::size_t end, WireQuery& query) {
+                query.bit_opts = ctx.opts;
+                query.bit_faults.assign(population.begin() + begin,
+                                        population.begin() + end);
+            });
+        std::vector<sim::RunTrace> merged;
+        merged.reserve(population.size());
+        for (WireResult& result : results)
+            for (sim::RunTrace& trace : result.traces)
+                merged.push_back(std::move(trace));
+        return merged;
+    }
+
+    // ----------------------------------------------------- word universe --
+
+    [[nodiscard]] std::vector<bool> detects(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        const auto results = execute(
+            population.size(), UniverseTag::Word, WantTag::Detects, ctx.test,
+            [&](std::size_t begin, std::size_t end, WireQuery& query) {
+                query.word_opts = ctx.opts;
+                query.backgrounds = ctx.backgrounds;
+                query.word_faults.assign(population.begin() + begin,
+                                         population.begin() + end);
+            });
+        return merge_verdicts(results, population.size());
+    }
+
+    [[nodiscard]] bool detects_all(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        const auto results = execute(
+            population.size(), UniverseTag::Word, WantTag::DetectsAll,
+            ctx.test,
+            [&](std::size_t begin, std::size_t end, WireQuery& query) {
+                query.word_opts = ctx.opts;
+                query.backgrounds = ctx.backgrounds;
+                query.word_faults.assign(population.begin() + begin,
+                                         population.begin() + end);
+            });
+        return merge_all(results);
+    }
+
+    [[nodiscard]] std::vector<word::WordRunTrace> traces(
+        const WordContext& ctx,
+        std::span<const word::InjectedBitFault> population) const override {
+        auto results = execute(
+            population.size(), UniverseTag::Word, WantTag::Traces, ctx.test,
+            [&](std::size_t begin, std::size_t end, WireQuery& query) {
+                query.word_opts = ctx.opts;
+                query.backgrounds = ctx.backgrounds;
+                query.word_faults.assign(population.begin() + begin,
+                                         population.begin() + end);
+            });
+        std::vector<word::WordRunTrace> merged;
+        merged.reserve(population.size());
+        for (WireResult& result : results)
+            for (word::WordRunTrace& trace : result.word_traces)
+                merged.push_back(std::move(trace));
+        return merged;
+    }
+
+private:
+    struct PeerState {
+        explicit PeerState(int fd) : channel(fd) {}
+        FrameChannel channel;
+        std::thread receiver;
+        bool alive{true};    ///< guarded by mutex_
+        int outstanding{0};  ///< queries sent, replies not yet routed
+    };
+
+    /// One range's lifecycle within an execute() call.
+    struct Task {
+        std::uint64_t id{0};
+        std::size_t begin{0};
+        std::size_t end{0};
+        WantTag want{WantTag::Detects};
+        UniverseTag universe{UniverseTag::Bit};
+        std::vector<std::uint8_t> payload;  ///< encoded query, re-sendable
+        bool done{false};
+        std::vector<std::size_t> owing;  ///< peers owing a reply
+        steady::time_point last_dispatch{};
+        WireResult result;
+    };
+
+    RemoteOptions options_;
+    mutable std::vector<std::unique_ptr<PeerState>> peers_;
+    std::atomic<bool> stop_{false};
+
+    mutable std::mutex exec_mutex_;  ///< one execute() at a time
+    mutable std::mutex mutex_;       ///< peers / tasks / ids
+    mutable std::condition_variable cv_;
+    mutable std::uint64_t next_id_{1};
+    mutable std::unordered_map<std::uint64_t, Task*> task_index_;
+
+    // ----------------------------------------------------- receiver side --
+
+    void receiver_loop(std::size_t peer_index) const {
+        PeerState& peer = *peers_[peer_index];
+        std::vector<std::uint8_t> payload;
+        for (;;) {
+            const FrameChannel::RecvStatus status =
+                peer.channel.recv(payload, /*timeout_ms=*/100);
+            if (stop_.load(std::memory_order_relaxed)) return;
+            switch (status) {
+                case FrameChannel::RecvStatus::Timeout: continue;
+                case FrameChannel::RecvStatus::Ok:
+                    if (!handle_frame(peer_index, payload)) {
+                        mark_dead(peer_index);
+                        return;
+                    }
+                    continue;
+                case FrameChannel::RecvStatus::Closed:
+                case FrameChannel::RecvStatus::Corrupt:
+                    mark_dead(peer_index);
+                    return;
+            }
+        }
+    }
+
+    /// Routes one frame from a peer. False = the peer is unusable
+    /// (undecodable frame, protocol violation, worker-side error).
+    [[nodiscard]] bool handle_frame(std::size_t peer_index,
+                                    const std::vector<std::uint8_t>& payload) const {
+        Message message;
+        try {
+            message = net::decode_message(payload);
+        } catch (const net::WireFormatError&) {
+            return false;
+        }
+        if (message.type != MessageType::Result)
+            return false;  // worker Error reply == dead peer: re-dispatch
+
+        const std::lock_guard<std::mutex> lock(mutex_);
+        PeerState& peer = *peers_[peer_index];
+        if (peer.outstanding > 0) --peer.outstanding;
+        const auto it = task_index_.find(message.result.id);
+        if (it != task_index_.end()) {
+            Task& task = *it->second;
+            std::erase(task.owing, peer_index);
+            if (!task.done) {
+                if (!result_matches(task, message.result)) return false;
+                task.result = std::move(message.result);
+                task.done = true;
+            }
+            // A duplicate reply for a done task is simply dropped:
+            // results are deterministic, first-wins.
+        }
+        // Unknown id: a stale reply from an abandoned or earlier query —
+        // the outstanding decrement above is all it was still good for.
+        cv_.notify_all();
+        return true;
+    }
+
+    /// Shape check: a reply that does not answer the question asked is a
+    /// protocol violation, not a mergeable result.
+    [[nodiscard]] static bool result_matches(const Task& task,
+                                             const WireResult& result) {
+        if (result.want != task.want || result.universe != task.universe ||
+            result.range_begin != task.begin || result.range_end != task.end)
+            return false;
+        const std::size_t count = task.end - task.begin;
+        switch (task.want) {
+            case WantTag::Detects: return result.verdicts.size() == count;
+            case WantTag::DetectsAll: return true;
+            case WantTag::Traces:
+                return (task.universe == UniverseTag::Bit
+                            ? result.traces.size()
+                            : result.word_traces.size()) == count;
+        }
+        return false;
+    }
+
+    void mark_dead(std::size_t peer_index) const {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        mark_dead_locked(peer_index);
+    }
+
+    void mark_dead_locked(std::size_t peer_index) const {
+        PeerState& peer = *peers_[peer_index];
+        if (!peer.alive) return;
+        peer.alive = false;
+        peer.outstanding = 0;
+        // Ranges this peer still owed fall back to pending (owing empty):
+        // the dispatcher re-dispatches them to surviving peers.
+        for (auto& [id, task] : task_index_)
+            std::erase(task->owing, peer_index);
+        cv_.notify_all();
+    }
+
+    // --------------------------------------------------- dispatcher side --
+
+    /// Splits [0, total) into 504-lane-aligned ranges, ships each as a
+    /// Query, and gathers results with straggler re-dispatch. Returns the
+    /// completed tasks' results in range order; with want == DetectsAll an
+    /// escaping range short-circuits and the abandoned tasks are omitted.
+    template <typename FillQuery>
+    [[nodiscard]] std::vector<WireResult> execute(
+        std::size_t total, UniverseTag universe, WantTag want,
+        const march::MarchTest& test, FillQuery&& fill) const {
+        if (total == 0) return {};
+        const std::lock_guard<std::mutex> exec_lock(exec_mutex_);
+
+        // Build and register the tasks.
+        std::vector<Task> tasks;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            int alive = 0;
+            for (const auto& peer : peers_)
+                if (peer->alive) ++alive;
+            if (alive == 0)
+                throw std::runtime_error(
+                    "RemoteBackend: no live peers to dispatch to");
+            const auto ranges = shard_ranges(
+                total, std::max(1, alive * options_.ranges_per_peer));
+            tasks.reserve(ranges.size());
+            for (const auto& [begin, end] : ranges) {
+                Task task;
+                task.id = next_id_++;
+                task.begin = begin;
+                task.end = end;
+                task.want = want;
+                task.universe = universe;
+                WireQuery query;
+                query.id = task.id;
+                query.universe = universe;
+                query.want = want;
+                query.range_begin = begin;
+                query.range_end = end;
+                query.test = test;
+                fill(begin, end, query);
+                task.payload = net::encode_query(query);
+                tasks.push_back(std::move(task));
+            }
+            for (Task& task : tasks) task_index_.emplace(task.id, &task);
+        }
+        // Always unregister, even when throwing: task_index_ must never
+        // outlive the tasks vector it points into.
+        struct Deregister {
+            const RemoteBackend* backend;
+            std::vector<Task>* tasks;
+            ~Deregister() {
+                const std::lock_guard<std::mutex> lock(backend->mutex_);
+                for (const Task& task : *tasks)
+                    backend->task_index_.erase(task.id);
+            }
+        } deregister{this, &tasks};
+
+        run_dispatch_loop(tasks, want);
+
+        std::vector<WireResult> results;
+        results.reserve(tasks.size());
+        for (Task& task : tasks)
+            if (task.done) results.push_back(std::move(task.result));
+        return results;
+    }
+
+    void run_dispatch_loop(std::vector<Task>& tasks, WantTag want) const {
+        const auto straggler_age =
+            std::chrono::milliseconds(options_.straggler_timeout_ms);
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            bool all_done = true;
+            for (const Task& task : tasks) {
+                if (want == WantTag::DetectsAll && task.done &&
+                    !task.result.all)
+                    return;  // AND short-circuit: verdict is already false
+                all_done = all_done && task.done;
+            }
+            if (all_done) return;
+
+            // Hand pending and straggler-aged ranges to idle live peers.
+            struct Send {
+                std::size_t peer;
+                Task* task;
+            };
+            std::vector<Send> sends;
+            const auto now = steady::now();
+            for (std::size_t p = 0; p < peers_.size(); ++p) {
+                PeerState& peer = *peers_[p];
+                if (!peer.alive || peer.outstanding > 0) continue;
+                Task* chosen = nullptr;
+                for (Task& task : tasks) {  // pending ranges first
+                    if (!task.done && task.owing.empty()) {
+                        chosen = &task;
+                        break;
+                    }
+                }
+                if (chosen == nullptr) {
+                    // Straggler re-dispatch: duplicate the oldest range
+                    // that has been in flight beyond the timeout. Either
+                    // copy of the (deterministic) result will do.
+                    for (Task& task : tasks) {
+                        if (task.done || task.owing.empty()) continue;
+                        if (now - task.last_dispatch < straggler_age)
+                            continue;
+                        if (chosen == nullptr ||
+                            task.last_dispatch < chosen->last_dispatch)
+                            chosen = &task;
+                    }
+                }
+                if (chosen == nullptr) continue;
+                // Commit before sending so the next idle peer in this
+                // round sees the range as in flight.
+                chosen->owing.push_back(p);
+                chosen->last_dispatch = now;
+                ++peer.outstanding;
+                sends.push_back({p, chosen});
+            }
+
+            if (sends.empty()) {
+                bool any_alive = false;
+                bool any_in_flight = false;
+                for (const auto& peer : peers_)
+                    any_alive = any_alive || peer->alive;
+                for (const Task& task : tasks)
+                    any_in_flight = any_in_flight || (!task.done &&
+                                                      !task.owing.empty());
+                if (!any_alive)
+                    throw std::runtime_error(
+                        "RemoteBackend: all peers dead with ranges "
+                        "unanswered");
+                (void)any_in_flight;  // live peers remain: wait for them
+                cv_.wait_for(lock, kDispatchTick);
+                continue;
+            }
+
+            lock.unlock();
+            for (const Send& send : sends) {
+                if (!peers_[send.peer]->channel.send(send.task->payload)) {
+                    const std::lock_guard<std::mutex> relock(mutex_);
+                    mark_dead_locked(send.peer);
+                }
+            }
+            lock.lock();
+        }
+    }
+
+    // --------------------------------------------------------- merging ---
+
+    [[nodiscard]] static std::vector<bool> merge_verdicts(
+        const std::vector<WireResult>& results, std::size_t total) {
+        std::vector<bool> merged;
+        merged.reserve(total);
+        for (const WireResult& result : results)
+            merged.insert(merged.end(), result.verdicts.begin(),
+                          result.verdicts.end());
+        MTG_ENSURES(merged.size() == total);
+        return merged;
+    }
+
+    [[nodiscard]] static bool merge_all(
+        const std::vector<WireResult>& results) {
+        for (const WireResult& result : results)
+            if (!result.all) return false;
+        return true;
+    }
+};
+
+}  // namespace
+
+std::unique_ptr<Backend> make_remote_backend(std::vector<int> peer_fds,
+                                             const RemoteOptions& options) {
+    return std::make_unique<RemoteBackend>(std::move(peer_fds), options);
+}
+
+}  // namespace mtg::engine

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file remote_backend.hpp
+/// engine::RemoteBackend — the fourth Backend: fault simulation sharded
+/// across a fleet of worker peers over sockets.
+///
+/// The coordinator splits every population into contiguous ranges aligned
+/// to whole 504-lane W=8 blocks (engine::shard_ranges — the exact split
+/// ShardedBackend rehearsed in-process), ships each range as a wire.hpp
+/// Query to a peer, and merges the replies exactly like ShardedBackend
+/// does: per-fault verdicts and traces concatenate by range position, the
+/// all-detected verdict ANDs (with early exit — an escaping range marks
+/// the remaining ones moot).
+///
+/// Fault tolerance — the part a single process never needed:
+///   - Straggler re-dispatch: a range in flight longer than
+///     `straggler_timeout_ms` becomes eligible for dispatch to a second
+///     idle peer. Results are deterministic, so either copy is correct:
+///     duplicate replies resolve first-wins and the loser is dropped.
+///     The slow peer is NOT killed — if it answers eventually (even
+///     during a later query), its reply is matched by id and discarded
+///     when stale.
+///   - Dead peers: a closed, errored or corrupt connection (including a
+///     worker that replies with garbage or a truncated frame) marks the
+///     peer dead; its un-replied ranges go back to the pending queue. The
+///     query fails with std::runtime_error only when every peer is dead
+///     with work outstanding.
+///
+/// One execute runs at a time (Backend::const methods serialize on an
+/// internal mutex); each peer connection gets a persistent receiver
+/// thread that routes replies by query id, so a reply from a past
+/// re-dispatched query can never desynchronize the stream.
+
+#include <memory>
+#include <vector>
+
+#include "engine/backend.hpp"
+
+namespace mtg::engine {
+
+/// Coordinator policy knobs.
+struct RemoteOptions {
+    /// Ranges per peer the population splits into (more ranges = finer
+    /// re-dispatch granularity and better load balance, more framing
+    /// overhead). The effective shard count is peers × ranges_per_peer,
+    /// capped by the number of 504-lane blocks.
+    int ranges_per_peer{2};
+    /// Age after which an in-flight range may be duplicated onto another
+    /// idle peer.
+    int straggler_timeout_ms{1000};
+};
+
+/// Builds a RemoteBackend over connected peer sockets (ownership of the
+/// fds transfers). Peers normally come from net::LoopbackFleet::take_fds()
+/// (same-process CI fleet) or net::tcp_connect (march_tool fleet).
+[[nodiscard]] std::unique_ptr<Backend> make_remote_backend(
+    std::vector<int> peer_fds, const RemoteOptions& options = {});
+
+}  // namespace mtg::engine

@@ -1,0 +1,157 @@
+#include "net/worker.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "engine/backend.hpp"
+#include "net/framing.hpp"
+#include "net/wire.hpp"
+
+namespace mtg::net {
+
+namespace {
+
+/// Evaluates one decoded shard query on the local packed backend.
+WireResult evaluate(const engine::Backend& backend, const WireQuery& query) {
+    WireResult result;
+    result.id = query.id;
+    result.universe = query.universe;
+    result.want = query.want;
+    result.range_begin = query.range_begin;
+    result.range_end = query.range_end;
+    if (query.universe == UniverseTag::Bit) {
+        const engine::BitContext ctx{query.test, query.bit_opts, nullptr, 0};
+        switch (query.want) {
+            case WantTag::Detects:
+                result.verdicts = backend.detects(ctx, query.bit_faults);
+                break;
+            case WantTag::DetectsAll:
+                result.all = backend.detects_all(ctx, query.bit_faults);
+                break;
+            case WantTag::Traces:
+                result.traces = backend.traces(ctx, query.bit_faults);
+                break;
+        }
+    } else {
+        const engine::WordContext ctx{query.test, query.backgrounds,
+                                      query.word_opts, nullptr, 0};
+        switch (query.want) {
+            case WantTag::Detects:
+                result.verdicts = backend.detects(ctx, query.word_faults);
+                break;
+            case WantTag::DetectsAll:
+                result.all = backend.detects_all(ctx, query.word_faults);
+                break;
+            case WantTag::Traces:
+                result.word_traces = backend.traces(ctx, query.word_faults);
+                break;
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+void serve_connection(int fd, const WorkerHooks& hooks) {
+    FrameChannel channel(fd);
+    const std::unique_ptr<engine::Backend> backend =
+        engine::make_packed_backend();
+    std::vector<std::uint8_t> payload;
+    int queries = 0;
+    for (;;) {
+        const FrameChannel::RecvStatus status =
+            channel.recv(payload, /*timeout_ms=*/-1);
+        if (status != FrameChannel::RecvStatus::Ok) return;
+
+        Message message;
+        try {
+            message = decode_message(payload);
+        } catch (const WireFormatError& e) {
+            // An unframeable query stream cannot be answered reliably:
+            // report and drop the connection.
+            (void)channel.send(encode_error({0, e.what()}));
+            return;
+        }
+        if (message.type != MessageType::Query) {
+            (void)channel.send(
+                encode_error({0, "expected a Query message"}));
+            return;
+        }
+
+        ++queries;
+        if (hooks.die_after_queries >= 0 &&
+            queries >= hooks.die_after_queries)
+            return;  // killed mid-query: no reply, connection closes
+        if (hooks.delay_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(hooks.delay_ms));
+        if (hooks.garbage_after_queries >= 0 &&
+            queries >= hooks.garbage_after_queries) {
+            // A syntactically framed but semantically undecodable reply.
+            const std::vector<std::uint8_t> garbage = {0xde, 0xad, 0xbe,
+                                                       0xef, 0x00, 0x01};
+            (void)channel.send(garbage);
+            return;
+        }
+        if (hooks.truncate_after_queries >= 0 &&
+            queries >= hooks.truncate_after_queries) {
+            // Length prefix promising 64 bytes, connection closed after 2.
+            const std::vector<std::uint8_t> truncated = {64, 0, 0, 0, 0x01,
+                                                         0x02};
+            std::size_t sent = 0;
+            while (sent < truncated.size()) {
+                const ssize_t wrote =
+                    ::send(channel.fd(), truncated.data() + sent,
+                           truncated.size() - sent, MSG_NOSIGNAL);
+                if (wrote <= 0) break;
+                sent += static_cast<std::size_t>(wrote);
+            }
+            return;
+        }
+
+        std::vector<std::uint8_t> reply;
+        try {
+            reply = encode_result(evaluate(*backend, message.query));
+        } catch (const std::exception& e) {
+            reply = encode_error({message.query.id, e.what()});
+        }
+        if (!channel.send(reply)) return;
+    }
+}
+
+LoopbackFleet::LoopbackFleet(int peers, std::vector<WorkerHooks> peer_hooks) {
+    coordinator_fds_.reserve(static_cast<std::size_t>(peers));
+    workers_.reserve(static_cast<std::size_t>(peers));
+    for (int i = 0; i < peers; ++i) {
+        const auto [coordinator_fd, worker_fd] = socket_pair();
+        coordinator_fds_.push_back(coordinator_fd);
+        const WorkerHooks hooks =
+            static_cast<std::size_t>(i) < peer_hooks.size()
+                ? peer_hooks[static_cast<std::size_t>(i)]
+                : WorkerHooks{};
+        workers_.emplace_back(
+            [worker_fd, hooks] { serve_connection(worker_fd, hooks); });
+    }
+}
+
+LoopbackFleet::~LoopbackFleet() {
+    // Any fds not taken by a coordinator are closed here, which unblocks
+    // the matching workers; taken fds are closed by their FrameChannels.
+    for (const int fd : coordinator_fds_)
+        if (fd >= 0) ::shutdown(fd, SHUT_RDWR), ::close(fd);
+    for (std::thread& worker : workers_)
+        if (worker.joinable()) worker.join();
+}
+
+std::vector<int> LoopbackFleet::take_fds() {
+    std::vector<int> fds = std::move(coordinator_fds_);
+    coordinator_fds_.assign(fds.size(), -1);
+    return fds;
+}
+
+}  // namespace mtg::net

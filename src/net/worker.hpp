@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file worker.hpp
+/// The fleet worker: answers wire.hpp shard queries over one connection.
+///
+/// A worker is completely stateless — every query carries the March test,
+/// the universe options and the concrete population slice, so the worker
+/// just evaluates it through a local PackedBackend (global thread pool,
+/// CPUID lane width) and replies. Connections are served sequentially:
+/// queries on one connection are answered in arrival order (the
+/// coordinator matches replies by id, not by order, so pipelining is
+/// legal).
+///
+/// WorkerHooks exist for the transport's fault-injection tests (and for
+/// nothing else): a per-query artificial delay models a straggler, dying
+/// after the k-th query models a peer killed mid-query, and replying with
+/// garbage / a truncated frame models a corrupted stream. All default
+/// off.
+///
+/// serve_connection() is the single implementation behind both the
+/// same-process loopback peers (LoopbackFleet, used by CI) and the
+/// march_tool `serve` daemon (one thread per accepted TCP connection).
+
+#include <thread>
+#include <vector>
+
+namespace mtg::net {
+
+/// Test-only failure injection for a worker connection.
+struct WorkerHooks {
+    int delay_ms{0};  ///< sleep this long before answering each query
+    /// Close the connection upon receiving the k-th query (1-based)
+    /// WITHOUT replying — a peer killed mid-query. -1 = never.
+    int die_after_queries{-1};
+    /// Reply to the k-th query (1-based) with an undecodable frame, then
+    /// close. -1 = never.
+    int garbage_after_queries{-1};
+    /// Reply to the k-th query (1-based) with a frame whose length prefix
+    /// promises more bytes than are sent, then close. -1 = never.
+    int truncate_after_queries{-1};
+};
+
+/// Serves one connection until it closes (or a hook fires). Takes
+/// ownership of `fd`. Malformed queries get an Error reply and close the
+/// connection; evaluation failures get an Error reply and keep serving.
+void serve_connection(int fd, const WorkerHooks& hooks = {});
+
+/// N same-process worker peers, each a thread serving one end of an
+/// AF_UNIX socketpair — the loopback transport CI runs the full
+/// differential harness over, no real networking involved. The
+/// coordinator-side fds are handed out once via take_fds() (the caller —
+/// normally make_remote_backend — owns and closes them); worker threads
+/// exit when their connection closes and are joined by the destructor.
+/// Declare the fleet BEFORE the backend that takes its fds: the backend's
+/// destructor closes the connections, which is what lets the join finish.
+class LoopbackFleet {
+public:
+    /// `peer_hooks[i]` configures peer i; peers beyond the vector get
+    /// default hooks.
+    explicit LoopbackFleet(int peers,
+                           std::vector<WorkerHooks> peer_hooks = {});
+    ~LoopbackFleet();
+
+    LoopbackFleet(const LoopbackFleet&) = delete;
+    LoopbackFleet& operator=(const LoopbackFleet&) = delete;
+
+    /// The coordinator-side fds, one per peer. Callable once; ownership
+    /// transfers to the caller.
+    [[nodiscard]] std::vector<int> take_fds();
+
+private:
+    std::vector<int> coordinator_fds_;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace mtg::net

@@ -102,7 +102,10 @@ std::vector<InjectedBitFault> coverage_population(fault::FaultKind kind,
             if (wa != wv)
                 population.push_back(
                     InjectedBitFault::coupling(kind, {wa, bit}, {wv, bit}));
-    if (opts.width >= 2)
+    // Only when it is genuinely cross-word: at words == 1 the pair
+    // {0,0} -> {0, width-1} already exists in the intra-word block above
+    // and re-adding it would duplicate a placement.
+    if (opts.words >= 2 && opts.width >= 2)
         population.push_back(InjectedBitFault::coupling(
             kind, {0, 0}, {opts.words - 1, opts.width - 1}));
     return population;

@@ -9,12 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "engine/engine.hpp"
 #include "fault/kinds.hpp"
 #include "march/library.hpp"
+#include "net/remote_backend.hpp"
+#include "net/worker.hpp"
 #include "sim/batch_runner.hpp"
 #include "util/thread_pool.hpp"
 #include "word/word_batch_runner.hpp"
@@ -246,6 +250,190 @@ TEST(EngineDifferential, ShardedSplitsMultiBlockPopulations) {
             packed.covers_everywhere(test, FaultKind::CfidUp0, opts))
             << shards;
     }
+}
+
+/// Loopback peer counts the remote differential sweeps. MTG_TEST_PEERS
+/// pins a single count (the CI transport matrix leg runs {2, 4}).
+std::vector<int> remote_peer_counts() {
+    if (const char* env = std::getenv("MTG_TEST_PEERS")) {
+        const int n = std::atoi(env);
+        if (n > 0) return {n};
+    }
+    return {1, 2, 3};
+}
+
+TEST(EngineRemote, BitQueriesMatchPackedOverLoopbackPeers) {
+    // n=24 -> multi-kind population of several 504-lane blocks, so the
+    // coordinator genuinely scatters ranges across the fleet.
+    const sim::RunOptions opts{.memory_size = 24, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const Engine packed;
+    Query query;
+    query.test = test;
+    query.universe = BitUniverse{opts};
+    query.kinds = kBitKinds;
+
+    query.want = Want::Detects;
+    const Result ref_detects = packed.run(query);
+    query.want = Want::DetectsAll;
+    const Result ref_all = packed.run(query);
+    query.want = Want::Traces;
+    const Result ref_traces = packed.run(query);
+    const Result ref_sweep = packed.dictionary_sweep(test, kBitKinds, opts);
+
+    for (const int peers : remote_peer_counts()) {
+        net::LoopbackFleet fleet(peers);
+        const Engine remote(engine::make_remote_backend(fleet.take_fds()));
+        query.want = Want::Detects;
+        EXPECT_EQ(remote.run(query).detected, ref_detects.detected)
+            << peers << " peers";
+        query.want = Want::DetectsAll;
+        EXPECT_EQ(remote.run(query).all, ref_all.all) << peers << " peers";
+        query.want = Want::Traces;
+        expect_traces_eq(remote.run(query).traces, ref_traces.traces,
+                         "remote bit traces");
+        const Result sweep = remote.dictionary_sweep(test, kBitKinds, opts);
+        ASSERT_EQ(sweep.instances, ref_sweep.instances) << peers << " peers";
+        expect_traces_eq(sweep.traces, ref_sweep.traces,
+                         "remote dictionary sweep");
+    }
+}
+
+TEST(EngineRemote, WordQueriesMatchPackedOverLoopbackPeers) {
+    word::WordRunOptions opts;
+    opts.words = 6;
+    opts.width = 4;
+    opts.max_any_expansion = 4;
+    const auto backgrounds = word::counting_backgrounds(opts.width);
+    const std::vector<FaultKind> kinds = {FaultKind::Saf1,
+                                          FaultKind::CfidUp1};
+    const auto& test = march::march_c_minus();
+    const Engine packed;
+    Query query;
+    query.test = test;
+    query.universe = WordUniverse{backgrounds, opts};
+    query.kinds = kinds;
+
+    query.want = Want::Detects;
+    const Result ref_detects = packed.run(query);
+    query.want = Want::DetectsAll;
+    const Result ref_all = packed.run(query);
+    query.want = Want::Traces;
+    const Result ref_traces = packed.run(query);
+    const Result ref_sweep =
+        packed.dictionary_sweep(test, backgrounds, kinds, opts);
+
+    for (const int peers : remote_peer_counts()) {
+        net::LoopbackFleet fleet(peers);
+        const Engine remote(engine::make_remote_backend(fleet.take_fds()));
+        query.want = Want::Detects;
+        EXPECT_EQ(remote.run(query).detected, ref_detects.detected)
+            << peers << " peers";
+        query.want = Want::DetectsAll;
+        EXPECT_EQ(remote.run(query).all, ref_all.all) << peers << " peers";
+        query.want = Want::Traces;
+        expect_word_traces_eq(remote.run(query).word_traces,
+                              ref_traces.word_traces, "remote word traces");
+        const Result sweep =
+            remote.dictionary_sweep(test, backgrounds, kinds, opts);
+        ASSERT_EQ(sweep.instances, ref_sweep.instances) << peers << " peers";
+        expect_word_traces_eq(sweep.word_traces, ref_sweep.word_traces,
+                              "remote word dictionary sweep");
+    }
+}
+
+TEST(EngineRemote, SurvivesPeerKilledMidQuery) {
+    // Peer 0 closes its connection on the first query WITHOUT replying;
+    // the coordinator must re-dispatch its ranges to peer 1 and still
+    // produce the packed answers.
+    const sim::RunOptions opts{.memory_size = 24, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+    ASSERT_GT(population.size(), std::size_t{504});
+
+    const Engine packed;
+    const auto want_detects = packed.detects(test, population, opts);
+    const auto want_traces = packed.traces(test, population, opts);
+
+    net::LoopbackFleet fleet(2, {{.die_after_queries = 1}, {}});
+    const Engine remote(engine::make_remote_backend(fleet.take_fds()));
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+    expect_traces_eq(remote.traces(test, population, opts), want_traces,
+                     "after peer death");
+}
+
+TEST(EngineRemote, StragglerRangesAreReDispatched) {
+    // Peer 0 answers every query only after a delay far beyond the
+    // straggler timeout: peer 1 must pick up the duplicated ranges, the
+    // late duplicate replies are dropped first-wins, and the merged
+    // answers stay bit-identical to packed.
+    const sim::RunOptions opts{.memory_size = 24, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+
+    const Engine packed;
+    const auto want_detects = packed.detects(test, population, opts);
+
+    net::LoopbackFleet fleet(2, {{.delay_ms = 2000}, {}});
+    engine::RemoteOptions options;
+    options.straggler_timeout_ms = 100;
+    const Engine remote(
+        engine::make_remote_backend(fleet.take_fds(), options));
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+    // A second query on the same session still works: the straggler's
+    // stale replies must not desynchronize later queries.
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+}
+
+TEST(EngineRemote, CorruptFramesMarkThePeerDeadWithoutHanging) {
+    const sim::RunOptions opts{.memory_size = 24, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+
+    const Engine packed;
+    const auto want_detects = packed.detects(test, population, opts);
+
+    {
+        // Peer 0 replies with an undecodable (garbage) frame.
+        net::LoopbackFleet fleet(2, {{.garbage_after_queries = 1}, {}});
+        const Engine remote(engine::make_remote_backend(fleet.take_fds()));
+        EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+    }
+    {
+        // Peer 0 sends a length prefix promising more bytes than arrive.
+        net::LoopbackFleet fleet(2, {{.truncate_after_queries = 1}, {}});
+        const Engine remote(engine::make_remote_backend(fleet.take_fds()));
+        EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+    }
+}
+
+TEST(EngineRemote, AllPeersDeadThrows) {
+    const sim::RunOptions opts{.memory_size = 8, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::Saf0, opts.memory_size);
+
+    net::LoopbackFleet fleet(1, {{.die_after_queries = 1}});
+    const Engine remote(engine::make_remote_backend(fleet.take_fds()));
+    EXPECT_THROW((void)remote.detects(test, population, opts),
+                 std::runtime_error);
+}
+
+TEST(EngineRemote, EmptyPopulationNeedsNoNetwork) {
+    // An empty population must short-circuit without touching the peers —
+    // even a fleet that would corrupt every query never gets the chance.
+    net::LoopbackFleet fleet(1, {{.garbage_after_queries = 1}});
+    const Engine remote(engine::make_remote_backend(fleet.take_fds()));
+    Query query;
+    query.test = march::find_march_test("MATS").test;
+    query.universe = BitUniverse{{.memory_size = 4}};
+    query.want = Want::DetectsAll;
+    EXPECT_TRUE(remote.run(query).all);
+    query.want = Want::Detects;
+    EXPECT_TRUE(remote.run(query).detected.empty());
 }
 
 TEST(EngineCache, PopulationsAreSharedAndKeyed) {

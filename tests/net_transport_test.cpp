@@ -1,0 +1,257 @@
+/// Wire-format and framing unit tests for the remote transport: every
+/// message kind must survive an encode/decode round trip bit-for-bit,
+/// every malformed payload must be rejected with WireFormatError (never
+/// accepted, never a crash), and FrameChannel must report the exact
+/// failure taxonomy (Timeout before a frame, Corrupt mid-frame) the
+/// coordinator's fault tolerance is built on.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include "march/library.hpp"
+#include "net/framing.hpp"
+#include "net/wire.hpp"
+#include "word/background.hpp"
+
+namespace mtg::net {
+namespace {
+
+using fault::FaultKind;
+
+WireQuery sample_bit_query() {
+    WireQuery query;
+    query.id = 0x1122334455667788ull;
+    query.universe = UniverseTag::Bit;
+    query.want = WantTag::Detects;
+    query.range_begin = 504;
+    query.range_end = 507;
+    query.test = march::march_c_minus();
+    query.bit_opts = {.memory_size = 24, .max_any_expansion = 6};
+    query.bit_faults = {
+        sim::InjectedFault::single(FaultKind::Saf0, 3),
+        sim::InjectedFault::coupling(FaultKind::CfidUp0, 1, 7),
+        sim::InjectedFault::coupling(FaultKind::CfinDown, 7, 1),
+    };
+    return query;
+}
+
+WireQuery sample_word_query() {
+    WireQuery query;
+    query.id = 42;
+    query.universe = UniverseTag::Word;
+    query.want = WantTag::Traces;
+    query.range_begin = 0;
+    query.range_end = 2;
+    query.test = march::find_march_test("MATS").test;
+    query.word_opts.words = 6;
+    query.word_opts.width = 4;
+    query.word_opts.max_any_expansion = 4;
+    query.backgrounds = word::counting_backgrounds(4);
+    query.word_faults = {
+        word::InjectedBitFault::single(FaultKind::Rdf1, {2, 3}),
+        word::InjectedBitFault::coupling(FaultKind::CfidUp1, {0, 0}, {5, 3}),
+    };
+    return query;
+}
+
+TEST(WireFormat, BitQueryRoundTrip) {
+    const WireQuery query = sample_bit_query();
+    const Message decoded = decode_message(encode_query(query));
+    ASSERT_EQ(decoded.type, MessageType::Query);
+    const WireQuery& got = decoded.query;
+    EXPECT_EQ(got.id, query.id);
+    EXPECT_EQ(got.universe, query.universe);
+    EXPECT_EQ(got.want, query.want);
+    EXPECT_EQ(got.range_begin, query.range_begin);
+    EXPECT_EQ(got.range_end, query.range_end);
+    EXPECT_EQ(got.test.str(), query.test.str());
+    EXPECT_EQ(got.bit_opts.memory_size, query.bit_opts.memory_size);
+    EXPECT_EQ(got.bit_opts.max_any_expansion,
+              query.bit_opts.max_any_expansion);
+    EXPECT_EQ(got.bit_faults, query.bit_faults);
+}
+
+TEST(WireFormat, WordQueryRoundTrip) {
+    const WireQuery query = sample_word_query();
+    const Message decoded = decode_message(encode_query(query));
+    ASSERT_EQ(decoded.type, MessageType::Query);
+    const WireQuery& got = decoded.query;
+    EXPECT_EQ(got.id, query.id);
+    EXPECT_EQ(got.universe, UniverseTag::Word);
+    EXPECT_EQ(got.want, WantTag::Traces);
+    EXPECT_EQ(got.test.str(), query.test.str());
+    EXPECT_EQ(got.word_opts.words, query.word_opts.words);
+    EXPECT_EQ(got.word_opts.width, query.word_opts.width);
+    EXPECT_EQ(got.word_opts.max_any_expansion,
+              query.word_opts.max_any_expansion);
+    EXPECT_EQ(got.backgrounds, query.backgrounds);
+    EXPECT_EQ(got.word_faults, query.word_faults);
+}
+
+TEST(WireFormat, VerdictResultRoundTripAcrossMaskBoundaries) {
+    // 67 verdicts: straddles the 64-bit mask boundary, partial final mask.
+    WireResult result;
+    result.id = 7;
+    result.universe = UniverseTag::Bit;
+    result.want = WantTag::Detects;
+    result.range_begin = 0;
+    result.range_end = 67;
+    for (int i = 0; i < 67; ++i) result.verdicts.push_back(i % 3 != 0);
+    const Message decoded = decode_message(encode_result(result));
+    ASSERT_EQ(decoded.type, MessageType::Result);
+    EXPECT_EQ(decoded.result.id, result.id);
+    EXPECT_EQ(decoded.result.verdicts, result.verdicts);
+}
+
+TEST(WireFormat, TraceResultRoundTrip) {
+    WireResult result;
+    result.id = 9;
+    result.universe = UniverseTag::Bit;
+    result.want = WantTag::Traces;
+    result.range_begin = 10;
+    result.range_end = 12;
+    sim::RunTrace trace;
+    trace.detected = true;
+    trace.failing_reads = {{1, 0}, {2, 1}};
+    trace.failing_observations = {{{1, 0}, 3}, {{2, 1}, 0}};
+    result.traces = {trace, sim::RunTrace{}};
+    const Message decoded = decode_message(encode_result(result));
+    ASSERT_EQ(decoded.type, MessageType::Result);
+    ASSERT_EQ(decoded.result.traces.size(), 2u);
+    EXPECT_EQ(decoded.result.traces[0].detected, trace.detected);
+    EXPECT_EQ(decoded.result.traces[0].failing_reads, trace.failing_reads);
+    EXPECT_EQ(decoded.result.traces[0].failing_observations,
+              trace.failing_observations);
+    EXPECT_FALSE(decoded.result.traces[1].detected);
+}
+
+TEST(WireFormat, WordTraceResultRoundTrip) {
+    WireResult result;
+    result.id = 11;
+    result.universe = UniverseTag::Word;
+    result.want = WantTag::Traces;
+    result.range_begin = 0;
+    result.range_end = 1;
+    word::WordRunTrace trace;
+    trace.detected = true;
+    trace.failing_reads = {{0, {1, 0}}, {2, {2, 1}}};
+    trace.failing_observations = {{1, {1, 0}, 4, 0b1011}};
+    result.word_traces = {trace};
+    const Message decoded = decode_message(encode_result(result));
+    ASSERT_EQ(decoded.type, MessageType::Result);
+    ASSERT_EQ(decoded.result.word_traces.size(), 1u);
+    EXPECT_EQ(decoded.result.word_traces[0], trace);
+}
+
+TEST(WireFormat, DetectsAllAndErrorRoundTrip) {
+    WireResult result;
+    result.id = 13;
+    result.want = WantTag::DetectsAll;
+    result.range_begin = 0;
+    result.range_end = 504;
+    result.all = false;
+    const Message decoded = decode_message(encode_result(result));
+    ASSERT_EQ(decoded.type, MessageType::Result);
+    EXPECT_FALSE(decoded.result.all);
+
+    const Message error =
+        decode_message(encode_error({21, "worker exploded"}));
+    ASSERT_EQ(error.type, MessageType::Error);
+    EXPECT_EQ(error.error.id, 21u);
+    EXPECT_EQ(error.error.message, "worker exploded");
+}
+
+TEST(WireFormat, RejectsMalformedPayloads) {
+    const std::vector<std::uint8_t> encoded =
+        encode_query(sample_bit_query());
+
+    // Empty, garbage, wrong version, unknown message type.
+    EXPECT_THROW((void)decode_message({}), WireFormatError);
+    const std::vector<std::uint8_t> garbage = {0xde, 0xad, 0xbe, 0xef};
+    EXPECT_THROW((void)decode_message(garbage), WireFormatError);
+    std::vector<std::uint8_t> bad_version = encoded;
+    bad_version[0] = kWireVersion + 1;
+    EXPECT_THROW((void)decode_message(bad_version), WireFormatError);
+    std::vector<std::uint8_t> bad_type = encoded;
+    bad_type[1] = 99;
+    EXPECT_THROW((void)decode_message(bad_type), WireFormatError);
+
+    // Every possible truncation must throw, never read out of bounds.
+    for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
+        const std::span<const std::uint8_t> cut(encoded.data(), keep);
+        EXPECT_THROW((void)decode_message(cut), WireFormatError) << keep;
+    }
+    // Trailing bytes are rejected too: a frame is exactly one message.
+    std::vector<std::uint8_t> padded = encoded;
+    padded.push_back(0);
+    EXPECT_THROW((void)decode_message(padded), WireFormatError);
+}
+
+TEST(WireFormat, RejectsRangePopulationMismatch) {
+    WireQuery query = sample_bit_query();
+    query.range_end = query.range_begin + query.bit_faults.size() + 1;
+    EXPECT_THROW((void)decode_message(encode_query(query)), WireFormatError);
+}
+
+TEST(Framing, RoundTripAndTimeoutTaxonomy) {
+    const auto [a_fd, b_fd] = socket_pair();
+    FrameChannel a(a_fd);
+    FrameChannel b(b_fd);
+
+    std::vector<std::uint8_t> payload;
+    // Nothing sent yet: a bounded recv times out (peer merely slow).
+    EXPECT_EQ(b.recv(payload, 10), FrameChannel::RecvStatus::Timeout);
+
+    const std::vector<std::uint8_t> frame = {1, 2, 3, 4, 5};
+    ASSERT_TRUE(a.send(frame));
+    ASSERT_TRUE(a.send({}));  // empty frames are legal
+    EXPECT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Ok);
+    EXPECT_EQ(payload, frame);
+    EXPECT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Ok);
+    EXPECT_TRUE(payload.empty());
+}
+
+TEST(Framing, CloseAndCorruptionAreDistinguished) {
+    {
+        // Orderly close between frames -> Closed.
+        const auto [a_fd, b_fd] = socket_pair();
+        FrameChannel b(b_fd);
+        { FrameChannel a(a_fd); }  // destructor closes
+        std::vector<std::uint8_t> payload;
+        EXPECT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Closed);
+    }
+    {
+        // A length prefix promising bytes that never arrive -> Corrupt:
+        // a truncated frame can never be resynchronized.
+        const auto [a_fd, b_fd] = socket_pair();
+        FrameChannel b(b_fd);
+        std::thread sender([fd = a_fd] {
+            const std::uint8_t truncated[] = {64, 0, 0, 0, 0x01};
+            (void)!::write(fd, truncated, sizeof(truncated));
+            ::close(fd);
+        });
+        std::vector<std::uint8_t> payload;
+        EXPECT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Corrupt);
+        sender.join();
+    }
+    {
+        // An oversized length prefix -> Corrupt, no giant allocation.
+        const auto [a_fd, b_fd] = socket_pair();
+        FrameChannel b(b_fd);
+        std::thread sender([fd = a_fd] {
+            const std::uint8_t oversized[] = {0xff, 0xff, 0xff, 0xff};
+            (void)!::write(fd, oversized, sizeof(oversized));
+            ::close(fd);
+        });
+        std::vector<std::uint8_t> payload;
+        EXPECT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Corrupt);
+        sender.join();
+    }
+}
+
+}  // namespace
+}  // namespace mtg::net

@@ -274,5 +274,32 @@ TEST(CoveragePopulation, MatchesDocumentedPlacementCounts) {
     EXPECT_EQ(coverage_population(FaultKind::CfinUp, narrow).size(), 12u);
 }
 
+TEST(CoveragePopulation, NeverContainsDuplicatePlacements) {
+    // Regression: at words == 1 the "cross-bit" pair {0,0} -> {0, width-1}
+    // collided with the identical intra-word pair, double-counting one
+    // placement in every two-cell coverage population (and skewing any
+    // per-fault verdict vector built over it).
+    const std::vector<FaultKind> kinds = {
+        FaultKind::Saf0,   FaultKind::TfDown,   FaultKind::CfidUp0,
+        FaultKind::CfinUp, FaultKind::CfstS1F0, FaultKind::AfMap,
+    };
+    for (int words : {1, 2, 3, 8}) {
+        for (int width : {1, 2, 4, 8}) {
+            WordRunOptions opts;
+            opts.words = words;
+            opts.width = width;
+            for (const FaultKind kind : kinds) {
+                const auto population = coverage_population(kind, opts);
+                for (std::size_t i = 0; i < population.size(); ++i)
+                    for (std::size_t j = i + 1; j < population.size(); ++j)
+                        ASSERT_FALSE(population[i] == population[j])
+                            << fault::fault_kind_name(kind) << " words="
+                            << words << " width=" << width << " #" << i
+                            << " == #" << j;
+            }
+        }
+    }
+}
+
 }  // namespace
 }  // namespace mtg::word
