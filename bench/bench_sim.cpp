@@ -140,6 +140,14 @@ void print_scalar_vs_batched() {
     net::LoopbackFleet fleet(kRemotePeers);
     const engine::Engine remote_engine(
         engine::make_remote_backend(fleet.take_fds()));
+    // A fleet that loses peer 0 on its first query, with the graceful
+    // degradation policy on: the resilient-throughput line.
+    net::LoopbackFleet degraded_fleet(kRemotePeers,
+                                      {{.die_after_queries = 1}, {}});
+    engine::RemoteOptions degraded_options;
+    degraded_options.degrade = engine::DegradePolicy::DegradeLocal;
+    const engine::Engine degraded_engine(engine::make_remote_backend(
+        degraded_fleet.take_fds(), degraded_options));
 
     benchutil::JsonSummary summary("sim");
     summary.field("workload", "covers_everywhere")
@@ -172,6 +180,12 @@ void print_scalar_vs_batched() {
             [&] { return packed_engine.detects(test, population64, opts64); },
             [&] {
                 return remote_engine.detects(test, population64, opts64);
+            })
+        .degraded_vs_packed(
+            "n=64 covers sweep", faults64, kRemotePeers,
+            [&] { return packed_engine.detects(test, population64, opts64); },
+            [&] {
+                return degraded_engine.detects(test, population64, opts64);
             });
     summary.print();
 }

@@ -131,6 +131,29 @@ public:
             .field("remote_vs_packed", remote_fps / packed_fps, 2);
     }
 
+    /// The fault-tolerance head-to-head: the same remote sweep, but one
+    /// peer of the fleet is killed mid-sweep and DegradePolicy::
+    /// DegradeLocal is on — the price of detection, range requeue and
+    /// (should the fleet empty) the coordinator-local fallback, relative
+    /// to an undisturbed packed session.
+    template <typename PackedSweep, typename DegradedSweep>
+    JsonSummary& degraded_vs_packed(const char* workload, double faults,
+                                    int peers, PackedSweep&& packed,
+                                    DegradedSweep&& degraded) {
+        const double packed_fps = faults / seconds_per_sweep(packed);
+        const double degraded_fps = faults / seconds_per_sweep(degraded);
+        std::printf(
+            "Degraded fleet (%s, %d peers, one killed mid-sweep):\n"
+            "  packed          : %12.0f faults/sec\n"
+            "  degraded remote : %12.0f faults/sec\n"
+            "  degraded/packed : %.2fx\n\n",
+            workload, peers, packed_fps, degraded_fps,
+            degraded_fps / packed_fps);
+        return field("degraded_peers", peers)
+            .field("engine_degraded_faults_per_sec", degraded_fps)
+            .field("degraded_vs_packed", degraded_fps / packed_fps, 2);
+    }
+
 private:
     JsonSummary& raw(const char* key, const std::string& json) {
         if (!body_.empty()) body_ += ',';

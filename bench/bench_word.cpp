@@ -112,6 +112,14 @@ void print_scalar_vs_packed() {
     net::LoopbackFleet fleet(kRemotePeers);
     const engine::Engine remote_engine(
         engine::make_remote_backend(fleet.take_fds()));
+    // A fleet that loses peer 0 on its first query, with the graceful
+    // degradation policy on: the resilient-throughput line.
+    net::LoopbackFleet degraded_fleet(kRemotePeers,
+                                      {{.die_after_queries = 1}, {}});
+    engine::RemoteOptions degraded_options;
+    degraded_options.degrade = engine::DegradePolicy::DegradeLocal;
+    const engine::Engine degraded_engine(engine::make_remote_backend(
+        degraded_fleet.take_fds(), degraded_options));
 
     benchutil::JsonSummary summary("word");
     summary.field("workload", "covers_everywhere")
@@ -152,6 +160,16 @@ void print_scalar_vs_packed() {
             [&] {
                 return remote_engine.detects(test, backgrounds, population,
                                              opts);
+            })
+        .degraded_vs_packed(
+            "coverage workload", faults, kRemotePeers,
+            [&] {
+                return packed_engine.detects(test, backgrounds, population,
+                                             opts);
+            },
+            [&] {
+                return degraded_engine.detects(test, backgrounds,
+                                               population, opts);
             });
     summary.print();
 }

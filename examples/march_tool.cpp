@@ -11,19 +11,27 @@
 ///       generate, then lift to W-bit words with counting backgrounds
 ///   march_tool serve <port>
 ///       run a fleet worker: answer shard queries on a TCP port
+///       (SIGTERM/SIGINT close the listener, drain connections, exit 0)
 ///   march_tool fleet "<march-test>" <fault-list> <host:port>...
 ///       verify over remote workers (the RemoteBackend coordinator)
+///   march_tool chaos "<march-test>" <kinds|all> <seed> [peers]
+///       replay one seeded chaos schedule over a loopback fleet and
+///       check the results against the local packed oracle
 ///
 /// March tests are written in the conventional notation, e.g.
 /// "{~(w0); ^(r0,w1); v(r1,w0)}"; fault lists are comma-separated families
 /// (SAF, TF, ADF, AF2, CFin, CFid, CFst, WDF, RDF, DRDF, IRF, DRF) or
 /// single primitives such as CFid<^,1>.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <mutex>
 #include <string>
+#include <sys/socket.h>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "core/generator.hpp"
@@ -31,6 +39,7 @@
 #include "engine/engine.hpp"
 #include "march/library.hpp"
 #include "march/parser.hpp"
+#include "net/chaos.hpp"
 #include "net/framing.hpp"
 #include "net/remote_backend.hpp"
 #include "net/worker.hpp"
@@ -50,7 +59,9 @@ int usage() {
                  "  march_tool word <fault-list> <width>\n"
                  "  march_tool serve <port>\n"
                  "  march_tool fleet \"<march-test>\" <fault-list> "
-                 "<host:port>...\n");
+                 "<host:port>...\n"
+                 "  march_tool chaos \"<march-test>\" "
+                 "<kill,delay,garbage,truncate,flap|all> <seed> [peers]\n");
     return 2;
 }
 
@@ -134,15 +145,49 @@ int cmd_word(const std::string& list, int width) {
     return all ? 0 : 1;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+volatile int g_serve_listen_fd = -1;
+
+extern "C" void serve_signal_handler(int) {
+    g_serve_stop = 1;
+    // Wake the blocked accept (shutdown is async-signal-safe); the loop
+    // sees g_serve_stop and drains instead of treating it as an error.
+    if (g_serve_listen_fd >= 0) ::shutdown(g_serve_listen_fd, SHUT_RDWR);
+}
+
 int cmd_serve(int port) {
     const int listen_fd = net::tcp_listen(static_cast<std::uint16_t>(port));
+    g_serve_listen_fd = listen_fd;
+    struct sigaction action{};
+    action.sa_handler = serve_signal_handler;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
     std::fprintf(stderr, "march_tool serve: listening on port %d\n", port);
+    std::vector<std::thread> sessions;
     for (;;) {
-        const int fd = net::tcp_accept(listen_fd);
-        // One detached session thread per coordinator connection; the
-        // daemon runs until killed.
-        std::thread([fd] { net::serve_connection(fd); }).detach();
+        int fd = -1;
+        try {
+            fd = net::tcp_accept(listen_fd);
+        } catch (const std::exception&) {
+            if (g_serve_stop) break;
+            throw;
+        }
+        if (g_serve_stop) {
+            ::close(fd);
+            break;
+        }
+        // One session thread per coordinator connection, joined on
+        // shutdown so in-flight queries drain before exit.
+        sessions.emplace_back([fd] { net::serve_connection(fd); });
     }
+    ::close(listen_fd);
+    std::fprintf(stderr,
+                 "march_tool serve: shutting down, draining %zu "
+                 "connection(s)\n",
+                 sessions.size());
+    for (std::thread& session : sessions)
+        if (session.joinable()) session.join();
+    return 0;
 }
 
 int cmd_fleet(const std::string& text, const std::string& list,
@@ -158,7 +203,8 @@ int cmd_fleet(const std::string& text, const std::string& list,
         fds.push_back(net::tcp_connect(
             peer.substr(0, colon),
             static_cast<std::uint16_t>(
-                std::atoi(peer.c_str() + colon + 1))));
+                std::atoi(peer.c_str() + colon + 1)),
+            /*timeout_ms=*/5000));
     }
     const engine::Engine engine(engine::make_remote_backend(std::move(fds)));
     std::printf("fleet: %zu peer(s)\n", peers.size());
@@ -170,6 +216,25 @@ int cmd_fleet(const std::string& text, const std::string& list,
         all = all && ok;
     }
     return all ? 0 : 1;
+}
+
+int cmd_chaos(const std::string& text, const std::string& kinds_csv,
+              std::uint64_t seed, int peers) {
+    net::ChaosConfig config;
+    config.seed = seed;
+    config.peers = peers;
+    config.kinds = net::parse_chaos_kinds(kinds_csv);
+    const auto report = net::run_chaos(parse_test_arg(text), config);
+    std::printf("schedule: %s\n", report.schedule.c_str());
+    for (std::size_t p = 0; p < report.connections.size(); ++p)
+        std::printf("peer %zu: %d connection(s)\n", p,
+                    report.connections[p]);
+    std::printf("%d/%d checks bit-identical to packed\n",
+                report.checks - static_cast<int>(report.mismatches.size()),
+                report.checks);
+    for (const std::string& mismatch : report.mismatches)
+        std::printf("MISMATCH: %s\n", mismatch.c_str());
+    return report.ok ? 0 : 1;
 }
 
 }  // namespace
@@ -190,6 +255,12 @@ int main(int argc, char** argv) {
             return cmd_fleet(
                 argv[2], argv[3],
                 std::vector<std::string>(argv + 4, argv + argc));
+        if (command == "chaos" && argc >= 5)
+            return cmd_chaos(
+                argv[2], argv[3],
+                static_cast<std::uint64_t>(std::strtoull(argv[4], nullptr,
+                                                         10)),
+                argc >= 6 ? std::atoi(argv[5]) : 2);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

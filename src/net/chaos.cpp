@@ -1,0 +1,244 @@
+#include "net/chaos.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/engine.hpp"
+#include "fault/kinds.hpp"
+#include "net/remote_backend.hpp"
+#include "net/worker.hpp"
+#include "util/rng.hpp"
+#include "word/background.hpp"
+
+namespace mtg::net {
+
+namespace {
+
+/// The workload every chaos cell replays: big enough that the bit
+/// population spans multiple 504-lane ranges (so re-dispatch and revival
+/// actually move ranges between peers), small enough that a CI battery of
+/// seeds stays cheap.
+constexpr sim::RunOptions kBitOpts{.memory_size = 24,
+                                   .max_any_expansion = 6};
+const std::vector<fault::FaultKind> kBitKinds = {fault::FaultKind::CfidUp0};
+const std::vector<fault::FaultKind> kWordKinds = {fault::FaultKind::CfidUp1};
+
+word::WordRunOptions word_opts() {
+    word::WordRunOptions opts;
+    opts.words = 6;
+    opts.width = 4;
+    opts.max_any_expansion = 4;
+    return opts;
+}
+
+bool bit_traces_eq(const std::vector<sim::RunTrace>& a,
+                   const std::vector<sim::RunTrace>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].detected != b[i].detected ||
+            a[i].failing_reads != b[i].failing_reads ||
+            a[i].failing_observations != b[i].failing_observations)
+            return false;
+    return true;
+}
+
+}  // namespace
+
+const char* chaos_kind_name(ChaosKind kind) {
+    switch (kind) {
+        case ChaosKind::Kill: return "kill";
+        case ChaosKind::Delay: return "delay";
+        case ChaosKind::Garbage: return "garbage";
+        case ChaosKind::Truncate: return "truncate";
+        case ChaosKind::Flap: return "flap";
+    }
+    return "?";
+}
+
+std::vector<ChaosKind> parse_chaos_kinds(const std::string& csv) {
+    if (csv == "all")
+        return {ChaosKind::Kill, ChaosKind::Delay, ChaosKind::Garbage,
+                ChaosKind::Truncate, ChaosKind::Flap};
+    std::vector<ChaosKind> kinds;
+    std::stringstream stream(csv);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+        if (token == "kill") kinds.push_back(ChaosKind::Kill);
+        else if (token == "delay") kinds.push_back(ChaosKind::Delay);
+        else if (token == "garbage") kinds.push_back(ChaosKind::Garbage);
+        else if (token == "truncate") kinds.push_back(ChaosKind::Truncate);
+        else if (token == "flap") kinds.push_back(ChaosKind::Flap);
+        else
+            throw std::runtime_error("unknown chaos kind: " + token +
+                                     " (kill|delay|garbage|truncate|flap"
+                                     "|all)");
+    }
+    if (kinds.empty()) throw std::runtime_error("empty chaos kind list");
+    return kinds;
+}
+
+ChaosSchedule ChaosSchedule::generate(std::uint64_t seed, int peers,
+                                      const std::vector<ChaosKind>& kinds) {
+    if (peers < 1) throw std::runtime_error("chaos needs >= 1 peer");
+    if (kinds.empty()) throw std::runtime_error("empty chaos kind list");
+    ChaosSchedule schedule;
+    schedule.seed = seed;
+    // Fold the peer count into the stream so (seed, 2 peers) and
+    // (seed, 4 peers) are independent draws.
+    SplitMix64 rng(seed ^
+                   (static_cast<std::uint64_t>(peers) * 0x9e3779b97f4a7c15ULL));
+    schedule.events.reserve(static_cast<std::size_t>(peers));
+    for (int p = 0; p < peers; ++p) {
+        ChaosEvent event;
+        event.peer = p;
+        event.kind = kinds[rng.below(kinds.size())];
+        event.after_queries = rng.range(1, 3);
+        if (event.kind == ChaosKind::Delay)
+            event.delay_ms = rng.range(20, 80);
+        schedule.events.push_back(event);
+    }
+    return schedule;
+}
+
+std::string ChaosSchedule::describe() const {
+    std::ostringstream out;
+    out << "seed " << seed << ":";
+    for (const ChaosEvent& event : events) {
+        out << " peer" << event.peer << "=" << chaos_kind_name(event.kind);
+        if (event.kind == ChaosKind::Delay)
+            out << "(" << event.delay_ms << "ms)";
+        else
+            out << "@q" << event.after_queries;
+    }
+    return out.str();
+}
+
+ChaosReport run_chaos(const march::MarchTest& test,
+                      const ChaosConfig& config) {
+    const ChaosSchedule schedule =
+        ChaosSchedule::generate(config.seed, config.peers, config.kinds);
+    ChaosReport report;
+    report.schedule = schedule.describe();
+
+    // Translate the schedule into worker hooks. Flapped peers reconnect
+    // with clean hooks (the event fires once), everything else is final.
+    std::vector<WorkerHooks> hooks(
+        static_cast<std::size_t>(config.peers));
+    for (const ChaosEvent& event : schedule.events) {
+        WorkerHooks& hook = hooks[static_cast<std::size_t>(event.peer)];
+        switch (event.kind) {
+            case ChaosKind::Kill:
+                hook.die_after_queries = event.after_queries;
+                break;
+            case ChaosKind::Delay: hook.delay_ms = event.delay_ms; break;
+            case ChaosKind::Garbage:
+                hook.garbage_after_queries = event.after_queries;
+                break;
+            case ChaosKind::Truncate:
+                hook.truncate_after_queries = event.after_queries;
+                break;
+            case ChaosKind::Flap:
+                hook.flap_after_queries = event.after_queries;
+                break;
+        }
+    }
+    LoopbackFleet fleet(config.peers, hooks);
+
+    std::vector<int> fds = fleet.take_fds();
+    std::vector<engine::PeerConfig> peer_configs;
+    peer_configs.reserve(fds.size());
+    for (const ChaosEvent& event : schedule.events) {
+        engine::PeerConfig peer;
+        peer.fd = fds[static_cast<std::size_t>(event.peer)];
+        if (event.kind == ChaosKind::Flap)
+            peer.connect = fleet.reconnector(event.peer);
+        peer_configs.push_back(std::move(peer));
+    }
+
+    // Aggressive supervision so schedules resolve fast, DegradeLocal so
+    // even an all-peers-dead schedule completes — and must still match.
+    engine::RemoteOptions options;
+    options.straggler_timeout_ms = 100;
+    options.heartbeat_interval_ms = 50;
+    options.suspect_after_ms = 150;
+    options.dead_after_ms = 600;
+    options.reconnect_backoff_ms = 10;
+    options.reconnect_backoff_max_ms = 100;
+    options.backoff_seed = config.seed;
+    options.degrade = engine::DegradePolicy::DegradeLocal;
+
+    {
+        const engine::Engine remote(
+            engine::make_remote_backend(std::move(peer_configs), options));
+        const engine::Engine packed;
+        const auto word_backgrounds =
+            word::counting_backgrounds(word_opts().width);
+
+        const auto check = [&report](bool equal, const char* label) {
+            ++report.checks;
+            if (!equal) {
+                report.ok = false;
+                report.mismatches.emplace_back(label);
+            }
+        };
+
+        engine::Query query;
+        query.test = test;
+        query.universe = engine::BitUniverse{kBitOpts};
+        query.kinds = kBitKinds;
+        for (const engine::Want want :
+             {engine::Want::Detects, engine::Want::DetectsAll,
+              engine::Want::Traces}) {
+            query.want = want;
+            const engine::Result got = remote.run(query);
+            const engine::Result ref = packed.run(query);
+            check(got.detected == ref.detected && got.all == ref.all &&
+                      bit_traces_eq(got.traces, ref.traces),
+                  want == engine::Want::Detects      ? "bit detects"
+                  : want == engine::Want::DetectsAll ? "bit detects_all"
+                                                     : "bit traces");
+        }
+        {
+            const engine::Result got =
+                remote.dictionary_sweep(test, kBitKinds, kBitOpts);
+            const engine::Result ref =
+                packed.dictionary_sweep(test, kBitKinds, kBitOpts);
+            check(got.instances == ref.instances &&
+                      bit_traces_eq(got.traces, ref.traces),
+                  "bit dictionary sweep");
+        }
+
+        query.universe = engine::WordUniverse{word_backgrounds, word_opts()};
+        query.kinds = kWordKinds;
+        for (const engine::Want want :
+             {engine::Want::Detects, engine::Want::DetectsAll,
+              engine::Want::Traces}) {
+            query.want = want;
+            const engine::Result got = remote.run(query);
+            const engine::Result ref = packed.run(query);
+            check(got.detected == ref.detected && got.all == ref.all &&
+                      got.word_traces == ref.word_traces,
+                  want == engine::Want::Detects      ? "word detects"
+                  : want == engine::Want::DetectsAll ? "word detects_all"
+                                                     : "word traces");
+        }
+        {
+            const engine::Result got = remote.dictionary_sweep(
+                test, word_backgrounds, kWordKinds, word_opts());
+            const engine::Result ref = packed.dictionary_sweep(
+                test, word_backgrounds, kWordKinds, word_opts());
+            check(got.instances == ref.instances &&
+                      got.word_traces == ref.word_traces,
+                  "word dictionary sweep");
+        }
+
+        report.connections.reserve(static_cast<std::size_t>(config.peers));
+        for (int p = 0; p < config.peers; ++p)
+            report.connections.push_back(fleet.connection_count(p));
+    }  // the backend (and its supervisor) must die before the fleet
+
+    return report;
+}
+
+}  // namespace mtg::net

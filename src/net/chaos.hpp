@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file chaos.hpp
+/// Deterministic chaos harness for the supervised fleet transport.
+///
+/// A ChaosSchedule is generated from a seed: every peer of a
+/// LoopbackFleet gets one failure-injection event (kill / delay /
+/// garbage / truncate / flap) with seeded parameters. run_chaos() builds
+/// the fleet under that schedule, points a supervised RemoteBackend with
+/// DegradePolicy::DegradeLocal at it, runs the full query battery (both
+/// universes × Detects / DetectsAll / Traces / dictionary sweep) and
+/// checks the **chaos invariant**: every schedule — including ones that
+/// kill every peer — must yield results bit-identical to a local
+/// PackedBackend. Nothing here uses wall-clock randomness, so any
+/// failing (seed, peers, kinds) triple replays exactly:
+///
+///     march_tool chaos "March C-" all 42 3
+///
+/// CI sweeps seeds {1..8} × peers {2, 4} over all kinds (plus one ASan
+/// leg); tests/chaos_test.cpp runs a smaller battery of the same
+/// harness.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "march/march_test.hpp"
+
+namespace mtg::net {
+
+/// The five injected failure modes (WorkerHooks knobs).
+enum class ChaosKind : std::uint8_t {
+    Kill,      ///< close the connection mid-query, never to return
+    Delay,     ///< answer every query late (straggler)
+    Garbage,   ///< reply with an undecodable frame, then close
+    Truncate,  ///< reply with a lying length prefix, then close
+    Flap,      ///< die mid-query but accept a reconnect (revivable peer)
+};
+
+[[nodiscard]] const char* chaos_kind_name(ChaosKind kind);
+
+/// Parses "kill,delay,flap" (any order) or "all". Throws
+/// std::runtime_error on an unknown name.
+[[nodiscard]] std::vector<ChaosKind> parse_chaos_kinds(
+    const std::string& csv);
+
+/// One peer's failure event.
+struct ChaosEvent {
+    int peer{0};
+    ChaosKind kind{ChaosKind::Kill};
+    int after_queries{1};  ///< 1-based query index that triggers the event
+    int delay_ms{0};       ///< Delay only
+};
+
+/// A reproducible failure plan: one event per peer, drawn from `kinds`
+/// by a SplitMix64 stream seeded with `seed`.
+struct ChaosSchedule {
+    std::uint64_t seed{0};
+    std::vector<ChaosEvent> events;
+
+    [[nodiscard]] static ChaosSchedule generate(
+        std::uint64_t seed, int peers, const std::vector<ChaosKind>& kinds);
+    [[nodiscard]] std::string describe() const;
+};
+
+struct ChaosConfig {
+    std::uint64_t seed{1};
+    int peers{2};
+    std::vector<ChaosKind> kinds{ChaosKind::Kill, ChaosKind::Delay,
+                                 ChaosKind::Garbage, ChaosKind::Truncate,
+                                 ChaosKind::Flap};
+};
+
+struct ChaosReport {
+    bool ok{true};
+    int checks{0};  ///< oracle comparisons performed
+    std::vector<std::string> mismatches;
+    std::string schedule;  ///< human-readable event list
+    /// Connections each peer accepted (1 = never reconnected). Flapped
+    /// peers climb past 1 once the supervisor revives them.
+    std::vector<int> connections;
+};
+
+/// Runs the chaos invariant check for one (test, seed, peers, kinds)
+/// cell. Deterministic given the config; never throws on divergence —
+/// the report carries the mismatches.
+[[nodiscard]] ChaosReport run_chaos(const march::MarchTest& test,
+                                    const ChaosConfig& config);
+
+}  // namespace mtg::net

@@ -1,0 +1,107 @@
+#include "net/crc32c.hpp"
+
+#include <array>
+#include <cstddef>
+
+namespace mtg::net {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82f63b78u;  // reflected 0x1EDC6F41
+
+/// 8 tables of 256 entries: table[0] is the classic byte-at-a-time
+/// table, table[k] advances a byte through k additional zero bytes —
+/// together they let the software kernel eat 8 bytes per iteration.
+struct Tables {
+    std::uint32_t t[8][256];
+};
+
+constexpr Tables build_tables() {
+    Tables tables{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t crc = i;
+        for (int bit = 0; bit < 8; ++bit)
+            crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+        tables.t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k)
+        for (std::uint32_t i = 0; i < 256; ++i)
+            tables.t[k][i] =
+                (tables.t[k - 1][i] >> 8) ^ tables.t[0][tables.t[k - 1][i] & 0xffu];
+    return tables;
+}
+
+constexpr Tables kTables = build_tables();
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define MTG_CRC32C_HW 1
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_sse42(
+    std::span<const std::uint8_t> bytes, std::uint32_t crc) {
+    std::uint64_t state = ~static_cast<std::uint64_t>(crc) & 0xffffffffull;
+    const std::uint8_t* p = bytes.data();
+    std::size_t n = bytes.size();
+    while (n >= 8) {
+        std::uint64_t chunk;
+        __builtin_memcpy(&chunk, p, 8);
+        state = __builtin_ia32_crc32di(state, chunk);
+        p += 8;
+        n -= 8;
+    }
+    std::uint32_t state32 = static_cast<std::uint32_t>(state);
+    while (n > 0) {
+        state32 = __builtin_ia32_crc32qi(state32, *p);
+        ++p;
+        --n;
+    }
+    return ~state32;
+}
+
+bool cpu_has_sse42() { return __builtin_cpu_supports("sse4.2") != 0; }
+#else
+#define MTG_CRC32C_HW 0
+bool cpu_has_sse42() { return false; }
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c_software(std::span<const std::uint8_t> bytes,
+                              std::uint32_t crc) {
+    std::uint32_t state = ~crc;
+    const std::uint8_t* p = bytes.data();
+    std::size_t n = bytes.size();
+    while (n >= 8) {
+        std::uint64_t chunk;
+        __builtin_memcpy(&chunk, p, 8);
+        chunk ^= state;
+        state = kTables.t[7][chunk & 0xffu] ^
+                kTables.t[6][(chunk >> 8) & 0xffu] ^
+                kTables.t[5][(chunk >> 16) & 0xffu] ^
+                kTables.t[4][(chunk >> 24) & 0xffu] ^
+                kTables.t[3][(chunk >> 32) & 0xffu] ^
+                kTables.t[2][(chunk >> 40) & 0xffu] ^
+                kTables.t[1][(chunk >> 48) & 0xffu] ^
+                kTables.t[0][(chunk >> 56) & 0xffu];
+        p += 8;
+        n -= 8;
+    }
+    while (n > 0) {
+        state = (state >> 8) ^ kTables.t[0][(state ^ *p) & 0xffu];
+        ++p;
+        --n;
+    }
+    return ~state;
+}
+
+bool crc32c_hardware_active() {
+    static const bool active = cpu_has_sse42();
+    return active;
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes, std::uint32_t crc) {
+#if MTG_CRC32C_HW
+    if (crc32c_hardware_active()) return crc32c_sse42(bytes, crc);
+#endif
+    return crc32c_software(bytes, crc);
+}
+
+}  // namespace mtg::net

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file crc32c.hpp
+/// CRC32C (Castagnoli, reflected polynomial 0x1EDC6F41) — the checksum
+/// the wire v2 frame trailer carries so a corrupted frame is caught at
+/// the framing layer, before the strict payload decoder ever runs.
+///
+/// The implementation dispatches once per process between a slice-by-8
+/// software kernel and the SSE4.2 crc32 instruction (the same
+/// CPUID-probe-once pattern the lane kernels use); both produce
+/// identical values, so frames checksummed on any host verify on any
+/// other.
+
+#include <cstdint>
+#include <span>
+
+namespace mtg::net {
+
+/// CRC32C of `bytes`, optionally continuing from a previous value
+/// (pass the prior return value as `crc` to checksum in pieces).
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::uint8_t> bytes,
+                                   std::uint32_t crc = 0);
+
+/// True when the SSE4.2 hardware path is active (exposed for tests,
+/// which cross-check it against the software kernel).
+[[nodiscard]] bool crc32c_hardware_active();
+
+/// The software kernel, always available — the differential reference
+/// for the hardware path.
+[[nodiscard]] std::uint32_t crc32c_software(std::span<const std::uint8_t> bytes,
+                                            std::uint32_t crc = 0);
+
+}  // namespace mtg::net

@@ -1,5 +1,6 @@
 #include "net/framing.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -11,6 +12,9 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+
+#include "net/crc32c.hpp"
+#include "util/contracts.hpp"
 
 namespace mtg::net {
 
@@ -40,14 +44,21 @@ FrameChannel::~FrameChannel() {
 }
 
 FrameChannel::FrameChannel(FrameChannel&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      frame_version_(other.frame_version_) {}
 
 FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
     if (this != &other) {
         if (fd_ >= 0) ::close(fd_);
         fd_ = std::exchange(other.fd_, -1);
+        frame_version_ = other.frame_version_;
     }
     return *this;
+}
+
+void FrameChannel::set_frame_version(int version) {
+    MTG_EXPECTS(version == 1 || version == 2);
+    frame_version_ = version;
 }
 
 bool FrameChannel::send(std::span<const std::uint8_t> payload) {
@@ -56,10 +67,17 @@ bool FrameChannel::send(std::span<const std::uint8_t> payload) {
     const auto length = static_cast<std::uint32_t>(payload.size());
     for (int i = 0; i < 4; ++i)
         header[i] = static_cast<std::uint8_t>(length >> (8 * i));
+    std::uint8_t trailer[4];
+    if (frame_version_ >= 2) {
+        const std::uint32_t crc = crc32c(payload);
+        for (int i = 0; i < 4; ++i)
+            trailer[i] = static_cast<std::uint8_t>(crc >> (8 * i));
+    }
 
-    const std::uint8_t* chunks[2] = {header, payload.data()};
-    const std::size_t sizes[2] = {sizeof(header), payload.size()};
-    for (int part = 0; part < 2; ++part) {
+    const std::uint8_t* chunks[3] = {header, payload.data(), trailer};
+    const std::size_t sizes[3] = {sizeof(header), payload.size(),
+                                  frame_version_ >= 2 ? sizeof(trailer) : 0};
+    for (int part = 0; part < 3; ++part) {
         const std::uint8_t* data = chunks[part];
         std::size_t left = sizes[part];
         while (left > 0) {
@@ -140,14 +158,31 @@ FrameChannel::RecvStatus FrameChannel::recv(std::vector<std::uint8_t>& payload,
         length |= static_cast<std::uint32_t>(header[i]) << (8 * i);
     if (length > kMaxFrameBytes) return RecvStatus::Corrupt;
     payload.resize(length);
-    if (length == 0) return RecvStatus::Ok;
-    switch (read_exact(payload.data(), length, /*timeout_ms=*/-1,
-                       /*started=*/true)) {
-        case IoStatus::Ok: return RecvStatus::Ok;
-        case IoStatus::Timeout:  // unreachable: started frames never time out
-        case IoStatus::Closed: return RecvStatus::Corrupt;
+    if (length > 0) {
+        switch (read_exact(payload.data(), length, /*timeout_ms=*/-1,
+                           /*started=*/true)) {
+            case IoStatus::Ok: break;
+            case IoStatus::Timeout:  // unreachable: started frames never
+                                     // time out
+            case IoStatus::Closed: return RecvStatus::Corrupt;
+        }
     }
-    return RecvStatus::Corrupt;
+    if (frame_version_ >= 2) {
+        // v2 trailer: CRC32C of the payload. A mismatch is Corrupt —
+        // caught here, before the payload decoder ever sees the bytes.
+        std::uint8_t trailer[4];
+        switch (read_exact(trailer, sizeof(trailer), /*timeout_ms=*/-1,
+                           /*started=*/true)) {
+            case IoStatus::Ok: break;
+            case IoStatus::Timeout:
+            case IoStatus::Closed: return RecvStatus::Corrupt;
+        }
+        std::uint32_t wire_crc = 0;
+        for (int i = 0; i < 4; ++i)
+            wire_crc |= static_cast<std::uint32_t>(trailer[i]) << (8 * i);
+        if (wire_crc != crc32c(payload)) return RecvStatus::Corrupt;
+    }
+    return RecvStatus::Ok;
 }
 
 void FrameChannel::shutdown() {
@@ -193,7 +228,57 @@ int tcp_accept(int listen_fd) {
     }
 }
 
-int tcp_connect(const std::string& host, std::uint16_t port) {
+namespace {
+
+/// One bounded non-blocking connect attempt. Returns the connected fd
+/// (restored to blocking mode) or -1.
+int connect_one(const addrinfo* ai, int timeout_ms) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) return -1;
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    int rc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno == EINTR) rc = -1, errno = EINPROGRESS;
+    if (rc != 0) {
+        if (errno != EINPROGRESS) {
+            ::close(fd);
+            return -1;
+        }
+        // Race the three-way handshake against the deadline: a blackholed
+        // host answers nothing, so without the poll() bound this is where
+        // the old implementation hung for the OS default timeout.
+        pollfd pfd{fd, POLLOUT, 0};
+        for (;;) {
+            const int ready = ::poll(&pfd, 1, timeout_ms);
+            if (ready < 0 && errno == EINTR) continue;
+            if (ready <= 0) {  // timeout or poll failure
+                ::close(fd);
+                return -1;
+            }
+            break;
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0) {
+            ::close(fd);
+            return -1;
+        }
+    }
+    if (::fcntl(fd, F_SETFL, flags) < 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+}  // namespace
+
+int tcp_connect(const std::string& host, std::uint16_t port,
+                int timeout_ms) {
     addrinfo hints{};
     hints.ai_family = AF_INET;
     hints.ai_socktype = SOCK_STREAM;
@@ -206,16 +291,13 @@ int tcp_connect(const std::string& host, std::uint16_t port) {
                                  gai_strerror(rc));
     int fd = -1;
     for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
-        fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-        if (fd < 0) continue;
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-        ::close(fd);
-        fd = -1;
+        fd = connect_one(ai, timeout_ms);
+        if (fd >= 0) break;
     }
     ::freeaddrinfo(result);
     if (fd < 0)
         throw std::runtime_error("connect " + host + ":" + service +
-                                 " failed");
+                                 " failed or timed out");
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return fd;

@@ -6,15 +6,27 @@
 /// loopback peers, TCP listen/accept/connect for real multi-process
 /// fleets).
 ///
-/// A frame is [u32 length (LE)][length payload bytes]; the payload is a
-/// wire.hpp message. Frames are bounded (kMaxFrameBytes) so a garbage
-/// length prefix is rejected as Corrupt instead of driving a giant
-/// allocation. recv() distinguishes the four outcomes the coordinator's
-/// fault-tolerance logic needs: a complete frame, a timeout with no frame
-/// started (the peer is merely slow), an orderly or errored close, and a
-/// corrupt stream (oversized frame, or a connection that died mid-frame —
-/// a truncated frame can never be resynchronized, so the channel is
-/// unusable afterwards).
+/// Two frame formats exist, negotiated per connection by the wire-level
+/// Hello exchange (see wire.hpp):
+///
+///   v1:  [u32 length (LE)][length payload bytes]
+///   v2:  [u32 length (LE)][length payload bytes][u32 CRC32C (LE)]
+///
+/// The v2 trailer is the CRC32C of the payload bytes, so garbage on the
+/// stream is caught at the frame layer (RecvStatus::Corrupt) before the
+/// strict payload decoder runs. The length prefix counts payload bytes
+/// only in both formats. A channel starts in v1 (Hello frames always
+/// travel as v1); set_frame_version(2) switches both directions once the
+/// exchange settles.
+///
+/// Frames are bounded (kMaxFrameBytes) so a garbage length prefix is
+/// rejected as Corrupt instead of driving a giant allocation. recv()
+/// distinguishes the four outcomes the coordinator's fault-tolerance
+/// logic needs: a complete frame, a timeout with no frame started (the
+/// peer is merely slow), an orderly or errored close, and a corrupt
+/// stream (oversized frame, CRC mismatch, or a connection that died
+/// mid-frame — a truncated frame can never be resynchronized, so the
+/// channel is unusable afterwards).
 ///
 /// FrameChannel is full-duplex: one thread may send while another
 /// blocks in recv (the coordinator's dispatcher/receiver split). Two
@@ -47,7 +59,7 @@ public:
         Ok,       ///< one complete frame delivered
         Timeout,  ///< deadline passed before a frame *started* arriving
         Closed,   ///< orderly EOF or connection error between frames
-        Corrupt,  ///< oversized length prefix, or EOF/error mid-frame
+        Corrupt,  ///< oversized length, CRC mismatch, or EOF/error mid-frame
     };
 
     /// Sends one frame. Returns false when the connection is dead.
@@ -65,11 +77,18 @@ public:
     /// Closed / false. Safe to call repeatedly.
     void shutdown();
 
+    /// Switches the frame format (1 = bare, 2 = CRC32C trailer) for both
+    /// send and recv. Call only between frames, after the wire Hello
+    /// exchange has settled on a version.
+    void set_frame_version(int version);
+    [[nodiscard]] int frame_version() const { return frame_version_; }
+
     [[nodiscard]] int fd() const { return fd_; }
     [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
 private:
     int fd_{-1};
+    int frame_version_{1};
 
     enum class IoStatus { Ok, Timeout, Closed };
     [[nodiscard]] IoStatus read_exact(std::uint8_t* out, std::size_t n,
@@ -83,6 +102,15 @@ private:
 /// std::runtime_error on failure.
 [[nodiscard]] int tcp_listen(std::uint16_t port);
 [[nodiscard]] int tcp_accept(int listen_fd);
-[[nodiscard]] int tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Connects with a bounded wait: the socket is put in non-blocking mode,
+/// the connect is raced against poll(), and the fd is restored to
+/// blocking before it is returned. `timeout_ms < 0` waits indefinitely
+/// (the pre-supervision behaviour); a blackholed host can no longer hang
+/// the caller for the OS default of minutes. Throws on failure or
+/// timeout. Retry-with-backoff belongs to the caller (the RemoteBackend
+/// reconnect path), not here.
+[[nodiscard]] int tcp_connect(const std::string& host, std::uint16_t port,
+                              int timeout_ms = -1);
 
 }  // namespace mtg::net

@@ -2,7 +2,7 @@
 
 /// \file remote_backend.hpp
 /// engine::RemoteBackend — the fourth Backend: fault simulation sharded
-/// across a fleet of worker peers over sockets.
+/// across a *supervised* fleet of worker peers over sockets.
 ///
 /// The coordinator splits every population into contiguous ranges aligned
 /// to whole 504-lane W=8 blocks (engine::shard_ranges — the exact split
@@ -12,7 +12,22 @@
 /// all-detected verdict ANDs (with early exit — an escaping range marks
 /// the remaining ones moot).
 ///
-/// Fault tolerance — the part a single process never needed:
+/// Peer lifecycle — every peer runs the state machine
+///
+///     Alive ──(pong overdue)──► Suspect ──(pong older still)──► Dead
+///       ▲  ◄──(pong arrives)──────┘                              │
+///       │                                                        ▼
+///       └──(connect + Hello succeed)──────────────────── Reconnecting
+///
+/// driven by a supervisor thread: Ping/Pong heartbeats age peers into
+/// Suspect (no new dispatches; in-flight replies still accepted) and
+/// Dead (connection closed, owing ranges requeued); Dead peers with a
+/// connect factory enter Reconnecting on a capped exponential backoff
+/// with deterministic seeded jitter, and a revived peer rejoins range
+/// scheduling mid-query. Receiver errors (closed/corrupt/garbage frames)
+/// short-circuit straight to Dead.
+///
+/// Fault tolerance during a query:
 ///   - Straggler re-dispatch: a range in flight longer than
 ///     `straggler_timeout_ms` becomes eligible for dispatch to a second
 ///     idle peer. Results are deterministic, so either copy is correct:
@@ -20,23 +35,36 @@
 ///     The slow peer is NOT killed — if it answers eventually (even
 ///     during a later query), its reply is matched by id and discarded
 ///     when stale.
-///   - Dead peers: a closed, errored or corrupt connection (including a
-///     worker that replies with garbage or a truncated frame) marks the
-///     peer dead; its un-replied ranges go back to the pending queue. The
-///     query fails with std::runtime_error only when every peer is dead
-///     with work outstanding.
+///   - Deadline budgets: a query older than `query_deadline_ms` stops
+///     waiting on the fleet; what happens to its unanswered ranges is the
+///     DegradePolicy's call.
+///   - Graceful local degradation: with DegradePolicy::DegradeLocal the
+///     coordinator routes pending/orphaned ranges through a local
+///     PackedBackend "peer of last resort" — the same evaluate_query a
+///     worker runs, so results stay bit-identical by construction — when
+///     every peer is dead beyond revival or the deadline has passed.
+///     FailFast preserves the PR 6 behaviour: throw.
 ///
 /// One execute runs at a time (Backend::const methods serialize on an
 /// internal mutex); each peer connection gets a persistent receiver
 /// thread that routes replies by query id, so a reply from a past
 /// re-dispatched query can never desynchronize the stream.
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "engine/backend.hpp"
 
 namespace mtg::engine {
+
+/// What to do with ranges the fleet cannot answer (all peers dead beyond
+/// revival, or the query deadline exhausted).
+enum class DegradePolicy {
+    FailFast,      ///< throw std::runtime_error (the PR 6 behaviour)
+    DegradeLocal,  ///< evaluate locally on a PackedBackend, bit-identical
+};
 
 /// Coordinator policy knobs.
 struct RemoteOptions {
@@ -48,6 +76,39 @@ struct RemoteOptions {
     /// Age after which an in-flight range may be duplicated onto another
     /// idle peer.
     int straggler_timeout_ms{1000};
+    /// Wall-clock budget for one query; past it, unanswered ranges fall
+    /// to the DegradePolicy. 0 = unlimited.
+    int query_deadline_ms{0};
+    DegradePolicy degrade{DegradePolicy::FailFast};
+    /// Heartbeat cadence: a Ping goes to every Alive/Suspect peer this
+    /// often, and pong age drives the lifecycle below. 0 disables
+    /// heartbeats (peers die only on receiver errors).
+    int heartbeat_interval_ms{500};
+    int suspect_after_ms{1500};  ///< pong older than this → Suspect
+    int dead_after_ms{3000};     ///< pong older than this → Dead
+    /// Reconnect backoff: attempt k waits
+    /// min(backoff_ms << k, backoff_max_ms) plus deterministic jitter
+    /// from `backoff_seed` (SplitMix64 — no wall-clock randomness, so
+    /// chaos schedules replay exactly).
+    int reconnect_backoff_ms{50};
+    int reconnect_backoff_max_ms{2000};
+    std::uint64_t backoff_seed{1};
+    /// Timeout for (re)connect attempts and the Hello reply.
+    int connect_timeout_ms{2000};
+    /// Frame version policy: 0 negotiates the highest both ends speak via
+    /// the Hello exchange; 1 pins bare v1 frames and skips the Hello
+    /// entirely (for pre-negotiation peers).
+    int frame_version{0};
+};
+
+/// One peer: an already-connected socket, a factory to (re)establish the
+/// connection, or both. With only `fd`, the peer is dead for good once
+/// its connection fails (the PR 6 behaviour). With `connect`, the
+/// supervisor revives it on backoff — `fd < 0` means the first
+/// connection is made by the supervisor too.
+struct PeerConfig {
+    int fd{-1};
+    std::function<int()> connect;
 };
 
 /// Builds a RemoteBackend over connected peer sockets (ownership of the
@@ -55,5 +116,9 @@ struct RemoteOptions {
 /// (same-process CI fleet) or net::tcp_connect (march_tool fleet).
 [[nodiscard]] std::unique_ptr<Backend> make_remote_backend(
     std::vector<int> peer_fds, const RemoteOptions& options = {});
+
+/// Same, from full peer configs (reconnect factories enabled).
+[[nodiscard]] std::unique_ptr<Backend> make_remote_backend(
+    std::vector<PeerConfig> peers, const RemoteOptions& options = {});
 
 }  // namespace mtg::engine

@@ -21,6 +21,19 @@
 ///             all-detected byte, or serialized guaranteed traces.
 ///   Error   — a worker-side failure description; the coordinator treats
 ///             it like a dead peer and re-dispatches the range.
+///   Hello   — frame-version negotiation: the coordinator opens every
+///             connection with Hello{max frame version it speaks}; the
+///             worker replies Hello{min(offered, own max)} and both ends
+///             switch FrameChannel to the agreed version (v2 = CRC32C
+///             trailer, see framing.hpp). Hello frames themselves always
+///             travel as v1 so any version can parse them. A worker that
+///             receives a Query as its first message is talking to a v1
+///             coordinator and simply serves v1 — old peers stay served.
+///   Ping    — coordinator heartbeat probe carrying a nonce; answered
+///   Pong    — immediately by the worker, echoing the nonce. The peer
+///             supervisor uses pong age to drive the Alive → Suspect →
+///             Dead lifecycle. Pings are not queries: hooks and query
+///             counters ignore them.
 ///
 /// Both fault universes are covered: a Query carries a universe tag and
 /// either (RunOptions + InjectedFault slice) or (WordRunOptions +
@@ -49,6 +62,11 @@ namespace mtg::net {
 /// Bumped on any incompatible payload change; peers reject mismatches.
 inline constexpr std::uint8_t kWireVersion = 1;
 
+/// Highest *frame* version this build speaks (see framing.hpp): 2 adds
+/// the CRC32C trailer. Negotiated per connection by the Hello exchange;
+/// payload encoding is version 1 in both frame formats.
+inline constexpr int kMaxFrameVersion = 2;
+
 /// Thrown by the decoder on any malformed payload.
 class WireFormatError : public std::runtime_error {
 public:
@@ -56,7 +74,14 @@ public:
         : std::runtime_error(what) {}
 };
 
-enum class MessageType : std::uint8_t { Query = 1, Result = 2, Error = 3 };
+enum class MessageType : std::uint8_t {
+    Query = 1,
+    Result = 2,
+    Error = 3,
+    Hello = 4,
+    Ping = 5,
+    Pong = 6,
+};
 enum class UniverseTag : std::uint8_t { Bit = 1, Word = 2 };
 
 /// Verdict shape on the wire. The Engine's four Want values map onto
@@ -101,17 +126,32 @@ struct WireFault {
     std::string message;
 };
 
+/// Frame-version negotiation (both directions: offer and acceptance).
+struct WireHello {
+    int max_frame_version{kMaxFrameVersion};
+};
+
+/// Heartbeat probe / reply; the nonce matches a Pong to its Ping.
+struct WirePing {
+    std::uint64_t nonce{0};
+};
+
 /// A decoded payload: `type` selects which member is meaningful.
 struct Message {
     MessageType type{MessageType::Error};
     WireQuery query;
     WireResult result;
     WireFault error;
+    WireHello hello;
+    WirePing ping;  ///< Ping and Pong both land here
 };
 
 [[nodiscard]] std::vector<std::uint8_t> encode_query(const WireQuery& query);
 [[nodiscard]] std::vector<std::uint8_t> encode_result(const WireResult& result);
 [[nodiscard]] std::vector<std::uint8_t> encode_error(const WireFault& error);
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const WireHello& hello);
+[[nodiscard]] std::vector<std::uint8_t> encode_ping(const WirePing& ping);
+[[nodiscard]] std::vector<std::uint8_t> encode_pong(const WirePing& pong);
 
 /// Decodes one payload. Throws WireFormatError on version mismatch,
 /// unknown tags, truncation or trailing bytes.

@@ -5,19 +5,17 @@
 
 #include <chrono>
 #include <exception>
-#include <memory>
 #include <utility>
 
 #include "engine/backend.hpp"
 #include "net/framing.hpp"
 #include "net/wire.hpp"
+#include "util/contracts.hpp"
 
 namespace mtg::net {
 
-namespace {
-
-/// Evaluates one decoded shard query on the local packed backend.
-WireResult evaluate(const engine::Backend& backend, const WireQuery& query) {
+WireResult evaluate_query(const engine::Backend& backend,
+                          const WireQuery& query) {
     WireResult result;
     result.id = query.id;
     result.universe = query.universe;
@@ -55,14 +53,15 @@ WireResult evaluate(const engine::Backend& backend, const WireQuery& query) {
     return result;
 }
 
-}  // namespace
-
 void serve_connection(int fd, const WorkerHooks& hooks) {
     FrameChannel channel(fd);
     const std::unique_ptr<engine::Backend> backend =
         engine::make_packed_backend();
+    const int own_max = hooks.max_frame_version > 0 ? hooks.max_frame_version
+                                                    : kMaxFrameVersion;
     std::vector<std::uint8_t> payload;
     int queries = 0;
+    bool first_message = true;
     for (;;) {
         const FrameChannel::RecvStatus status =
             channel.recv(payload, /*timeout_ms=*/-1);
@@ -77,6 +76,29 @@ void serve_connection(int fd, const WorkerHooks& hooks) {
             (void)channel.send(encode_error({0, e.what()}));
             return;
         }
+
+        // Negotiation and heartbeat traffic is not a query: no hooks, no
+        // counters.
+        if (message.type == MessageType::Hello) {
+            if (!first_message) {
+                (void)channel.send(
+                    encode_error({0, "Hello only opens a connection"}));
+                return;
+            }
+            first_message = false;
+            const int agreed =
+                std::min(message.hello.max_frame_version, own_max);
+            // The acceptance travels in the offerer's frame version (v1),
+            // THEN the channel switches.
+            if (!channel.send(encode_hello({agreed}))) return;
+            channel.set_frame_version(agreed);
+            continue;
+        }
+        first_message = false;
+        if (message.type == MessageType::Ping) {
+            if (!channel.send(encode_pong({message.ping.nonce}))) return;
+            continue;
+        }
         if (message.type != MessageType::Query) {
             (void)channel.send(
                 encode_error({0, "expected a Query message"}));
@@ -84,8 +106,10 @@ void serve_connection(int fd, const WorkerHooks& hooks) {
         }
 
         ++queries;
-        if (hooks.die_after_queries >= 0 &&
-            queries >= hooks.die_after_queries)
+        if ((hooks.die_after_queries >= 0 &&
+             queries >= hooks.die_after_queries) ||
+            (hooks.flap_after_queries >= 0 &&
+             queries >= hooks.flap_after_queries))
             return;  // killed mid-query: no reply, connection closes
         if (hooks.delay_ms > 0)
             std::this_thread::sleep_for(
@@ -116,24 +140,33 @@ void serve_connection(int fd, const WorkerHooks& hooks) {
 
         std::vector<std::uint8_t> reply;
         try {
-            reply = encode_result(evaluate(*backend, message.query));
+            reply = encode_result(evaluate_query(*backend, message.query));
         } catch (const std::exception& e) {
             reply = encode_error({message.query.id, e.what()});
         }
         if (!channel.send(reply)) return;
+        if (hooks.answered_queries != nullptr)
+            hooks.answered_queries->fetch_add(1, std::memory_order_relaxed);
     }
 }
 
 LoopbackFleet::LoopbackFleet(int peers, std::vector<WorkerHooks> peer_hooks) {
     coordinator_fds_.reserve(static_cast<std::size_t>(peers));
     workers_.reserve(static_cast<std::size_t>(peers));
+    reconnect_hooks_.resize(static_cast<std::size_t>(peers));
+    connection_counts_.assign(static_cast<std::size_t>(peers), 1);
+    answered_.reserve(static_cast<std::size_t>(peers));
+    for (int i = 0; i < peers; ++i)
+        answered_.push_back(std::make_unique<std::atomic<int>>(0));
     for (int i = 0; i < peers; ++i) {
         const auto [coordinator_fd, worker_fd] = socket_pair();
         coordinator_fds_.push_back(coordinator_fd);
-        const WorkerHooks hooks =
-            static_cast<std::size_t>(i) < peer_hooks.size()
-                ? peer_hooks[static_cast<std::size_t>(i)]
-                : WorkerHooks{};
+        WorkerHooks hooks = static_cast<std::size_t>(i) < peer_hooks.size()
+                                ? peer_hooks[static_cast<std::size_t>(i)]
+                                : WorkerHooks{};
+        if (hooks.answered_queries == nullptr)
+            hooks.answered_queries =
+                answered_[static_cast<std::size_t>(i)].get();
         workers_.emplace_back(
             [worker_fd, hooks] { serve_connection(worker_fd, hooks); });
     }
@@ -142,16 +175,57 @@ LoopbackFleet::LoopbackFleet(int peers, std::vector<WorkerHooks> peer_hooks) {
 LoopbackFleet::~LoopbackFleet() {
     // Any fds not taken by a coordinator are closed here, which unblocks
     // the matching workers; taken fds are closed by their FrameChannels.
-    for (const int fd : coordinator_fds_)
+    std::vector<int> fds;
+    std::vector<std::thread> workers;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        fds = std::move(coordinator_fds_);
+        workers = std::move(workers_);
+    }
+    for (const int fd : fds)
         if (fd >= 0) ::shutdown(fd, SHUT_RDWR), ::close(fd);
-    for (std::thread& worker : workers_)
+    for (std::thread& worker : workers)
         if (worker.joinable()) worker.join();
 }
 
 std::vector<int> LoopbackFleet::take_fds() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::vector<int> fds = std::move(coordinator_fds_);
     coordinator_fds_.assign(fds.size(), -1);
     return fds;
+}
+
+void LoopbackFleet::set_reconnect_hooks(int peer, WorkerHooks hooks) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    reconnect_hooks_.at(static_cast<std::size_t>(peer)) = hooks;
+}
+
+std::function<int()> LoopbackFleet::reconnector(int peer) {
+    MTG_EXPECTS(peer >= 0 &&
+                static_cast<std::size_t>(peer) < reconnect_hooks_.size());
+    return [this, peer] {
+        const auto [coordinator_fd, worker_fd] = socket_pair();
+        const std::lock_guard<std::mutex> lock(mutex_);
+        WorkerHooks hooks =
+            reconnect_hooks_[static_cast<std::size_t>(peer)];
+        if (hooks.answered_queries == nullptr)
+            hooks.answered_queries =
+                answered_[static_cast<std::size_t>(peer)].get();
+        workers_.emplace_back(
+            [worker_fd, hooks] { serve_connection(worker_fd, hooks); });
+        ++connection_counts_[static_cast<std::size_t>(peer)];
+        return coordinator_fd;
+    };
+}
+
+int LoopbackFleet::connection_count(int peer) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return connection_counts_.at(static_cast<std::size_t>(peer));
+}
+
+int LoopbackFleet::queries_answered(int peer) const {
+    return answered_.at(static_cast<std::size_t>(peer))
+        ->load(std::memory_order_relaxed);
 }
 
 }  // namespace mtg::net

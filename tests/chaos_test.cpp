@@ -1,0 +1,84 @@
+/// The chaos invariant: every seeded failure schedule — peers killed,
+/// delayed, corrupting, truncating or flapping, in any combination, down
+/// to every peer dead — must leave the supervised RemoteBackend's
+/// results bit-identical to a local PackedBackend. The harness
+/// (net/chaos.hpp) runs all four Engine Wants over both universes per
+/// schedule; CI replays a wider seed battery through `march_tool chaos`.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "march/library.hpp"
+#include "net/chaos.hpp"
+
+namespace mtg::net {
+namespace {
+
+std::string failure_text(const ChaosReport& report) {
+    std::ostringstream out;
+    out << report.schedule;
+    for (const std::string& mismatch : report.mismatches)
+        out << " MISMATCH:" << mismatch;
+    return out.str();
+}
+
+TEST(Chaos, EverySeededScheduleMatchesThePackedOracle) {
+    for (const int peers : {1, 2, 3}) {
+        for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+            ChaosConfig config;
+            config.seed = seed;
+            config.peers = peers;
+            const ChaosReport report =
+                run_chaos(march::march_c_minus(), config);
+            EXPECT_TRUE(report.ok)
+                << peers << " peers, " << failure_text(report);
+            EXPECT_EQ(report.checks, 8)
+                << peers << " peers, seed " << seed;
+        }
+    }
+}
+
+TEST(Chaos, SingleKindSchedulesMatchThePackedOracle) {
+    // Each failure mode in isolation, including the all-peers-fatal ones
+    // (kill/garbage/truncate on every peer force DegradeLocal to carry
+    // the whole query).
+    for (const ChaosKind kind :
+         {ChaosKind::Kill, ChaosKind::Delay, ChaosKind::Garbage,
+          ChaosKind::Truncate, ChaosKind::Flap}) {
+        ChaosConfig config;
+        config.seed = 11;
+        config.peers = 2;
+        config.kinds = {kind};
+        const ChaosReport report = run_chaos(march::march_c_minus(), config);
+        EXPECT_TRUE(report.ok)
+            << chaos_kind_name(kind) << ": " << failure_text(report);
+    }
+}
+
+TEST(Chaos, SchedulesAreDeterministicInTheSeed) {
+    const std::vector<ChaosKind> kinds = parse_chaos_kinds("all");
+    const ChaosSchedule a = ChaosSchedule::generate(99, 4, kinds);
+    const ChaosSchedule b = ChaosSchedule::generate(99, 4, kinds);
+    EXPECT_EQ(a.describe(), b.describe());
+    const ChaosSchedule other = ChaosSchedule::generate(100, 4, kinds);
+    EXPECT_NE(a.describe(), other.describe());
+    // The peer count is folded into the stream: prefixes differ too.
+    const ChaosSchedule fewer = ChaosSchedule::generate(99, 2, kinds);
+    EXPECT_NE(a.describe().substr(0, fewer.describe().size()),
+              fewer.describe());
+}
+
+TEST(Chaos, ParseKindsAcceptsListsAndRejectsGarbage) {
+    EXPECT_EQ(parse_chaos_kinds("all").size(), 5u);
+    const auto kinds = parse_chaos_kinds("flap,kill");
+    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_EQ(kinds[0], ChaosKind::Flap);
+    EXPECT_EQ(kinds[1], ChaosKind::Kill);
+    EXPECT_THROW((void)parse_chaos_kinds("meteor"), std::runtime_error);
+    EXPECT_THROW((void)parse_chaos_kinds(""), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mtg::net

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <stdexcept>
 #include <thread>
@@ -417,9 +418,142 @@ TEST(EngineRemote, AllPeersDeadThrows) {
         sim::full_population(fault::FaultKind::Saf0, opts.memory_size);
 
     net::LoopbackFleet fleet(1, {{.die_after_queries = 1}});
-    const Engine remote(engine::make_remote_backend(fleet.take_fds()));
+    engine::RemoteOptions options;  // FailFast is the default; pin it
+    options.degrade = engine::DegradePolicy::FailFast;
+    const Engine remote(
+        engine::make_remote_backend(fleet.take_fds(), options));
     EXPECT_THROW((void)remote.detects(test, population, opts),
                  std::runtime_error);
+}
+
+TEST(EngineRemote, DegradeLocalCompletesWithAllPeersDead) {
+    // The only peer dies mid-query and can never come back; with
+    // DegradeLocal the coordinator routes every unanswered range through
+    // its local packed "peer of last resort" — same verdicts, no throw.
+    const sim::RunOptions opts{.memory_size = 24, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+
+    const Engine packed;
+    const auto want_detects = packed.detects(test, population, opts);
+    const auto want_traces = packed.traces(test, population, opts);
+
+    net::LoopbackFleet fleet(1, {{.die_after_queries = 1}});
+    engine::RemoteOptions options;
+    options.degrade = engine::DegradePolicy::DegradeLocal;
+    const Engine remote(
+        engine::make_remote_backend(fleet.take_fds(), options));
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+    // Follow-up queries on the now-peerless session degrade too.
+    expect_traces_eq(remote.traces(test, population, opts), want_traces,
+                     "degraded traces");
+}
+
+TEST(EngineRemote, DeadlineBudgetDegradesLocally) {
+    // The only peer answers far too slowly; the per-query deadline stops
+    // the wait and DegradeLocal completes the query with packed-identical
+    // results instead of throwing.
+    const sim::RunOptions opts{.memory_size = 24, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+
+    const Engine packed;
+    const auto want_detects = packed.detects(test, population, opts);
+
+    net::LoopbackFleet fleet(1, {{.delay_ms = 2500}});
+    engine::RemoteOptions options;
+    options.query_deadline_ms = 200;
+    options.degrade = engine::DegradePolicy::DegradeLocal;
+    const Engine remote(
+        engine::make_remote_backend(fleet.take_fds(), options));
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+    // Well under the peer's 2.5 s answer: the deadline cut the wait.
+    EXPECT_LT(std::chrono::steady_clock::now() - start,
+              std::chrono::seconds(2));
+}
+
+TEST(EngineRemote, DeadlineBudgetFailFastThrows) {
+    const sim::RunOptions opts{.memory_size = 8, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::Saf0, opts.memory_size);
+
+    net::LoopbackFleet fleet(1, {{.delay_ms = 2500}});
+    engine::RemoteOptions options;
+    options.query_deadline_ms = 200;
+    options.degrade = engine::DegradePolicy::FailFast;
+    const Engine remote(
+        engine::make_remote_backend(fleet.take_fds(), options));
+    EXPECT_THROW((void)remote.detects(test, population, opts),
+                 std::runtime_error);
+}
+
+TEST(EngineRemote, FlappedPeerReconnectsAndServesRanges) {
+    // The ONLY peer flaps (dies mid-query but its fleet accepts a
+    // reconnect) and the policy is FailFast — so the query can complete
+    // only if the supervisor actually revives the peer and the revived
+    // connection serves the requeued ranges.
+    const sim::RunOptions opts{.memory_size = 24, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+
+    const Engine packed;
+    const auto want_detects = packed.detects(test, population, opts);
+
+    net::LoopbackFleet fleet(1, {{.flap_after_queries = 1}});
+    std::vector<engine::PeerConfig> peers(1);
+    peers[0].fd = fleet.take_fds()[0];
+    peers[0].connect = fleet.reconnector(0);
+    engine::RemoteOptions options;
+    options.degrade = engine::DegradePolicy::FailFast;
+    options.reconnect_backoff_ms = 10;
+    options.reconnect_backoff_max_ms = 100;
+    const Engine remote(
+        engine::make_remote_backend(std::move(peers), options));
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+    EXPECT_GE(fleet.connection_count(0), 2);  // it really reconnected
+    EXPECT_GE(fleet.queries_answered(0), 1);  // and served ranges after
+    // The revived session keeps working.
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+}
+
+TEST(EngineRemote, PinnedV1FramesStillServe) {
+    // frame_version = 1 skips the Hello exchange and speaks bare v1
+    // frames — the pre-negotiation wire format keeps working end to end.
+    const sim::RunOptions opts{.memory_size = 24, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+
+    const Engine packed;
+    const auto want_detects = packed.detects(test, population, opts);
+
+    net::LoopbackFleet fleet(2);
+    engine::RemoteOptions options;
+    options.frame_version = 1;
+    const Engine remote(
+        engine::make_remote_backend(fleet.take_fds(), options));
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+}
+
+TEST(EngineRemote, NegotiatesDownToV1OnlyPeers) {
+    // One worker only admits frame v1 in the Hello exchange while the
+    // other speaks v2: per-connection negotiation keeps both serving.
+    const sim::RunOptions opts{.memory_size = 24, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+
+    const Engine packed;
+    const auto want_detects = packed.detects(test, population, opts);
+
+    net::LoopbackFleet fleet(2, {{.max_frame_version = 1}, {}});
+    const Engine remote(engine::make_remote_backend(fleet.take_fds()));
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
 }
 
 TEST(EngineRemote, EmptyPopulationNeedsNoNetwork) {

@@ -3,18 +3,27 @@
 /// every malformed payload must be rejected with WireFormatError (never
 /// accepted, never a crash), and FrameChannel must report the exact
 /// failure taxonomy (Timeout before a frame, Corrupt mid-frame) the
-/// coordinator's fault tolerance is built on.
+/// coordinator's fault tolerance is built on. Also covers the wire v2
+/// frame format (CRC32C trailer, Hello negotiation, v1 compatibility),
+/// the partial-write send path and the bounded tcp_connect.
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "march/library.hpp"
+#include "net/crc32c.hpp"
 #include "net/framing.hpp"
 #include "net/wire.hpp"
+#include "net/worker.hpp"
 #include "word/background.hpp"
 
 namespace mtg::net {
@@ -215,7 +224,212 @@ TEST(Framing, RoundTripAndTimeoutTaxonomy) {
     EXPECT_TRUE(payload.empty());
 }
 
+TEST(Crc32c, KnownAnswerVectors) {
+    // The CRC-32C (Castagnoli) check value: crc of the ASCII digits
+    // "123456789" is 0xE3069283 in every published table.
+    const std::uint8_t digits[] = {'1', '2', '3', '4', '5',
+                                   '6', '7', '8', '9'};
+    EXPECT_EQ(crc32c(digits), 0xE3069283u);
+    EXPECT_EQ(crc32c({}), 0u);
+    // 32 zero bytes: another standard vector (iSCSI test pattern).
+    const std::vector<std::uint8_t> zeros(32, 0);
+    EXPECT_EQ(crc32c(zeros), 0x8A9136AAu);
+    // Incremental == one-shot.
+    EXPECT_EQ(crc32c(std::span(digits).subspan(4),
+                     crc32c(std::span(digits).first(4))),
+              0xE3069283u);
+}
+
+TEST(Crc32c, HardwareAndSoftwareKernelsAgree) {
+    // Every length 0..130 with varying alignment offsets: the SSE4.2
+    // path (when this CPU has it) and the slice-by-8 tables must be the
+    // same function.
+    std::vector<std::uint8_t> bytes(160);
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+        bytes[i] = static_cast<std::uint8_t>(i * 167 + 13);
+    for (std::size_t offset : {0u, 1u, 3u, 7u}) {
+        for (std::size_t len = 0; len + offset <= 130; ++len) {
+            const std::span<const std::uint8_t> slice(bytes.data() + offset,
+                                                      len);
+            EXPECT_EQ(crc32c(slice), crc32c_software(slice, 0))
+                << "offset " << offset << " len " << len;
+        }
+    }
+}
+
+TEST(Framing, V2FramesRoundTripAndRejectCorruption) {
+    const auto [a_fd, b_fd] = socket_pair();
+    FrameChannel a(a_fd);
+    FrameChannel b(b_fd);
+    a.set_frame_version(2);
+    b.set_frame_version(2);
+
+    const std::vector<std::uint8_t> frame = {9, 8, 7, 6, 5, 4};
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(a.send(frame));
+    ASSERT_TRUE(a.send({}));  // empty frames carry a CRC of nothing
+    EXPECT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Ok);
+    EXPECT_EQ(payload, frame);
+    EXPECT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Ok);
+    EXPECT_TRUE(payload.empty());
+
+    // A bit flipped in the payload: the CRC trailer catches it at the
+    // frame layer — RecvStatus::Corrupt, before any decode_message.
+    std::vector<std::uint8_t> raw;
+    const std::uint32_t length = 4;
+    const std::uint8_t body[] = {0xaa, 0xbb, 0xcc, 0xdd};
+    const std::uint32_t crc = crc32c(body);
+    for (int shift : {0, 8, 16, 24})
+        raw.push_back(static_cast<std::uint8_t>(length >> shift));
+    raw.insert(raw.end(), body, body + sizeof(body));
+    raw[4] ^= 0x01;  // corrupt after the CRC was computed
+    for (int shift : {0, 8, 16, 24})
+        raw.push_back(static_cast<std::uint8_t>(crc >> shift));
+    ASSERT_EQ(::write(a.fd(), raw.data(), raw.size()),
+              static_cast<ssize_t>(raw.size()));
+    EXPECT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Corrupt);
+}
+
+TEST(Framing, HelloNegotiatesV2WithAWorker) {
+    const auto [coordinator_fd, worker_fd] = socket_pair();
+    std::thread worker([fd = worker_fd] { serve_connection(fd); });
+    FrameChannel channel(coordinator_fd);
+
+    ASSERT_TRUE(channel.send(encode_hello({kMaxFrameVersion})));
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(channel.recv(payload, 2000), FrameChannel::RecvStatus::Ok);
+    const Message reply = decode_message(payload);
+    ASSERT_EQ(reply.type, MessageType::Hello);
+    EXPECT_EQ(reply.hello.max_frame_version, 2);
+    channel.set_frame_version(2);
+
+    // The agreed connection really speaks v2: a query round-trips and a
+    // ping is answered, all CRC-framed.
+    ASSERT_TRUE(channel.send(encode_ping({77})));
+    ASSERT_EQ(channel.recv(payload, 2000), FrameChannel::RecvStatus::Ok);
+    const Message pong = decode_message(payload);
+    ASSERT_EQ(pong.type, MessageType::Pong);
+    EXPECT_EQ(pong.ping.nonce, 77u);
+
+    WireQuery query = sample_bit_query();
+    query.range_begin = 0;
+    query.range_end = query.bit_faults.size();
+    ASSERT_TRUE(channel.send(encode_query(query)));
+    ASSERT_EQ(channel.recv(payload, 5000), FrameChannel::RecvStatus::Ok);
+    const Message result = decode_message(payload);
+    ASSERT_EQ(result.type, MessageType::Result);
+    EXPECT_EQ(result.result.id, query.id);
+
+    channel.shutdown();
+    worker.join();
+}
+
+TEST(Framing, HelloNegotiatesDownToV1OnlyWorker) {
+    const auto [coordinator_fd, worker_fd] = socket_pair();
+    std::thread worker([fd = worker_fd] {
+        serve_connection(fd, {.max_frame_version = 1});
+    });
+    FrameChannel channel(coordinator_fd);
+
+    ASSERT_TRUE(channel.send(encode_hello({kMaxFrameVersion})));
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(channel.recv(payload, 2000), FrameChannel::RecvStatus::Ok);
+    const Message reply = decode_message(payload);
+    ASSERT_EQ(reply.type, MessageType::Hello);
+    EXPECT_EQ(reply.hello.max_frame_version, 1);
+    // Both ends stay on bare v1 frames; queries still work.
+    WireQuery query = sample_bit_query();
+    query.range_begin = 0;
+    query.range_end = query.bit_faults.size();
+    ASSERT_TRUE(channel.send(encode_query(query)));
+    ASSERT_EQ(channel.recv(payload, 5000), FrameChannel::RecvStatus::Ok);
+    EXPECT_EQ(decode_message(payload).type, MessageType::Result);
+
+    channel.shutdown();
+    worker.join();
+}
+
+TEST(Framing, V1CoordinatorIsServedWithoutHello) {
+    // A pre-negotiation coordinator opens with a Query; the worker must
+    // serve bare v1 frames exactly as before.
+    const auto [coordinator_fd, worker_fd] = socket_pair();
+    std::thread worker([fd = worker_fd] { serve_connection(fd); });
+    FrameChannel channel(coordinator_fd);
+
+    WireQuery query = sample_bit_query();
+    query.range_begin = 0;
+    query.range_end = query.bit_faults.size();
+    ASSERT_TRUE(channel.send(encode_query(query)));
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(channel.recv(payload, 5000), FrameChannel::RecvStatus::Ok);
+    const Message result = decode_message(payload);
+    ASSERT_EQ(result.type, MessageType::Result);
+    EXPECT_EQ(result.result.id, query.id);
+
+    channel.shutdown();
+    worker.join();
+}
+
+TEST(Framing, PartialWritesRoundTripLargeFrames) {
+    // Shrink the send buffer so ::send() must return short counts: the
+    // send loop has to keep resuming mid-frame (and mid-chunk) until a
+    // multi-MiB frame is fully on the wire.
+    const auto [a_fd, b_fd] = socket_pair();
+    const int tiny = 4096;
+    ASSERT_EQ(::setsockopt(a_fd, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof(tiny)),
+              0);
+    FrameChannel a(a_fd);
+    FrameChannel b(b_fd);
+    a.set_frame_version(2);  // CRC trailer rides along as a third chunk
+    b.set_frame_version(2);
+
+    std::vector<std::uint8_t> big(3u << 20);
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<std::uint8_t>(i * 131 + 7);
+    std::thread sender([&a, &big] { ASSERT_TRUE(a.send(big)); });
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(b.recv(payload, 10000), FrameChannel::RecvStatus::Ok);
+    sender.join();
+    EXPECT_EQ(payload, big);
+}
+
+TEST(Framing, TcpConnectTimesOutInsteadOfHanging) {
+    // A listener whose accept backlog is saturated and never drained
+    // behaves like a blackholed host: the SYN is queued, the handshake
+    // never completes, and a blocking connect() would hang for the OS
+    // default of minutes. tcp_connect must give up within its timeout.
+    const int listen_fd = tcp_listen(0);
+    ::listen(listen_fd, 0);  // shrink the backlog to its minimum
+    sockaddr_in addr{};
+    socklen_t addr_len = sizeof(addr);
+    ASSERT_EQ(::getsockname(listen_fd,
+                            reinterpret_cast<sockaddr*>(&addr), &addr_len),
+              0);
+    const std::uint16_t port = ntohs(addr.sin_port);
+
+    std::vector<int> held;
+    bool timed_out = false;
+    const auto start = std::chrono::steady_clock::now();
+    for (int attempt = 0; attempt < 16 && !timed_out; ++attempt) {
+        try {
+            held.push_back(tcp_connect("127.0.0.1", port,
+                                       /*timeout_ms=*/250));
+        } catch (const std::runtime_error&) {
+            timed_out = true;
+        }
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_TRUE(timed_out);
+    EXPECT_LT(elapsed, std::chrono::seconds(10));
+    for (const int fd : held) ::close(fd);
+    ::close(listen_fd);
+}
+
 TEST(Framing, CloseAndCorruptionAreDistinguished) {
+    // Note on EINTR: read_exact/send treat EINTR as "zero bytes moved,
+    // try again" — a signal delivered mid-frame must never surface as
+    // Closed or Corrupt, only a real EOF/error can. The taxonomy below
+    // therefore only uses genuine closes and malformed prefixes.
     {
         // Orderly close between frames -> Closed.
         const auto [a_fd, b_fd] = socket_pair();
