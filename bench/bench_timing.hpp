@@ -10,9 +10,28 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <set>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 namespace mtg::benchutil {
+
+/// Peak RSS of the process in MiB (getrusage ru_maxrss; 0 where
+/// unavailable). The high-water mark is monotonic: sample before and
+/// after a leg and subtract, and run memory-sensitive legs before
+/// anything that inflates the peak for the whole process.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+    rusage usage{};
+    if (getrusage(RUSAGE_SELF, &usage) == 0)
+        return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#endif
+    return 0.0;
+}
 
 /// Seconds per invocation of `sweep`: one warm-up, then enough
 /// repetitions for a stable figure.
@@ -80,9 +99,24 @@ public:
 
     /// "BENCH_<tag>.json {...}" plus a trailing blank line, mirroring the
     /// historical hand-rolled format byte-for-byte where it matters (the
-    /// CI greps for the BENCH_<tag>.json prefix).
+    /// CI greps for the BENCH_<tag>.json prefix). Also appends the object
+    /// to $MTG_BENCH_DIR/BENCH_<tag>.json (default: the current
+    /// directory) as one JSON object per line — the file the committed
+    /// dev-box baselines and the CI regression diff (scripts/
+    /// bench_diff.py) read. The first summary of a tag per process
+    /// truncates the file so stale lines from a previous run never mix
+    /// with fresh ones.
     void print() const {
         std::printf("BENCH_%s.json {%s}\n\n", tag_.c_str(), body_.c_str());
+        const char* dir = std::getenv("MTG_BENCH_DIR");
+        const std::string path = std::string(dir && *dir ? dir : ".") +
+                                 "/BENCH_" + tag_ + ".json";
+        static std::set<std::string> seen;
+        const char* mode = seen.insert(path).second ? "w" : "a";
+        if (std::FILE* f = std::fopen(path.c_str(), mode)) {
+            std::fprintf(f, "{%s}\n", body_.c_str());
+            std::fclose(f);
+        }
     }
 
     /// The engine packed-vs-sharded head-to-head both benches report:

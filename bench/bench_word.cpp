@@ -26,6 +26,120 @@ namespace {
 using namespace mtg;
 using benchutil::seconds_per_sweep;
 
+/// Sparse observation grids (PR 8), three legs. Runs FIRST in main():
+/// ru_maxrss is monotonic, so the RSS head-to-head must precede anything
+/// that inflates the process high-water mark, and within the leg the
+/// sparse run must precede the dense one.
+void print_sparse_grids() {
+    const auto& test = march::march_c_minus();
+    util::ThreadPool serial(1);
+
+    // Leg 1 — trace memory at words=2048 × width=8: the dense fallback
+    // materialises the full (background × site × word × bit) slab, the
+    // sparse runs hold only the touched cells. Explicit W=8 so the block
+    // width (and so the dense slab) matches the production shape.
+    word::WordRunOptions big;
+    big.words = 2048;
+    big.width = 8;
+    const auto big_backgrounds = word::counting_backgrounds(big.width);
+    std::vector<word::InjectedBitFault> big_population;
+    big_population.push_back(
+        word::InjectedBitFault::single(fault::FaultKind::Saf0, {0, 0}));
+    big_population.push_back(word::InjectedBitFault::coupling(
+        fault::FaultKind::CfidUp1, {100, 3}, {2000, 3}));
+    big_population.push_back(word::InjectedBitFault::coupling(
+        fault::FaultKind::CfinDown, {1024, 1}, {1024, 6}));
+    const word::WordBatchRunner big_runner(test, big_backgrounds, big,
+                                           &serial, 8);
+    // Warm up once so the (path-independent) simulation scratch — plane
+    // vectors, per-fault tables, result buffers — is already in the
+    // baseline; the deltas below then isolate the trace-grid memory,
+    // which is what the sparse runs change.
+    (void)big_runner.run(big_population);
+    const double rss_start = benchutil::peak_rss_mb();
+    const auto sparse_traces = big_runner.run(big_population);
+    const double rss_sparse = benchutil::peak_rss_mb();
+    sim::set_dense_trace_grids(true);
+    const auto dense_traces = big_runner.run(big_population);
+    sim::set_dense_trace_grids(false);
+    const double rss_dense = benchutil::peak_rss_mb();
+    if (dense_traces.size() != sparse_traces.size()) std::abort();
+    // The high-water mark cannot shrink, so each delta is that leg's own
+    // allocation ceiling; clamp to one page so the ratio stays finite.
+    const double sparse_mb = std::max(rss_sparse - rss_start, 4.0 / 1024);
+    const double dense_mb = std::max(rss_dense - rss_sparse, 4.0 / 1024);
+
+    // Leg 2 — words=4096 × width=8 completes under the sparse grids (the
+    // dense slab for this shape is not allocatable on a dev box).
+    word::WordRunOptions huge;
+    huge.words = 4096;
+    huge.width = 8;
+    std::vector<word::InjectedBitFault> huge_population = big_population;
+    huge_population.push_back(word::InjectedBitFault::coupling(
+        fault::FaultKind::CfidDown0, {4095, 7}, {0, 0}));
+    const word::WordBatchRunner huge_runner(test, big_backgrounds, huge,
+                                            &serial, 8);
+    const double huge_s = seconds_per_sweep(
+        [&] { return huge_runner.run(huge_population).size(); });
+    const double huge_fps =
+        static_cast<double>(huge_population.size()) / huge_s;
+
+    // Leg 3 — throughput head-to-head on the existing 32 words × 16 bits
+    // trace workload: the sparse path must not lose to the dense grid
+    // where the dense grid is still comfortable.
+    word::WordRunOptions wide;
+    wide.words = 32;
+    wide.width = 16;
+    wide.max_any_expansion = 4;
+    const auto wide_backgrounds = word::counting_backgrounds(wide.width);
+    const auto wide_population =
+        word::coverage_population(fault::FaultKind::CfidUp1, wide);
+    const word::WordBatchRunner wide_runner(test, wide_backgrounds, wide,
+                                            &serial);
+    const double sparse_s = seconds_per_sweep(
+        [&] { return wide_runner.run(wide_population).size(); });
+    sim::set_dense_trace_grids(true);
+    const double dense_s = seconds_per_sweep(
+        [&] { return wide_runner.run(wide_population).size(); });
+    sim::set_dense_trace_grids(false);
+    const auto wide_faults = static_cast<double>(wide_population.size());
+    const double sparse_fps = wide_faults / sparse_s;
+    const double dense_fps = wide_faults / dense_s;
+
+    std::printf(
+        "Sparse observation grids (March C-, width 8):\n"
+        "  trace RSS, words=2048   : dense %8.1f MiB   sparse %8.1f MiB "
+        "(%.0fx smaller)\n"
+        "  words=4096 extraction   : %12.0f faults/sec (dense: "
+        "unallocatable)\n"
+        "Trace throughput (March C-, 32 words x 16 bits, %zu placements, "
+        "1 thread):\n"
+        "  dense grid (PR4)        : %12.0f faults/sec\n"
+        "  sparse runs             : %12.0f faults/sec  (%.2fx)\n\n",
+        dense_mb, sparse_mb, dense_mb / sparse_mb, huge_fps,
+        wide_population.size(), dense_fps, sparse_fps,
+        sparse_fps / dense_fps);
+
+    benchutil::JsonSummary summary("word");
+    summary.field("workload", "sparse_grids")
+        .field("march", "March C-")
+        .field("rss_words", big.words)
+        .field("rss_width", big.width)
+        .field("trace_peak_rss_mb_before", dense_mb, 1)
+        .field("trace_peak_rss_mb_after", sparse_mb, 1)
+        .field("trace_rss_shrink", dense_mb / sparse_mb, 1)
+        .field("huge_words", huge.words)
+        .field("huge_population", huge_population.size())
+        .field("huge_words_faults_per_sec", huge_fps)
+        .field("sparse_words", wide.words)
+        .field("sparse_width", wide.width)
+        .field("sparse_population", wide_population.size())
+        .field("dense_trace_faults_per_sec", dense_fps)
+        .field("sparse_trace_faults_per_sec", sparse_fps)
+        .field("sparse_vs_dense", sparse_fps / dense_fps, 2);
+    summary.print();
+}
+
 /// Head-to-head: the per-fault scalar word sweep versus the word-lane
 /// packed kernel on the exact covers_everywhere workload — CFid over the
 /// counting backgrounds at width 8 (113 placements: 56 intra-word pairs,
@@ -294,6 +408,7 @@ BENCHMARK(BM_WordCoversIntraWord)->Arg(4)->Arg(8)
 }  // namespace
 
 int main(int argc, char** argv) {
+    print_sparse_grids();  // first: RSS legs need a quiet high-water mark
     print_summary();
     print_scalar_vs_packed();
     print_trace_head_to_head();

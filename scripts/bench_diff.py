@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Diff fresh BENCH_*.json results against committed baselines.
+
+Each BENCH_<tag>.json file holds one JSON object per line (one line per
+bench summary section). Throughput keys end in `_faults_per_sec`; a fresh
+value more than --threshold below its baseline emits a GitHub Actions
+`::warning::` annotation — loud, but never a failure: shared runners are
+too noisy to gate merges on, the committed baselines come from a quiet
+dev box, and the warning is the signal to re-measure there.
+
+A markdown comparison table is appended to $GITHUB_STEP_SUMMARY when set
+(and always printed to stdout). Exit code is always 0.
+
+Usage: bench_diff.py --baseline BENCH_word.json --fresh out/BENCH_word.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load_metrics(path):
+    """{qualified_key: value} for every numeric *_faults_per_sec field;
+    keys are qualified by the line's `workload` field so sections cannot
+    shadow each other."""
+    metrics = {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                workload = record.get("workload", "")
+                for key, value in record.items():
+                    if not key.endswith("_faults_per_sec"):
+                        continue
+                    if not isinstance(value, (int, float)):
+                        continue
+                    qualified = f"{workload}.{key}" if workload else key
+                    metrics[qualified] = float(value)
+    except OSError as error:
+        print(f"bench_diff: cannot read {path}: {error}", file=sys.stderr)
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json baseline")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly generated BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="relative regression that triggers a warning"
+                             " (default 0.25 = 25%%)")
+    parser.add_argument("--label", default="",
+                        help="label for the summary table heading")
+    args = parser.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    fresh = load_metrics(args.fresh)
+
+    label = args.label or os.path.basename(args.baseline)
+    lines = [f"### Bench diff: {label}", "",
+             "| metric | baseline | fresh | ratio |",
+             "|---|---:|---:|---:|"]
+    regressions = []
+    for key in sorted(baseline.keys() | fresh.keys()):
+        base = baseline.get(key)
+        new = fresh.get(key)
+        if base is None or new is None:
+            status = "missing baseline" if base is None else "missing fresh"
+            lines.append(f"| {key} | {base or '—':} | {new or '—':} |"
+                         f" {status} |")
+            continue
+        ratio = new / base if base else float("inf")
+        marker = ""
+        if base and ratio < 1.0 - args.threshold:
+            marker = " ⚠️"
+            regressions.append((key, base, new, ratio))
+        lines.append(f"| {key} | {base:,.0f} | {new:,.0f} |"
+                     f" {ratio:.2f}x{marker} |")
+    table = "\n".join(lines) + "\n"
+
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        try:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(table + "\n")
+        except OSError as error:
+            print(f"bench_diff: cannot append step summary: {error}",
+                  file=sys.stderr)
+
+    for key, base, new, ratio in regressions:
+        print(f"::warning title=Bench regression ({label})::{key} dropped "
+              f"to {ratio:.0%} of baseline ({base:,.0f} -> {new:,.0f} "
+              f"faults/sec)")
+    if not regressions and baseline and fresh:
+        print(f"bench_diff: no >{args.threshold:.0%} regressions in "
+              f"{len(fresh)} metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,13 +45,15 @@ FrameChannel::~FrameChannel() {
 
 FrameChannel::FrameChannel(FrameChannel&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      frame_version_(other.frame_version_) {}
+      frame_version_(other.frame_version_),
+      max_frame_bytes_(other.max_frame_bytes_) {}
 
 FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
     if (this != &other) {
         if (fd_ >= 0) ::close(fd_);
         fd_ = std::exchange(other.fd_, -1);
         frame_version_ = other.frame_version_;
+        max_frame_bytes_ = other.max_frame_bytes_;
     }
     return *this;
 }
@@ -61,8 +63,12 @@ void FrameChannel::set_frame_version(int version) {
     frame_version_ = version;
 }
 
+void FrameChannel::set_max_frame_bytes(std::uint32_t max_bytes) {
+    max_frame_bytes_ = max_bytes == 0 ? kMaxFrameBytes : max_bytes;
+}
+
 bool FrameChannel::send(std::span<const std::uint8_t> payload) {
-    if (fd_ < 0 || payload.size() > kMaxFrameBytes) return false;
+    if (fd_ < 0 || payload.size() > max_frame_bytes_) return false;
     std::uint8_t header[4];
     const auto length = static_cast<std::uint32_t>(payload.size());
     for (int i = 0; i < 4; ++i)
@@ -156,7 +162,7 @@ FrameChannel::RecvStatus FrameChannel::recv(std::vector<std::uint8_t>& payload,
     std::uint32_t length = 0;
     for (int i = 0; i < 4; ++i)
         length |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-    if (length > kMaxFrameBytes) return RecvStatus::Corrupt;
+    if (length > max_frame_bytes_) return RecvStatus::Corrupt;
     payload.resize(length);
     if (length > 0) {
         switch (read_exact(payload.data(), length, /*timeout_ms=*/-1,

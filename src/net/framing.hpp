@@ -19,8 +19,14 @@
 /// travel as v1); set_frame_version(2) switches both directions once the
 /// exchange settles.
 ///
-/// Frames are bounded (kMaxFrameBytes) so a garbage length prefix is
-/// rejected as Corrupt instead of driving a giant allocation. recv()
+/// Frames are bounded so a garbage length prefix is rejected as Corrupt
+/// instead of driving a giant allocation. The bound defaults to
+/// kMaxFrameBytes (64 MiB) and is per-channel configurable
+/// (set_max_frame_bytes) because Traces / DictionarySweep replies for
+/// large word memories can legitimately exceed 64 MiB — both ends of a
+/// connection must agree on the raised cap (RemoteOptions::
+/// max_frame_bytes on the coordinator, WorkerHooks::max_frame_bytes on
+/// the worker). recv()
 /// distinguishes the four outcomes the coordinator's fault-tolerance
 /// logic needs: a complete frame, a timeout with no frame started (the
 /// peer is merely slow), an orderly or errored close, and a corrupt
@@ -40,8 +46,8 @@
 
 namespace mtg::net {
 
-/// Upper bound on a frame payload (64 MiB) — far above any shard query we
-/// ship, far below a believable-garbage u32 length.
+/// Default upper bound on a frame payload (64 MiB) — far above any shard
+/// query we ship, far below a believable-garbage u32 length.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
 /// A stream socket speaking length-prefixed frames. Owns the fd.
@@ -83,12 +89,23 @@ public:
     void set_frame_version(int version);
     [[nodiscard]] int frame_version() const { return frame_version_; }
 
+    /// Raises (or lowers) this channel's frame payload bound for both
+    /// directions; 0 restores the kMaxFrameBytes default. A received
+    /// length prefix beyond the bound is still RecvStatus::Corrupt, and
+    /// send() still refuses oversize payloads — the cap moves, the
+    /// enforcement doesn't.
+    void set_max_frame_bytes(std::uint32_t max_bytes);
+    [[nodiscard]] std::uint32_t max_frame_bytes() const {
+        return max_frame_bytes_;
+    }
+
     [[nodiscard]] int fd() const { return fd_; }
     [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
 private:
     int fd_{-1};
     int frame_version_{1};
+    std::uint32_t max_frame_bytes_{kMaxFrameBytes};
 
     enum class IoStatus { Ok, Timeout, Closed };
     [[nodiscard]] IoStatus read_exact(std::uint8_t* out, std::size_t n,

@@ -65,6 +65,7 @@ public:
             peer->next_attempt = now;
             if (config.fd >= 0) {
                 auto channel = std::make_shared<FrameChannel>(config.fd);
+                channel->set_max_frame_bytes(options_.max_frame_bytes);
                 if (hello_exchange(*channel)) {
                     peer->channel = std::move(channel);
                     peer->phase = PeerPhase::Alive;
@@ -477,6 +478,7 @@ private:
         std::shared_ptr<FrameChannel> channel;
         if (fd >= 0) {
             channel = std::make_shared<FrameChannel>(fd);
+            channel->set_max_frame_bytes(options_.max_frame_bytes);
             if (!hello_exchange(*channel)) channel.reset();
         }
         const auto now = steady::now();

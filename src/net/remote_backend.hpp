@@ -99,6 +99,14 @@ struct RemoteOptions {
     /// the Hello exchange; 1 pins bare v1 frames and skips the Hello
     /// entirely (for pre-negotiation peers).
     int frame_version{0};
+    /// Frame payload cap applied to every peer channel (0 = the default
+    /// net::kMaxFrameBytes, 64 MiB). Raise it when Traces /
+    /// DictionarySweep replies for large word memories exceed the
+    /// default — the serving workers must raise WorkerHooks::
+    /// max_frame_bytes to match, or their sends fail and the peers die.
+    /// Oversized length prefixes beyond the configured cap are still
+    /// rejected as Corrupt.
+    std::uint32_t max_frame_bytes{0};
 };
 
 /// One peer: an already-connected socket, a factory to (re)establish the

@@ -55,6 +55,7 @@ WireResult evaluate_query(const engine::Backend& backend,
 
 void serve_connection(int fd, const WorkerHooks& hooks) {
     FrameChannel channel(fd);
+    channel.set_max_frame_bytes(hooks.max_frame_bytes);
     const std::unique_ptr<engine::Backend> backend =
         engine::make_packed_backend();
     const int own_max = hooks.max_frame_version > 0 ? hooks.max_frame_version

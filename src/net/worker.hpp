@@ -67,6 +67,11 @@ struct WorkerHooks {
     /// (0 = the build's kMaxFrameVersion). Pinning 1 models a v1-only
     /// peer for the negotiation tests.
     int max_frame_version{0};
+    /// Frame payload cap for this connection (0 = net::kMaxFrameBytes).
+    /// Must match the coordinator's RemoteOptions::max_frame_bytes when
+    /// raised — large-word-memory Traces replies exceed the 64 MiB
+    /// default. Not test-only, despite the struct's name.
+    std::uint32_t max_frame_bytes{0};
     /// When set, incremented for every query this worker *answers* —
     /// lets tests assert a revived peer demonstrably served ranges.
     std::atomic<int>* answered_queries{nullptr};

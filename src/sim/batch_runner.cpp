@@ -26,6 +26,13 @@ int BatchRunner::width_for(std::size_t population) const {
     return adaptive_ ? clamp_lane_width(width_, population) : width_;
 }
 
+LaneIsa BatchRunner::isa_for(std::size_t population) const {
+    // Work items = total pass executions of the job; the zmm-vs-ymm
+    // heuristic (resolve_lane_isa) keys off how long the job runs.
+    return active_lane_isa(block_chunk_total<LaneBlock<8>>(population) *
+                           plan_.expansions.size());
+}
+
 std::vector<bool> BatchRunner::detects(
     std::span<const InjectedFault> population) const {
     switch (width_for(population.size())) {
@@ -34,7 +41,8 @@ std::vector<bool> BatchRunner::detects(
                 plan_, detail::sim_pass_w4(), population);
         case 8:
             return detail::sim_detects<LaneBlock<8>>(
-                plan_, detail::sim_pass_w8(), population);
+                plan_, detail::sim_pass_w8(isa_for(population.size())),
+                population);
         default:
             return detail::sim_detects<LaneMask>(plan_,
                                                  detail::sim_pass_w1(),
@@ -50,7 +58,8 @@ bool BatchRunner::detects_all(
                 plan_, detail::sim_pass_w4(), population);
         case 8:
             return detail::sim_detects_all<LaneBlock<8>>(
-                plan_, detail::sim_pass_w8(), population);
+                plan_, detail::sim_pass_w8(isa_for(population.size())),
+                population);
         default:
             return detail::sim_detects_all<LaneMask>(
                 plan_, detail::sim_pass_w1(), population);
@@ -65,9 +74,9 @@ std::vector<RunTrace> BatchRunner::run(
                                                  detail::sim_pass_w4(),
                                                  population);
         case 8:
-            return detail::sim_run<LaneBlock<8>>(plan_,
-                                                 detail::sim_pass_w8(),
-                                                 population);
+            return detail::sim_run<LaneBlock<8>>(
+                plan_, detail::sim_pass_w8(isa_for(population.size())),
+                population);
         default:
             return detail::sim_run<LaneMask>(plan_, detail::sim_pass_w1(),
                                              population);

@@ -91,6 +91,9 @@ private:
     bool adaptive_;
 
     [[nodiscard]] int width_for(std::size_t population) const;
+    /// Resolved W=8 codegen flavour (zmm / ymm clone / generic) for a
+    /// population of this size — see resolve_lane_isa.
+    [[nodiscard]] LaneIsa isa_for(std::size_t population) const;
 };
 
 /// Every concrete placement of `kind` on an n-cell memory: n single-cell

@@ -23,6 +23,7 @@
 /// `target`-attributed kernel wrappers in lane_kernels.cpp, selected at
 /// runtime by CPUID (see lane_dispatch.hpp).
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 
@@ -262,6 +263,21 @@ inline void for_each_block_word(const Block& lanes, Fn&& fn) {
     for (int w = 0; w < block_words<Block>; ++w) {
         const LaneMask m = block_word(lanes, w);
         if (m) fn(w, m);
+    }
+}
+
+/// Invokes fn(lane) for every set lane of `lanes`, in ascending lane
+/// order — the sparse-trace extraction walks populated cells and fans
+/// their lane masks out to per-fault traces, so it iterates set bits
+/// instead of probing all 64·W lanes per cell.
+template <typename Block, typename Fn>
+inline void for_each_lane(const Block& lanes, Fn&& fn) {
+    for (int w = 0; w < block_words<Block>; ++w) {
+        LaneMask m = block_word(lanes, w);
+        while (m != 0) {
+            fn(w * kLaneCount + std::countr_zero(m));
+            m &= m - 1;
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 
 #include "sim/lane_block.hpp"
 
@@ -9,6 +10,8 @@ namespace mtg::sim {
 
 namespace {
 std::atomic<bool> g_pass_scratch{true};
+std::atomic<bool> g_dense_trace_grids{false};
+std::atomic<int> g_requested_isa{-1};  // -1: resolve MTG_LANE_ISA lazily
 }  // namespace
 
 bool pass_scratch_enabled() {
@@ -17,6 +20,60 @@ bool pass_scratch_enabled() {
 
 void set_pass_scratch_enabled(bool enabled) {
     g_pass_scratch.store(enabled, std::memory_order_relaxed);
+}
+
+bool dense_trace_grids() {
+    return g_dense_trace_grids.load(std::memory_order_relaxed);
+}
+
+void set_dense_trace_grids(bool enabled) {
+    g_dense_trace_grids.store(enabled, std::memory_order_relaxed);
+}
+
+LaneIsa parse_lane_isa(const char* value) {
+    if (value == nullptr) return LaneIsa::Auto;
+    if (std::strcmp(value, "avx512") == 0) return LaneIsa::Avx512;
+    if (std::strcmp(value, "avx2") == 0) return LaneIsa::Avx2;
+    if (std::strcmp(value, "generic") == 0) return LaneIsa::Generic;
+    return LaneIsa::Auto;
+}
+
+LaneIsa resolve_lane_isa(LaneIsa requested, std::size_t work_items,
+                         bool has_avx2, bool has_avx512f) {
+    // Forced ISAs degrade down the feature ladder rather than crash: a
+    // forced avx512 on an AVX2-only host runs the clone, a forced avx2 on
+    // a pre-AVX2 host runs the generic instantiation.
+    if (requested == LaneIsa::Generic) return LaneIsa::Generic;
+    if (requested == LaneIsa::Avx512)
+        return has_avx512f ? LaneIsa::Avx512
+                           : (has_avx2 ? LaneIsa::Avx2 : LaneIsa::Generic);
+    if (requested == LaneIsa::Avx2)
+        return has_avx2 ? LaneIsa::Avx2 : LaneIsa::Generic;
+    // Auto: zmm only when the job is long enough to amortise the AVX-512
+    // frequency-license ramp; short bursts run the 256-bit clone.
+    if (has_avx512f && work_items >= kZmmWorkItemThreshold)
+        return LaneIsa::Avx512;
+    if (has_avx2) return LaneIsa::Avx2;
+    if (has_avx512f) return LaneIsa::Avx512;
+    return LaneIsa::Generic;
+}
+
+LaneIsa requested_lane_isa() {
+    int isa = g_requested_isa.load(std::memory_order_relaxed);
+    if (isa < 0) {
+        isa = static_cast<int>(parse_lane_isa(std::getenv("MTG_LANE_ISA")));
+        g_requested_isa.store(isa, std::memory_order_relaxed);
+    }
+    return static_cast<LaneIsa>(isa);
+}
+
+void set_requested_lane_isa(LaneIsa isa) {
+    g_requested_isa.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+LaneIsa active_lane_isa(std::size_t work_items) {
+    return resolve_lane_isa(requested_lane_isa(), work_items,
+                            cpu_has_avx2(), cpu_has_avx512f());
 }
 
 bool lane_width_supported(int width) {

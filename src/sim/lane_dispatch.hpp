@@ -56,6 +56,59 @@ namespace mtg::sim {
 [[nodiscard]] bool cpu_has_avx2();
 [[nodiscard]] bool cpu_has_avx512f();
 
+/// Codegen flavour of the W=8 pass wrappers. The W=8 block is two
+/// *semantically identical* SIMD lowerings: single zmm ops under
+/// `target("avx512f")`, or ymm pairs under `target("avx2")` (GCC/Clang
+/// split the 64-byte GNU vector type in half — the "256-bit clone";
+/// `-mprefer-vector-width=256` only steers the auto-vectoriser, explicit
+/// vector types need the narrower target to emit ymm). On AVX-512 hosts
+/// whose cores downclock under sustained zmm load, the clone wins for
+/// short bursts that never amortise the frequency-license ramp, so Auto
+/// picks it for small work grids. Every flavour is bit-identical (same
+/// template, different instruction selection).
+enum class LaneIsa {
+    Auto,     ///< heuristic: zmm for large work grids, ymm clone for small
+    Avx512,   ///< force the zmm wrappers (when CPUID allows)
+    Avx2,     ///< force the ymm-pair clone (when CPUID allows)
+    Generic,  ///< force the baseline-codegen template instantiation
+};
+
+/// Parses an MTG_LANE_ISA-style override ("auto", "avx512", "avx2",
+/// "generic", case-sensitive): Auto on null/empty/garbage.
+[[nodiscard]] LaneIsa parse_lane_isa(const char* value);
+
+/// Pure resolution rule behind the Auto heuristic, exposed for tests: the
+/// ISA a W=8 dispatch should use for a job of `work_items` (chunk ×
+/// expansion) pass executions given the reported CPU features. Forced
+/// ISAs fall back down the feature ladder when CPUID lacks them (the
+/// getters never hand out an unrunnable wrapper).
+[[nodiscard]] LaneIsa resolve_lane_isa(LaneIsa requested,
+                                       std::size_t work_items,
+                                       bool has_avx2, bool has_avx512f);
+
+/// Work-grid size below which Auto prefers the 256-bit clone on AVX-512
+/// hosts. Exposed so tests and the resolve rule agree on the boundary.
+inline constexpr std::size_t kZmmWorkItemThreshold = 64;
+
+/// Process-wide requested ISA: MTG_LANE_ISA at first use, overridable at
+/// runtime for the dispatch differential tests (set Generic/Avx2/Avx512
+/// and re-run — results must be bit-identical).
+[[nodiscard]] LaneIsa requested_lane_isa();
+void set_requested_lane_isa(LaneIsa isa);
+
+/// The ISA a W=8 dispatch should hand to sim_pass_w8/word_pass_w8 for a
+/// job of `work_items` pass executions: resolve_lane_isa over the
+/// process-wide request and the host CPUID features.
+[[nodiscard]] LaneIsa active_lane_isa(std::size_t work_items);
+
+/// Dense trace-grid fallback: when enabled, word_run_chunk materialises
+/// the full dense (background × site × word × bit) observation grid of
+/// PR 4 instead of the sparse runs. Test-only — kept compiled for one
+/// release so the sparse-vs-dense differential can exercise both paths;
+/// the dense grid is O(words) memory and cannot allocate at words=4096.
+[[nodiscard]] bool dense_trace_grids();
+void set_dense_trace_grids(bool enabled);
+
 /// Per-pass scratch pooling: when enabled (the default) the packed pass
 /// kernels reuse a thread-local PackedSimMemoryT / PackedWordMemoryT,
 /// re-armed with reset(), so the plane vectors and the per-fault

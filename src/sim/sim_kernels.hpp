@@ -287,6 +287,9 @@ std::vector<RunTrace> sim_run(const SimPlan& plan, SimPassFn<Block> pass,
 /// lane_kernels.cpp.
 [[nodiscard]] SimPassFn<LaneMask> sim_pass_w1();
 [[nodiscard]] SimPassFn<LaneBlock<4>> sim_pass_w4();
-[[nodiscard]] SimPassFn<LaneBlock<8>> sim_pass_w8();
+/// The W=8 getter picks between the zmm wrapper, the 256-bit (ymm-pair)
+/// clone and the generic instantiation per the resolved LaneIsa.
+[[nodiscard]] SimPassFn<LaneBlock<8>> sim_pass_w8(
+    LaneIsa isa = LaneIsa::Avx512);
 
 }  // namespace mtg::sim::detail

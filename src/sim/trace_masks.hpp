@@ -12,8 +12,17 @@
 /// which is exactly the "guaranteed" trace semantics of the scalar
 /// runners. GuaranteedMasks owns that now/intersected grid pair so the two
 /// kernels cannot drift apart in how they canonicalise traces.
+///
+/// SparseGuaranteedRuns is the same contract for grids too large to
+/// materialise densely: per-coordinate sorted runs of (word, bit, lanes)
+/// entries, intersected across passes by merge-walking two sorted runs
+/// instead of AND-ing a dense slab (the word path's observation grid is
+/// O(backgrounds · sites · words · width) dense but only O(touched cells)
+/// sparse — see word_kernels.hpp).
 
 #include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/lane_block.hpp"
@@ -56,6 +65,116 @@ public:
 private:
     std::vector<Block> guaranteed_;
     std::vector<Block> now_;
+};
+
+/// One sparse observation cell: the failing-lane mask at a (word, bit)
+/// coordinate of a (background, site) run. `word` before `bit` so the
+/// default ordering is the canonical trace order within a run.
+template <typename Block>
+struct SparseObsEntry {
+    std::int32_t word;
+    std::int32_t bit;
+    Block lanes;
+
+    [[nodiscard]] friend bool operator<(const SparseObsEntry& a,
+                                        const SparseObsEntry& b) {
+        return a.word != b.word ? a.word < b.word : a.bit < b.bit;
+    }
+};
+
+/// Sparse counterpart of GuaranteedMasks for grids where almost every
+/// coordinate stays empty: the dense (background × site × word × bit)
+/// observation grid touches O(words · width) cells per run, but a fault
+/// lane only ever mismatches at words holding one of its victim bits, so
+/// the populated cells per run are O(lanes) regardless of the memory size.
+///
+/// Layout is site-major: one run (sorted vector of SparseObsEntry) per
+/// (background, site) coordinate. A pass appends the cells it actually
+/// fails at; commit_pass sorts the pass run (passes emit words in one
+/// address order, so the sort sees nearly- or reverse-sorted input) and
+/// intersects it into the guaranteed run by merge-walking the two sorted
+/// runs: matching (word, bit) keys AND their lane masks, unmatched keys
+/// die, empty intersections are dropped. The first committed pass seeds
+/// the guaranteed run outright — the sparse equivalent of GuaranteedMasks
+/// seeding with the used-lane mask.
+///
+/// Invariant required of the appender (and upheld by the word pass: every
+/// site reads each word exactly once per background per pass): within one
+/// pass, a (word, bit) key is appended to a given run at most once.
+template <typename Block>
+class SparseGuaranteedRuns {
+public:
+    explicit SparseGuaranteedRuns(std::size_t coords)
+        : guaranteed_(coords), now_(coords) {}
+
+    /// Clears the per-pass runs (keeping their capacity); call before
+    /// every expansion pass.
+    void begin_pass() {
+        for (auto& run : now_) run.clear();
+    }
+
+    /// Records that `lanes` mismatched at (word, bit) of run `coord`
+    /// during the current pass.
+    void append(std::size_t coord, int word, int bit, const Block& lanes) {
+        now_[coord].push_back({static_cast<std::int32_t>(word),
+                               static_cast<std::int32_t>(bit), lanes});
+    }
+
+    /// Intersects the finished pass into the guaranteed runs.
+    void commit_pass() {
+        for (std::size_t c = 0; c < now_.size(); ++c) {
+            auto& now = now_[c];
+            std::sort(now.begin(), now.end());
+            if (first_pass_) {
+                guaranteed_[c] = now;
+                continue;
+            }
+            auto& guaranteed = guaranteed_[c];
+            std::size_t out = 0, gi = 0, ni = 0;
+            while (gi < guaranteed.size() && ni < now.size()) {
+                const auto& g = guaranteed[gi];
+                const auto& n = now[ni];
+                if (g < n) {
+                    ++gi;  // failed in earlier passes only: not guaranteed
+                } else if (n < g) {
+                    ++ni;  // failed in this pass only: not guaranteed
+                } else {
+                    const Block lanes = g.lanes & n.lanes;
+                    if (!block_none(lanes))
+                        guaranteed[out++] = {g.word, g.bit, lanes};
+                    ++gi;
+                    ++ni;
+                }
+            }
+            guaranteed.resize(out);
+        }
+        first_pass_ = false;
+    }
+
+    /// The guaranteed run of coordinate `coord`, sorted by (word, bit).
+    [[nodiscard]] const std::vector<SparseObsEntry<Block>>& run(
+        std::size_t coord) const {
+        return guaranteed_[coord];
+    }
+    [[nodiscard]] std::size_t size() const { return guaranteed_.size(); }
+
+    /// Total populated cells across every guaranteed run (the sparse
+    /// grid's memory footprint, for benches and tests).
+    [[nodiscard]] std::size_t entry_count() const {
+        std::size_t n = 0;
+        for (const auto& run : guaranteed_) n += run.size();
+        return n;
+    }
+
+    /// Hands the guaranteed runs off to the caller (the chunk result).
+    [[nodiscard]] std::vector<std::vector<SparseObsEntry<Block>>> take() {
+        return std::move(guaranteed_);
+    }
+
+private:
+    std::vector<std::vector<SparseObsEntry<Block>>> guaranteed_;
+    std::vector<std::vector<SparseObsEntry<Block>>> now_;
+    bool first_pass_{true};
 };
 
 }  // namespace mtg::sim::detail

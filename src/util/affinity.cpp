@@ -1,0 +1,171 @@
+#include "util/affinity.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace mtg::util {
+
+AffinityMode parse_affinity_mode(const char* value) {
+    if (value == nullptr) return AffinityMode::Auto;
+    if (std::strcmp(value, "off") == 0) return AffinityMode::Off;
+    if (std::strcmp(value, "compact") == 0) return AffinityMode::Compact;
+    if (std::strcmp(value, "spread") == 0) return AffinityMode::Spread;
+    return AffinityMode::Auto;
+}
+
+AffinityMode configured_affinity_mode() {
+    static const AffinityMode mode =
+        parse_affinity_mode(std::getenv("MTG_AFFINITY"));
+    return mode;
+}
+
+std::vector<int> parse_cpu_list(const std::string& list) {
+    std::vector<int> cpus;
+    std::istringstream in(list);
+    std::string token;
+    while (std::getline(in, token, ',')) {
+        // Trim the trailing newline sysfs appends and any stray spaces.
+        while (!token.empty() &&
+               (token.back() == '\n' || token.back() == ' '))
+            token.pop_back();
+        while (!token.empty() && token.front() == ' ')
+            token.erase(token.begin());
+        if (token.empty()) continue;
+        const std::size_t dash = token.find('-');
+        char* end = nullptr;
+        if (dash == std::string::npos) {
+            const long cpu = std::strtol(token.c_str(), &end, 10);
+            if (end == token.c_str() || *end != '\0' || cpu < 0) return {};
+            cpus.push_back(static_cast<int>(cpu));
+        } else {
+            const std::string lo_s = token.substr(0, dash);
+            const std::string hi_s = token.substr(dash + 1);
+            const long lo = std::strtol(lo_s.c_str(), &end, 10);
+            if (end == lo_s.c_str() || *end != '\0' || lo < 0) return {};
+            const long hi = std::strtol(hi_s.c_str(), &end, 10);
+            if (end == hi_s.c_str() || *end != '\0' || hi < lo) return {};
+            for (long cpu = lo; cpu <= hi; ++cpu)
+                cpus.push_back(static_cast<int>(cpu));
+        }
+    }
+    std::sort(cpus.begin(), cpus.end());
+    cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+    return cpus;
+}
+
+namespace {
+
+CpuTopology read_system_topology() {
+    CpuTopology topology;
+#if defined(__linux__)
+    // Node ids are dense in practice but probe a generous range anyway;
+    // stop at the first gap only after node0 was missing too.
+    for (int node = 0; node < 1024; ++node) {
+        std::ifstream in("/sys/devices/system/node/node" +
+                         std::to_string(node) + "/cpulist");
+        if (!in.is_open()) {
+            if (node == 0) break;  // no sysfs node topology at all
+            break;
+        }
+        std::string list;
+        std::getline(in, list);
+        std::vector<int> cpus = parse_cpu_list(list);
+        if (!cpus.empty()) topology.node_cpus.push_back(std::move(cpus));
+    }
+#endif
+    if (topology.node_cpus.empty()) {
+        // Fallback: one flat node over hardware_concurrency CPUs.
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        std::vector<int> cpus(hw);
+        for (unsigned c = 0; c < hw; ++c) cpus[c] = static_cast<int>(c);
+        topology.node_cpus.push_back(std::move(cpus));
+    }
+    return topology;
+}
+
+}  // namespace
+
+const CpuTopology& system_topology() {
+    static const CpuTopology topology = read_system_topology();
+    return topology;
+}
+
+std::vector<WorkerPlacement> plan_worker_cpus(const CpuTopology& topology,
+                                              AffinityMode mode,
+                                              unsigned workers) {
+    std::vector<WorkerPlacement> plan(workers);
+    if (workers == 0) return plan;
+    const std::size_t nodes = topology.node_count();
+    if (mode == AffinityMode::Auto)
+        mode = nodes > 1 ? AffinityMode::Spread : AffinityMode::Off;
+    if (mode == AffinityMode::Off || topology.cpu_count() == 0) return plan;
+
+    // Flatten the topology into one visit order per policy: compact walks
+    // node 0's CPUs first, spread deals CPUs round-robin across nodes.
+    std::vector<WorkerPlacement> order;
+    order.reserve(topology.cpu_count());
+    if (mode == AffinityMode::Compact) {
+        for (std::size_t n = 0; n < nodes; ++n)
+            for (int cpu : topology.node_cpus[n])
+                order.push_back({cpu, static_cast<int>(n)});
+    } else {  // Spread
+        for (std::size_t i = 0;; ++i) {
+            bool any = false;
+            for (std::size_t n = 0; n < nodes; ++n)
+                if (i < topology.node_cpus[n].size()) {
+                    order.push_back({topology.node_cpus[n][i],
+                                     static_cast<int>(n)});
+                    any = true;
+                }
+            if (!any) break;
+        }
+    }
+
+    for (unsigned w = 0; w < workers; ++w)
+        plan[w] = order[w % order.size()];
+    // Worker 0 is the caller: keep its node slot (for steal grouping) but
+    // never pin the application's own thread.
+    plan[0].cpu = -1;
+    return plan;
+}
+
+std::vector<unsigned> plan_steal_order(
+    const std::vector<WorkerPlacement>& placements, unsigned worker) {
+    const auto workers = static_cast<unsigned>(placements.size());
+    std::vector<unsigned> order;
+    if (workers <= 1) return order;
+    order.reserve(workers - 1);
+    const int home = placements[worker].node;
+    for (int pass = 0; pass < 2; ++pass)
+        for (unsigned off = 1; off < workers; ++off) {
+            const unsigned victim = (worker + off) % workers;
+            const bool same = placements[victim].node == home;
+            if (same == (pass == 0)) order.push_back(victim);
+        }
+    return order;
+}
+
+bool pin_current_thread_to_cpu(int cpu) {
+#if defined(__linux__)
+    if (cpu < 0) return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+}  // namespace mtg::util

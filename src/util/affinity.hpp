@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file affinity.hpp
+/// NUMA-aware worker placement for util::ThreadPool, without hwloc.
+///
+/// The stealing pool hands each worker a contiguous index range, so when
+/// the runners shard a (chunk × expansion) grid the data a worker streams
+/// is contiguous too — but with no pinning the scheduler migrates workers
+/// across cores (and on multi-socket hosts across NUMA nodes), so a range
+/// warmed into one L2/LLC finishes on another, and cross-node steals are
+/// as likely as same-node ones. This module reads the node topology from
+/// /sys/devices/system/node/node*/cpulist (falling back to one flat node
+/// when sysfs is absent), plans one CPU per worker, and the pool pins its
+/// background threads with pthread_setaffinity_np and orders each
+/// worker's steal victims same-node-first.
+///
+/// MTG_AFFINITY ∈ {auto, off, compact, spread} selects the policy:
+///   - off:     no pinning (the pre-PR 8 behaviour);
+///   - compact: fill node 0's CPUs before spilling to node 1 — best for
+///              jobs smaller than one node's core count (shared LLC);
+///   - spread:  round-robin workers across nodes — best for memory-bound
+///              jobs that want every node's bandwidth;
+///   - auto:    off on single-node hosts (pinning can only hurt there if
+///              the machine is shared), spread on multi-node hosts.
+///
+/// Placement never changes results: the pool's merge logic is
+/// order-independent and the determinism test re-runs the differential
+/// battery under every mode.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mtg::util {
+
+enum class AffinityMode {
+    Auto,
+    Off,
+    Compact,
+    Spread,
+};
+
+/// Parses an MTG_AFFINITY-style value ("auto", "off", "compact",
+/// "spread"); Auto on null/empty/garbage.
+[[nodiscard]] AffinityMode parse_affinity_mode(const char* value);
+
+/// Process-wide mode from MTG_AFFINITY, resolved once at first use.
+[[nodiscard]] AffinityMode configured_affinity_mode();
+
+/// CPU lists per NUMA node, in node-id order. Node 0 exists even on
+/// UMA hosts (the fallback topology is one node holding every CPU).
+struct CpuTopology {
+    std::vector<std::vector<int>> node_cpus;
+
+    [[nodiscard]] std::size_t node_count() const { return node_cpus.size(); }
+    [[nodiscard]] std::size_t cpu_count() const {
+        std::size_t n = 0;
+        for (const auto& cpus : node_cpus) n += cpus.size();
+        return n;
+    }
+};
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into ascending CPU ids; empty
+/// on malformed input. Exposed for tests.
+[[nodiscard]] std::vector<int> parse_cpu_list(const std::string& list);
+
+/// Host topology from /sys/devices/system/node/node*/cpulist, falling
+/// back to a single node of hardware_concurrency CPUs.
+[[nodiscard]] const CpuTopology& system_topology();
+
+/// One (cpu, node) placement per worker. cpu == -1 means "leave this
+/// worker unpinned"; node is always valid (the node the worker would
+/// belong to), so the steal-order planner can group unpinned workers too.
+struct WorkerPlacement {
+    int cpu{-1};
+    int node{0};
+};
+
+/// Pure placement rule, exposed for tests: the per-worker CPU plan for
+/// `workers` execution lanes under `mode` on `topology`. Worker 0 is the
+/// caller of parallel_for and is never pinned (its cpu stays -1) — pinning
+/// the application's thread would leak policy out of the pool — but it is
+/// assigned a node slot like everyone else. More workers than CPUs wrap
+/// around (two workers may share a CPU).
+[[nodiscard]] std::vector<WorkerPlacement> plan_worker_cpus(
+    const CpuTopology& topology, AffinityMode mode, unsigned workers);
+
+/// Steal order for `worker`: every other worker exactly once, same-node
+/// victims (in ring order from the worker) before cross-node ones (in
+/// ring order too). With placements all on one node this degenerates to
+/// the plain ring the pool used before.
+[[nodiscard]] std::vector<unsigned> plan_steal_order(
+    const std::vector<WorkerPlacement>& placements, unsigned worker);
+
+/// Pins the calling thread to `cpu` (no-op on cpu < 0 or non-Linux).
+/// Returns true when the pin took effect.
+bool pin_current_thread_to_cpu(int cpu);
+
+}  // namespace mtg::util

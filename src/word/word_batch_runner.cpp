@@ -31,6 +31,14 @@ int WordBatchRunner::width_for(std::size_t population) const {
     return adaptive_ ? sim::clamp_lane_width(width_, population) : width_;
 }
 
+sim::LaneIsa WordBatchRunner::isa_for(std::size_t population) const {
+    // Work items = total pass executions of the job; the zmm-vs-ymm
+    // heuristic (resolve_lane_isa) keys off how long the job runs.
+    return sim::active_lane_isa(
+        sim::block_chunk_total<LaneBlock<8>>(population) *
+        plan_.expansions.size());
+}
+
 std::vector<bool> WordBatchRunner::detects(
     std::span<const InjectedBitFault> population) const {
     switch (width_for(population.size())) {
@@ -39,7 +47,8 @@ std::vector<bool> WordBatchRunner::detects(
                 plan_, detail::word_pass_w4(), population);
         case 8:
             return detail::word_detects<LaneBlock<8>>(
-                plan_, detail::word_pass_w8(), population);
+                plan_, detail::word_pass_w8(isa_for(population.size())),
+                population);
         default:
             return detail::word_detects<LaneMask>(
                 plan_, detail::word_pass_w1(), population);
@@ -54,7 +63,8 @@ bool WordBatchRunner::detects_all(
                 plan_, detail::word_pass_w4(), population);
         case 8:
             return detail::word_detects_all<LaneBlock<8>>(
-                plan_, detail::word_pass_w8(), population);
+                plan_, detail::word_pass_w8(isa_for(population.size())),
+                population);
         default:
             return detail::word_detects_all<LaneMask>(
                 plan_, detail::word_pass_w1(), population);
@@ -69,7 +79,8 @@ std::vector<WordRunTrace> WordBatchRunner::run(
                 plan_, detail::word_pass_w4(), population);
         case 8:
             return detail::word_run<LaneBlock<8>>(
-                plan_, detail::word_pass_w8(), population);
+                plan_, detail::word_pass_w8(isa_for(population.size())),
+                population);
         default:
             return detail::word_run<LaneMask>(plan_, detail::word_pass_w1(),
                                               population);

@@ -84,6 +84,9 @@ private:
     bool adaptive_;
 
     [[nodiscard]] int width_for(std::size_t population) const;
+    /// Resolved W=8 codegen flavour (zmm / ymm clone / generic) for a
+    /// population of this size — see sim::resolve_lane_isa.
+    [[nodiscard]] sim::LaneIsa isa_for(std::size_t population) const;
 };
 
 /// The exact placement set word::covers_everywhere sweeps for `kind`:

@@ -628,6 +628,55 @@ TEST(EngineQuery, EmptyKindDictionarySweepIsEmpty) {
     EXPECT_TRUE(word_sweep.all);
 }
 
+TEST(EngineRemote, MismatchedFrameCapKillsThePeerDeterministically) {
+    // A worker whose cap is far below the coordinator's rejects the
+    // (larger-than-cap) query frame as Corrupt and closes; the
+    // coordinator sees the peer die and FailFast surfaces it — no hang,
+    // no silent truncation. This is exactly the failure mode the
+    // RemoteOptions::max_frame_bytes doc warns about when only one side
+    // raises its cap.
+    const sim::RunOptions opts{.memory_size = 8, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+    ASSERT_GT(population.size(), 32u);  // query frame certainly > 512 B
+
+    net::WorkerHooks hooks;
+    hooks.max_frame_bytes = 512;
+    net::LoopbackFleet fleet(1, {hooks});
+    engine::RemoteOptions options;
+    options.degrade = engine::DegradePolicy::FailFast;
+    const Engine remote(
+        engine::make_remote_backend(fleet.take_fds(), options));
+    EXPECT_THROW((void)remote.traces(test, population, opts),
+                 std::runtime_error);
+}
+
+TEST(EngineRemote, RaisedFrameCapServesBitIdenticalResults) {
+    // A raised cap on both ends (RemoteOptions on the coordinator,
+    // WorkerHooks on the worker) leaves every answer bit-identical to the
+    // packed oracle — the cap is plumbing, not semantics.
+    const sim::RunOptions opts{.memory_size = 16, .max_any_expansion = 6};
+    const auto& test = march::march_c_minus();
+    const auto population =
+        sim::full_population(fault::FaultKind::CfidUp0, opts.memory_size);
+
+    const Engine packed;
+    const auto want_detects = packed.detects(test, population, opts);
+    const auto want_traces = packed.traces(test, population, opts);
+
+    net::WorkerHooks hooks;
+    hooks.max_frame_bytes = 256u << 20;
+    net::LoopbackFleet fleet(2, {hooks, hooks});
+    engine::RemoteOptions options;
+    options.max_frame_bytes = 256u << 20;
+    const Engine remote(
+        engine::make_remote_backend(fleet.take_fds(), options));
+    EXPECT_EQ(remote.detects(test, population, opts), want_detects);
+    expect_traces_eq(remote.traces(test, population, opts), want_traces,
+                     "raised-cap traces");
+}
+
 TEST(EngineQuery, EmptyPopulationIsVacuouslyCovered) {
     Query query;
     query.test = march::find_march_test("MATS").test;

@@ -467,5 +467,49 @@ TEST(Framing, CloseAndCorruptionAreDistinguished) {
     }
 }
 
+TEST(Framing, PerChannelFrameCapBindsBothDirections) {
+    // The 64 MiB default is per-channel configurable (large word-memory
+    // Traces replies can exceed it); the cap moves, the enforcement
+    // doesn't — a sender refuses oversize payloads, a receiver rejects
+    // oversize length prefixes as Corrupt.
+    const auto [a_fd, b_fd] = socket_pair();
+    FrameChannel a(a_fd);
+    FrameChannel b(b_fd);
+    EXPECT_EQ(a.max_frame_bytes(), kMaxFrameBytes);
+    a.set_max_frame_bytes(1024);
+    EXPECT_EQ(a.max_frame_bytes(), 1024u);
+
+    // Send side: exactly at the cap passes, one byte over is refused
+    // (channel stays usable — nothing went on the wire).
+    std::vector<std::uint8_t> at_cap(1024, 0x5a);
+    std::vector<std::uint8_t> over_cap(1025, 0x5a);
+    EXPECT_FALSE(a.send(over_cap));
+    ASSERT_TRUE(a.send(at_cap));
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Ok);
+    EXPECT_EQ(payload, at_cap);
+
+    // Recv side: a lowered cap turns a legitimate-for-the-peer frame into
+    // Corrupt (an oversize prefix must never drive a giant allocation).
+    b.set_max_frame_bytes(16);
+    ASSERT_TRUE(a.send(at_cap));
+    EXPECT_EQ(b.recv(payload, 1000), FrameChannel::RecvStatus::Corrupt);
+
+    // A raised cap admits frames beyond the old bound; 0 restores the
+    // default.
+    const auto [c_fd, d_fd] = socket_pair();
+    FrameChannel c(c_fd);
+    FrameChannel d(d_fd);
+    c.set_max_frame_bytes(128u << 20);
+    d.set_max_frame_bytes(128u << 20);
+    std::vector<std::uint8_t> big((64u << 20) + 1, 0x11);
+    std::thread sender([&c, &big] { ASSERT_TRUE(c.send(big)); });
+    ASSERT_EQ(d.recv(payload, 30000), FrameChannel::RecvStatus::Ok);
+    sender.join();
+    EXPECT_EQ(payload.size(), big.size());
+    d.set_max_frame_bytes(0);
+    EXPECT_EQ(d.max_frame_bytes(), kMaxFrameBytes);
+}
+
 }  // namespace
 }  // namespace mtg::net
