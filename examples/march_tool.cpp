@@ -17,16 +17,29 @@
 ///   march_tool chaos "<march-test>" <kinds|all> <seed> [peers]
 ///       replay one seeded chaos schedule over a loopback fleet and
 ///       check the results against the local packed oracle
+///   march_tool query-serve <port>
+///       run the persistent query server: one long-lived Engine pair
+///       (shared population cache, prebuilt sweep results, query
+///       coalescing, two-class admission) behind the line-JSON protocol
+///       (SIGTERM/SIGINT stop the server and drain sessions)
+///   march_tool query <host:port> <op> "<test>" <fault-list> [word
+///       [words width]]
+///       one query against a running query server; or
+///   march_tool query <host:port> --replay <file>
+///       pipeline every request line of <file> (the line-JSON request
+///       format) and print the replies in completion order
 ///
 /// March tests are written in the conventional notation, e.g.
 /// "{~(w0); ^(r0,w1); v(r1,w0)}"; fault lists are comma-separated families
 /// (SAF, TF, ADF, AF2, CFin, CFid, CFst, WDF, RDF, DRDF, IRF, DRF) or
 /// single primitives such as CFid<^,1>.
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <sys/socket.h>
@@ -41,6 +54,8 @@
 #include "march/parser.hpp"
 #include "net/chaos.hpp"
 #include "net/framing.hpp"
+#include "net/query_protocol.hpp"
+#include "net/query_server.hpp"
 #include "net/remote_backend.hpp"
 #include "net/worker.hpp"
 #include "setcover/coverage_matrix.hpp"
@@ -61,7 +76,12 @@ int usage() {
                  "  march_tool fleet \"<march-test>\" <fault-list> "
                  "<host:port>...\n"
                  "  march_tool chaos \"<march-test>\" "
-                 "<kill,delay,garbage,truncate,flap|all> <seed> [peers]\n");
+                 "<kill,delay,garbage,truncate,flap,dribble|all> <seed> "
+                 "[peers]\n"
+                 "  march_tool query-serve <port>\n"
+                 "  march_tool query <host:port> <op> \"<march-test>\" "
+                 "<fault-list> [word [words width]]\n"
+                 "  march_tool query <host:port> --replay <file>\n");
     return 2;
 }
 
@@ -218,6 +238,100 @@ int cmd_fleet(const std::string& text, const std::string& list,
     return all ? 0 : 1;
 }
 
+int cmd_query_serve(int port) {
+    net::QueryServer server;
+    const std::uint16_t bound =
+        server.listen(static_cast<std::uint16_t>(port));
+    // The handler only sets the flag (g_serve_listen_fd stays -1); the
+    // main thread polls it and runs the orderly stop() itself.
+    struct sigaction action{};
+    action.sa_handler = serve_signal_handler;
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+    std::fprintf(stderr, "march_tool query-serve: listening on port %u\n",
+                 bound);
+    while (!g_serve_stop)
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const net::QueryServer::Stats stats = server.stats();
+    server.stop();
+    std::fprintf(stderr,
+                 "march_tool query-serve: stopped after %zu request(s), "
+                 "%zu backend run(s), %zu coalesced, %zu sweep cache "
+                 "hit(s)\n",
+                 stats.requests, stats.backend_runs, stats.coalesced,
+                 stats.sweep_cache_hits);
+    return 0;
+}
+
+std::pair<std::string, std::uint16_t> parse_peer_arg(
+    const std::string& peer) {
+    const std::size_t colon = peer.rfind(':');
+    if (colon == std::string::npos)
+        throw std::invalid_argument("peer must be host:port: " + peer);
+    return {peer.substr(0, colon),
+            static_cast<std::uint16_t>(std::atoi(peer.c_str() + colon + 1))};
+}
+
+int cmd_query(const std::string& peer, std::vector<std::string> args) {
+    const auto [host, port] = parse_peer_arg(peer);
+    net::QueryClient client(host, port, /*connect_timeout_ms=*/5000);
+    if (args.size() >= 2 && args[0] == "--replay") {
+        // Pipelined replay: every request line goes out before the first
+        // reply is awaited; the server answers in completion order, so
+        // replies are matched by id, not position.
+        std::ifstream file(args[1]);
+        if (!file) throw std::runtime_error("cannot open " + args[1]);
+        int sent = 0;
+        std::string line;
+        while (std::getline(file, line)) {
+            if (line.empty()) continue;
+            if (!client.send(net::parse_request(line)))
+                throw std::runtime_error("connection lost while sending");
+            ++sent;
+        }
+        for (int i = 0; i < sent; ++i) {
+            const auto reply = client.read_reply(/*timeout_ms=*/60000);
+            if (!reply.has_value()) {
+                std::fprintf(stderr, "query: only %d/%d replies arrived\n",
+                             i, sent);
+                return 1;
+            }
+            std::printf("%s\n", reply->c_str());
+        }
+        return 0;
+    }
+    if (args.empty()) return usage();
+    // Assemble the request as a protocol line and round-trip it through
+    // parse_request so the CLI validates exactly what the server would.
+    net::Json root = net::Json::object();
+    root.set("id", net::Json(std::int64_t{1}));
+    root.set("op", net::Json(args[0]));
+    if (args.size() > 1) root.set("test", net::Json(args[1]));
+    if (args.size() > 2) root.set("kinds", net::Json(args[2]));
+    if (args.size() > 3 && args[3] == "word") {
+        root.set("universe", net::Json("word"));
+        if (args.size() > 5) {
+            root.set("words",
+                     net::Json(std::int64_t{std::atoi(args[4].c_str())}));
+            root.set("width",
+                     net::Json(std::int64_t{std::atoi(args[5].c_str())}));
+        }
+    }
+    const auto reply = client.roundtrip(net::parse_request(root.dump()),
+                                        /*timeout_ms=*/60000);
+    if (!reply.has_value()) {
+        std::fprintf(stderr, "query: no reply\n");
+        return 1;
+    }
+    std::printf("%s\n", reply->c_str());
+    const net::Json parsed = net::Json::parse(*reply);
+    const net::Json* ok = parsed.find("ok");
+    return ok != nullptr && ok->kind() == net::Json::Kind::Bool &&
+                   ok->as_bool()
+               ? 0
+               : 1;
+}
+
 int cmd_chaos(const std::string& text, const std::string& kinds_csv,
               std::uint64_t seed, int peers) {
     net::ChaosConfig config;
@@ -255,6 +369,11 @@ int main(int argc, char** argv) {
             return cmd_fleet(
                 argv[2], argv[3],
                 std::vector<std::string>(argv + 4, argv + argc));
+        if (command == "query-serve")
+            return cmd_query_serve(std::atoi(argv[2]));
+        if (command == "query" && argc >= 4)
+            return cmd_query(
+                argv[2], std::vector<std::string>(argv + 3, argv + argc));
         if (command == "chaos" && argc >= 5)
             return cmd_chaos(
                 argv[2], argv[3],

@@ -10,11 +10,6 @@ namespace mtg::engine {
 
 namespace {
 
-/// Cache budget in retained fault placements per cache (~4.2M; tens of
-/// MB). A session that cycles through many large universes evicts rather
-/// than accreting; the generator's repeated same-key probes always hit.
-constexpr std::size_t kCacheFaultBudget = std::size_t{1} << 22;
-
 std::vector<int> kind_key(const std::vector<fault::FaultKind>& kinds) {
     std::vector<int> key;
     key.reserve(kinds.size());
@@ -31,9 +26,25 @@ std::unique_ptr<Backend> make_backend(const EngineConfig& config) {
     return make_packed_backend();
 }
 
+std::shared_ptr<PopulationCache> make_cache(const EngineConfig& config) {
+    if (config.cache != nullptr) return config.cache;
+    return std::make_shared<PopulationCache>(config.cache_budget);
+}
+
 bool all_of(const std::vector<bool>& flags) {
     return std::all_of(flags.begin(), flags.end(),
                        [](bool b) { return b; });
+}
+
+template <typename Entry>
+fault::FaultKind entry_kind_of(const Entry& entry, std::size_t index) {
+    MTG_EXPECTS(!entry.kinds.empty() && index < entry.faults.size());
+    // offsets is kinds.size()+1 ascending fence posts; the owning kind is
+    // the last one whose offset is <= index.
+    const auto it = std::upper_bound(entry.offsets.begin() + 1,
+                                     entry.offsets.end(), index);
+    return entry.kinds[static_cast<std::size_t>(
+        it - (entry.offsets.begin() + 1))];
 }
 
 /// The verdict dispatch shared by both universes — one implementation so
@@ -67,11 +78,137 @@ void evaluate(Result& out, const Backend& backend, const Context& ctx,
 
 }  // namespace
 
+std::vector<fault::FaultKind> canonical_kinds(
+    const std::vector<fault::FaultKind>& kinds) {
+    std::vector<fault::FaultKind> canonical = kinds;
+    std::sort(canonical.begin(), canonical.end(),
+              [](fault::FaultKind a, fault::FaultKind b) {
+                  return static_cast<int>(a) < static_cast<int>(b);
+              });
+    canonical.erase(std::unique(canonical.begin(), canonical.end()),
+                    canonical.end());
+    return canonical;
+}
+
+fault::FaultKind BitPopulationEntry::kind_of(std::size_t index) const {
+    return entry_kind_of(*this, index);
+}
+
+fault::FaultKind WordPopulationEntry::kind_of(std::size_t index) const {
+    return entry_kind_of(*this, index);
+}
+
+PopulationCache::PopulationCache(std::size_t fault_budget)
+    : budget_(fault_budget == 0 ? kDefaultFaultBudget : fault_budget) {}
+
+std::shared_ptr<const BitPopulationEntry> PopulationCache::bit(
+    const std::vector<fault::FaultKind>& kinds, int memory_size) {
+    // The key AND the build order are the canonical kind list: a permuted
+    // or duplicated caller list lands on the same entry with identical
+    // contents, instead of breeding redundant copies that trip budget
+    // evictions.
+    std::vector<fault::FaultKind> canonical = canonical_kinds(kinds);
+    const BitKey key{kind_key(canonical), memory_size};
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = bit_.find(key);
+        if (it != bit_.end()) {
+            ++stats_.hits;
+            return it->second;
+        }
+        ++stats_.misses;
+    }
+    // Build outside the lock: a multi-million-fault expansion must not
+    // stall concurrent lookups (including hits on unrelated keys).
+    auto entry = std::make_shared<BitPopulationEntry>();
+    entry->kinds = std::move(canonical);
+    entry->offsets.reserve(entry->kinds.size() + 1);
+    entry->offsets.push_back(0);
+    for (fault::FaultKind kind : entry->kinds) {
+        const std::vector<sim::InjectedFault> placed =
+            sim::full_population(kind, memory_size);
+        entry->faults.insert(entry->faults.end(), placed.begin(),
+                             placed.end());
+        entry->offsets.push_back(entry->faults.size());
+    }
+    std::shared_ptr<const BitPopulationEntry> built = std::move(entry);
+    // A population beyond the whole budget is served uncached — the old
+    // transient-allocation behaviour — instead of pinning it for the
+    // session lifetime.
+    if (built->faults.size() > budget_) return built;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = bit_.find(key);
+    if (it != bit_.end()) return it->second;  // lost a build race
+    // The budget spans both universes: retained bit + word faults never
+    // exceed it, so stats().retained_faults <= fault_budget() holds.
+    if (bit_faults_ + word_faults_ + built->faults.size() > budget_) {
+        bit_.clear();
+        word_.clear();
+        bit_faults_ = 0;
+        word_faults_ = 0;
+        ++stats_.evictions;
+    }
+    bit_faults_ += built->faults.size();
+    return bit_.emplace(key, std::move(built)).first->second;
+}
+
+std::shared_ptr<const WordPopulationEntry> PopulationCache::word(
+    const std::vector<fault::FaultKind>& kinds,
+    const word::WordRunOptions& opts) {
+    std::vector<fault::FaultKind> canonical = canonical_kinds(kinds);
+    const WordKey key{kind_key(canonical), opts.words, opts.width};
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = word_.find(key);
+        if (it != word_.end()) {
+            ++stats_.hits;
+            return it->second;
+        }
+        ++stats_.misses;
+    }
+    auto entry = std::make_shared<WordPopulationEntry>();
+    entry->kinds = std::move(canonical);
+    entry->offsets.reserve(entry->kinds.size() + 1);
+    entry->offsets.push_back(0);
+    for (fault::FaultKind kind : entry->kinds) {
+        const std::vector<word::InjectedBitFault> placed =
+            word::coverage_population(kind, opts);
+        entry->faults.insert(entry->faults.end(), placed.begin(),
+                             placed.end());
+        entry->offsets.push_back(entry->faults.size());
+    }
+    std::shared_ptr<const WordPopulationEntry> built = std::move(entry);
+    if (built->faults.size() > budget_) return built;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = word_.find(key);
+    if (it != word_.end()) return it->second;  // lost a build race
+    if (bit_faults_ + word_faults_ + built->faults.size() > budget_) {
+        bit_.clear();
+        word_.clear();
+        bit_faults_ = 0;
+        word_faults_ = 0;
+        ++stats_.evictions;
+    }
+    word_faults_ += built->faults.size();
+    return word_.emplace(key, std::move(built)).first->second;
+}
+
+PopulationCache::Stats PopulationCache::stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Stats out = stats_;
+    out.bit_entries = bit_.size();
+    out.word_entries = word_.size();
+    out.retained_faults = bit_faults_ + word_faults_;
+    return out;
+}
+
 Engine::Engine(EngineConfig config)
-    : config_(config), backend_(make_backend(config)) {}
+    : config_(config), backend_(make_backend(config)),
+      cache_(make_cache(config)) {}
 
 Engine::Engine(std::unique_ptr<Backend> backend, EngineConfig config)
-    : config_(config), backend_(std::move(backend)) {
+    : config_(config), backend_(std::move(backend)),
+      cache_(make_cache(config)) {
     MTG_EXPECTS(backend_ != nullptr);
 }
 
@@ -82,61 +219,15 @@ Engine& Engine::global() {
     return instance;
 }
 
-std::shared_ptr<const std::vector<sim::InjectedFault>> Engine::bit_population(
+std::shared_ptr<const BitPopulationEntry> Engine::bit_population(
     const std::vector<fault::FaultKind>& kinds, int memory_size) const {
-    const BitKey key{kind_key(kinds), memory_size};
-    {
-        const std::lock_guard<std::mutex> lock(cache_mutex_);
-        const auto it = bit_cache_.find(key);
-        if (it != bit_cache_.end()) return it->second;
-    }
-    // Build outside the lock: a multi-million-fault expansion must not
-    // stall concurrent queries (including hits on unrelated keys).
-    auto population = std::make_shared<const std::vector<sim::InjectedFault>>(
-        sim::full_population(kinds, memory_size));
-    // A population beyond the whole budget is served uncached — the old
-    // transient-allocation behaviour — instead of pinning it for the
-    // session lifetime.
-    if (population->size() > kCacheFaultBudget) return population;
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto it = bit_cache_.find(key);
-    if (it != bit_cache_.end()) return it->second;  // lost a build race
-    if (bit_cache_faults_ + population->size() > kCacheFaultBudget) {
-        bit_cache_.clear();
-        bit_cache_faults_ = 0;
-    }
-    bit_cache_faults_ += population->size();
-    return bit_cache_.emplace(key, std::move(population)).first->second;
+    return cache_->bit(kinds, memory_size);
 }
 
-std::shared_ptr<const std::vector<word::InjectedBitFault>>
-Engine::word_population(const std::vector<fault::FaultKind>& kinds,
-                        const word::WordRunOptions& opts) const {
-    const WordKey key{kind_key(kinds), opts.words, opts.width};
-    {
-        const std::lock_guard<std::mutex> lock(cache_mutex_);
-        const auto it = word_cache_.find(key);
-        if (it != word_cache_.end()) return it->second;
-    }
-    std::vector<word::InjectedBitFault> placements;
-    for (fault::FaultKind kind : kinds) {
-        const std::vector<word::InjectedBitFault> placed =
-            word::coverage_population(kind, opts);
-        placements.insert(placements.end(), placed.begin(), placed.end());
-    }
-    auto population =
-        std::make_shared<const std::vector<word::InjectedBitFault>>(
-            std::move(placements));
-    if (population->size() > kCacheFaultBudget) return population;
-    const std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto it = word_cache_.find(key);
-    if (it != word_cache_.end()) return it->second;  // lost a build race
-    if (word_cache_faults_ + population->size() > kCacheFaultBudget) {
-        word_cache_.clear();
-        word_cache_faults_ = 0;
-    }
-    word_cache_faults_ += population->size();
-    return word_cache_.emplace(key, std::move(population)).first->second;
+std::shared_ptr<const WordPopulationEntry> Engine::word_population(
+    const std::vector<fault::FaultKind>& kinds,
+    const word::WordRunOptions& opts) const {
+    return cache_->word(kinds, opts);
 }
 
 Result Engine::run(const Query& query) const {
@@ -155,7 +246,7 @@ Result Engine::run_bit(const Query& query,
 
     // Resolve the population: canonical instance placements for a
     // dictionary sweep, the cached kind expansion, or explicit faults.
-    std::shared_ptr<const std::vector<sim::InjectedFault>> cached;
+    std::shared_ptr<const BitPopulationEntry> cached;
     std::vector<sim::InjectedFault> placed;
     std::span<const sim::InjectedFault> population = query.bit_faults;
     if (query.want == Want::DictionarySweep) {
@@ -172,7 +263,7 @@ Result Engine::run_bit(const Query& query,
     } else if (!query.kinds.empty()) {
         MTG_EXPECTS(query.bit_faults.empty());
         cached = bit_population(query.kinds, universe.opts.memory_size);
-        population = *cached;
+        population = cached->faults;
     }
 
     evaluate(out, *backend_, ctx, population, &Result::traces);
@@ -188,7 +279,7 @@ Result Engine::run_word(const Query& query,
     const WordContext ctx{query.test, universe.backgrounds, universe.opts,
                           config_.pool, config_.lane_width};
 
-    std::shared_ptr<const std::vector<word::InjectedBitFault>> cached;
+    std::shared_ptr<const WordPopulationEntry> cached;
     std::vector<word::InjectedBitFault> placed;
     std::span<const word::InjectedBitFault> population = query.word_faults;
     if (query.want == Want::DictionarySweep) {
@@ -202,7 +293,7 @@ Result Engine::run_word(const Query& query,
     } else if (!query.kinds.empty()) {
         MTG_EXPECTS(query.word_faults.empty());
         cached = word_population(query.kinds, universe.opts);
-        population = *cached;
+        population = cached->faults;
     }
 
     evaluate(out, *backend_, ctx, population, &Result::word_traces);
@@ -233,7 +324,7 @@ std::optional<fault::FaultKind> Engine::first_uncovered(
     const sim::RunOptions& opts) const {
     if (kinds.empty()) return std::nullopt;
     // One multi-kind per-fault query over the concatenated population:
-    // hits the same (kinds, n) cache entry covers_all primes, instead of
+    // hits the same canonical cache entry covers_all primes, instead of
     // evicting it with |kinds| single-kind entries as the old per-kind
     // covers_everywhere loop did.
     Query query;
@@ -243,17 +334,31 @@ std::optional<fault::FaultKind> Engine::first_uncovered(
     query.kinds = kinds;
     const Result result = run(query);
     if (result.all) return std::nullopt;
-    const auto miss = static_cast<std::size_t>(
-        std::find(result.detected.begin(), result.detected.end(), false) -
-        result.detected.begin());
-    // Map the verdict index back to its kind by walking the per-kind
-    // population sizes — cold path, taken at most once per call.
-    std::size_t boundary = 0;
-    for (fault::FaultKind kind : kinds) {
-        boundary += sim::full_population(kind, opts.memory_size).size();
-        if (miss < boundary) return kind;
+    // Map every miss back to its owning canonical kind through the cached
+    // entry's offsets (a deterministic rebuild if the entry was evicted in
+    // between — contents are identical either way), then report the first
+    // *caller-order* kind that owns a miss, preserving the documented
+    // "first kind in your list" semantics under canonical storage.
+    const auto entry = bit_population(kinds, opts.memory_size);
+    MTG_EXPECTS(entry->faults.size() == result.detected.size());
+    std::vector<bool> kind_missed(entry->kinds.size(), false);
+    std::size_t kind_index = 0;
+    for (std::size_t i = 0; i < result.detected.size(); ++i) {
+        if (result.detected[i]) continue;
+        while (i >= entry->offsets[kind_index + 1]) ++kind_index;
+        kind_missed[kind_index] = true;
     }
-    return kinds.back();
+    for (fault::FaultKind kind : kinds) {
+        const auto it = std::lower_bound(
+            entry->kinds.begin(), entry->kinds.end(), kind,
+            [](fault::FaultKind a, fault::FaultKind b) {
+                return static_cast<int>(a) < static_cast<int>(b);
+            });
+        if (it != entry->kinds.end() && *it == kind &&
+            kind_missed[static_cast<std::size_t>(it - entry->kinds.begin())])
+            return kind;
+    }
+    return kinds.back();  // unreachable: every miss has an owner
 }
 
 std::vector<bool> Engine::detects(

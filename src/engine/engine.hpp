@@ -34,6 +34,15 @@
 /// functions (sim::covers_everywhere, sim::covers_all, word::
 /// covers_everywhere, the guaranteed_* trace accessors, both dictionary
 /// build paths) are thin wrappers over Engine::global().
+///
+/// Re-entrancy: Engine::run (and every convenience over it) is safe to
+/// call from any number of threads simultaneously. The backends are
+/// stateless, the population caches are internally locked, and the thread
+/// pool serialises concurrent parallel_for callers — the query server
+/// (net/query_server.hpp) leans on exactly this to host one long-lived
+/// Engine under concurrent client sessions, and the TSan CI leg runs the
+/// concurrent hammer battery (tests/engine_hammer_test.cpp) to keep it
+/// honest.
 
 #include <map>
 #include <memory>
@@ -75,7 +84,10 @@ enum class Want {
 ///   - `kinds`: the Engine expands (and caches) the universe's full
 ///     placement set — full_population for bit, coverage_population for
 ///     word; for DictionarySweep, the canonical place_instance placements
-///     of fault::instantiate(kinds);
+///     of fault::instantiate(kinds). Kind-expanded populations are laid
+///     out in *canonical* kind order (sorted, deduplicated — see
+///     canonical_kinds), so permuted or duplicated kind lists share one
+///     cache entry and yield identically-ordered verdicts;
 ///   - `bit_faults` (bit universe) / `word_faults` (word universe):
 ///     explicit placements, evaluated as-is.
 struct Query {
@@ -102,6 +114,92 @@ struct Result {
     std::vector<fault::FaultInstance> instances;
 };
 
+/// Canonical form of a kind list: sorted by enum value, deduplicated.
+/// This is the identity the population caches key on AND the build order
+/// of the cached concatenation — the two must never drift apart, or a
+/// cache hit would hand back faults in an order the offsets don't
+/// describe.
+[[nodiscard]] std::vector<fault::FaultKind> canonical_kinds(
+    const std::vector<fault::FaultKind>& kinds);
+
+/// A cached kind expansion: the concatenated population of `kinds` (in
+/// canonical order) plus the per-kind layout of the concatenation, so a
+/// verdict index maps back to its owning kind without re-expanding any
+/// population (the old first_uncovered cold path rebuilt
+/// sim::full_population per kind just for this mapping).
+struct BitPopulationEntry {
+    std::vector<fault::FaultKind> kinds;     ///< canonical = build order
+    std::vector<sim::InjectedFault> faults;  ///< concatenated per kind
+    /// kinds.size() + 1 fence posts: kind k owns [offsets[k], offsets[k+1]).
+    std::vector<std::size_t> offsets;
+
+    /// Owning kind of faults[index].
+    [[nodiscard]] fault::FaultKind kind_of(std::size_t index) const;
+};
+
+/// Word-universe counterpart (coverage_population per kind).
+struct WordPopulationEntry {
+    std::vector<fault::FaultKind> kinds;
+    std::vector<word::InjectedBitFault> faults;
+    std::vector<std::size_t> offsets;
+
+    [[nodiscard]] fault::FaultKind kind_of(std::size_t index) const;
+};
+
+/// Thread-safe, bounded cache of kind-expanded populations, keyed by the
+/// *canonical* kind list — permuted or duplicated kind lists resolve to
+/// one entry instead of breeding redundant copies that trigger spurious
+/// budget evictions. Shareable between sessions: the query server's
+/// interactive and bulk engines pass one cache so either side's misses
+/// warm the other.
+///
+/// Bounding: a population larger than the whole budget is built and
+/// served uncached (the old transient-allocation behaviour); when
+/// retained entries would exceed the budget the cache is cleared before
+/// inserting (outstanding shared_ptrs stay valid — eviction only costs a
+/// rebuild on the next miss). Populations are built outside the lock so
+/// a multi-million-fault expansion never stalls hits on other keys.
+class PopulationCache {
+public:
+    /// Default retained-fault budget (~4.2M placements; tens of MB).
+    static constexpr std::size_t kDefaultFaultBudget = std::size_t{1} << 22;
+
+    /// `fault_budget` = 0 picks kDefaultFaultBudget. Tests pass a tiny
+    /// budget to force evictions mid-run.
+    explicit PopulationCache(std::size_t fault_budget = 0);
+
+    [[nodiscard]] std::shared_ptr<const BitPopulationEntry> bit(
+        const std::vector<fault::FaultKind>& kinds, int memory_size);
+
+    [[nodiscard]] std::shared_ptr<const WordPopulationEntry> word(
+        const std::vector<fault::FaultKind>& kinds,
+        const word::WordRunOptions& opts);
+
+    struct Stats {
+        std::size_t hits{0};
+        std::size_t misses{0};
+        std::size_t evictions{0};  ///< budget-triggered clears
+        std::size_t bit_entries{0};
+        std::size_t word_entries{0};
+        std::size_t retained_faults{0};
+    };
+    [[nodiscard]] Stats stats() const;
+
+    [[nodiscard]] std::size_t fault_budget() const { return budget_; }
+
+private:
+    using BitKey = std::pair<std::vector<int>, int>;
+    using WordKey = std::tuple<std::vector<int>, int, int>;
+
+    std::size_t budget_;
+    mutable std::mutex mutex_;
+    std::map<BitKey, std::shared_ptr<const BitPopulationEntry>> bit_;
+    std::map<WordKey, std::shared_ptr<const WordPopulationEntry>> word_;
+    std::size_t bit_faults_{0};
+    std::size_t word_faults_{0};
+    Stats stats_;
+};
+
 /// Execution strategy of a session.
 enum class BackendKind { Scalar, Packed, Sharded };
 
@@ -110,11 +208,18 @@ struct EngineConfig {
     util::ThreadPool* pool{nullptr};  ///< nullptr = process-wide pool
     int lane_width{0};                ///< 0 = CPUID / MTG_LANE_WIDTH
     int shards{0};  ///< Sharded only; <= 0 = pool worker count
+    /// Population cache shared with other sessions (the query server's
+    /// two engines pass one); nullptr = a private cache.
+    std::shared_ptr<PopulationCache> cache;
+    /// Retained-fault budget for the private cache (0 = the ~4.2M
+    /// default). Ignored when `cache` is supplied.
+    std::size_t cache_budget{0};
 };
 
 /// A simulation session: owns the backend, the lane-width and pool policy,
 /// and the population caches. Queries are const and safe to issue from
-/// multiple threads (the caches are internally locked). Engine::global()
+/// multiple threads (the caches are internally locked, the backends are
+/// stateless, and the pool serialises concurrent jobs). Engine::global()
 /// is the process-wide packed session the legacy free functions route
 /// through; build a local Engine to pin a different backend, pool, width
 /// or shard count.
@@ -145,7 +250,9 @@ public:
                                   const std::vector<fault::FaultKind>& kinds,
                                   const sim::RunOptions& opts = {}) const;
 
-    /// First kind NOT covered, or nullopt when fully covered.
+    /// First kind (in the caller's list order) NOT covered, or nullopt
+    /// when fully covered. The miss is mapped back to its kind through
+    /// the cached population's per-kind offsets — no re-expansion.
     [[nodiscard]] std::optional<fault::FaultKind> first_uncovered(
         const march::MarchTest& test,
         const std::vector<fault::FaultKind>& kinds,
@@ -195,26 +302,25 @@ public:
 
     // ---- cached populations --------------------------------------------
 
-    /// Concatenated full populations of `kinds` on an n-cell memory,
-    /// cached by (kinds, n) — repeated generator probes stop rebuilding
-    /// identical populations. The caches are bounded: a population larger
-    /// than the budget is served uncached (the old transient-allocation
-    /// behaviour), and when retained entries would exceed the budget the
-    /// cache is cleared before inserting (callers hold shared_ptrs, so
-    /// outstanding populations stay valid; eviction only costs a rebuild
-    /// on the next miss). Populations are built outside the cache lock.
-    [[nodiscard]] std::shared_ptr<const std::vector<sim::InjectedFault>>
-    bit_population(const std::vector<fault::FaultKind>& kinds,
-                   int memory_size) const;
+    /// Cached full-population entry of `kinds` on an n-cell memory (see
+    /// PopulationCache::bit). The entry's faults are concatenated in
+    /// canonical kind order with per-kind offsets alongside.
+    [[nodiscard]] std::shared_ptr<const BitPopulationEntry> bit_population(
+        const std::vector<fault::FaultKind>& kinds, int memory_size) const;
 
-    /// Concatenated coverage populations of `kinds` on a words × width
-    /// memory, cached by (kinds, words, width).
-    [[nodiscard]] std::shared_ptr<const std::vector<word::InjectedBitFault>>
-    word_population(const std::vector<fault::FaultKind>& kinds,
-                    const word::WordRunOptions& opts) const;
+    /// Cached coverage-population entry of `kinds` on a words × width
+    /// memory, keyed by (canonical kinds, words, width).
+    [[nodiscard]] std::shared_ptr<const WordPopulationEntry> word_population(
+        const std::vector<fault::FaultKind>& kinds,
+        const word::WordRunOptions& opts) const;
 
     [[nodiscard]] const EngineConfig& config() const { return config_; }
     [[nodiscard]] const Backend& backend() const { return *backend_; }
+    /// The session's population cache (possibly shared across sessions).
+    [[nodiscard]] const std::shared_ptr<PopulationCache>& population_cache()
+        const {
+        return cache_;
+    }
 
     /// The process-wide session (packed backend, global pool, auto width)
     /// behind the legacy compatibility wrappers.
@@ -223,18 +329,7 @@ public:
 private:
     EngineConfig config_;
     std::unique_ptr<Backend> backend_;
-
-    using BitKey = std::pair<std::vector<int>, int>;
-    using WordKey = std::tuple<std::vector<int>, int, int>;
-    mutable std::mutex cache_mutex_;
-    mutable std::map<BitKey,
-                     std::shared_ptr<const std::vector<sim::InjectedFault>>>
-        bit_cache_;
-    mutable std::map<
-        WordKey, std::shared_ptr<const std::vector<word::InjectedBitFault>>>
-        word_cache_;
-    mutable std::size_t bit_cache_faults_{0};
-    mutable std::size_t word_cache_faults_{0};
+    std::shared_ptr<PopulationCache> cache_;
 
     [[nodiscard]] Result run_bit(const Query& query,
                                  const BitUniverse& universe) const;

@@ -52,14 +52,15 @@ const char* chaos_kind_name(ChaosKind kind) {
         case ChaosKind::Garbage: return "garbage";
         case ChaosKind::Truncate: return "truncate";
         case ChaosKind::Flap: return "flap";
+        case ChaosKind::Dribble: return "dribble";
     }
     return "?";
 }
 
 std::vector<ChaosKind> parse_chaos_kinds(const std::string& csv) {
     if (csv == "all")
-        return {ChaosKind::Kill, ChaosKind::Delay, ChaosKind::Garbage,
-                ChaosKind::Truncate, ChaosKind::Flap};
+        return {ChaosKind::Kill,     ChaosKind::Delay, ChaosKind::Garbage,
+                ChaosKind::Truncate, ChaosKind::Flap,  ChaosKind::Dribble};
     std::vector<ChaosKind> kinds;
     std::stringstream stream(csv);
     std::string token;
@@ -69,10 +70,11 @@ std::vector<ChaosKind> parse_chaos_kinds(const std::string& csv) {
         else if (token == "garbage") kinds.push_back(ChaosKind::Garbage);
         else if (token == "truncate") kinds.push_back(ChaosKind::Truncate);
         else if (token == "flap") kinds.push_back(ChaosKind::Flap);
+        else if (token == "dribble") kinds.push_back(ChaosKind::Dribble);
         else
             throw std::runtime_error("unknown chaos kind: " + token +
                                      " (kill|delay|garbage|truncate|flap"
-                                     "|all)");
+                                     "|dribble|all)");
     }
     if (kinds.empty()) throw std::runtime_error("empty chaos kind list");
     return kinds;
@@ -141,6 +143,12 @@ ChaosReport run_chaos(const march::MarchTest& test,
             case ChaosKind::Flap:
                 hook.flap_after_queries = event.after_queries;
                 break;
+            case ChaosKind::Dribble:
+                hook.dribble_after_queries = event.after_queries;
+                // Stall well past the harness's 100 ms idle bound but not
+                // so long that an un-bounded receiver wedges the battery.
+                hook.dribble_stall_ms = 400;
+                break;
         }
     }
     LoopbackFleet fleet(config.peers, hooks);
@@ -167,6 +175,9 @@ ChaosReport run_chaos(const march::MarchTest& test,
     options.reconnect_backoff_max_ms = 100;
     options.backoff_seed = config.seed;
     options.degrade = engine::DegradePolicy::DegradeLocal;
+    // Small idle bound so a dribbling peer is declared Corrupt (and its
+    // ranges re-dispatched) within the harness's time budget.
+    options.mid_frame_idle_ms = 100;
 
     {
         const engine::Engine remote(

@@ -28,18 +28,20 @@
 
 namespace mtg::net {
 
-/// The five injected failure modes (WorkerHooks knobs).
+/// The six injected failure modes (WorkerHooks knobs).
 enum class ChaosKind : std::uint8_t {
     Kill,      ///< close the connection mid-query, never to return
     Delay,     ///< answer every query late (straggler)
     Garbage,   ///< reply with an undecodable frame, then close
     Truncate,  ///< reply with a lying length prefix, then close
     Flap,      ///< die mid-query but accept a reconnect (revivable peer)
+    Dribble,   ///< start a reply frame, stall mid-payload, then close —
+               ///< exercises the mid-frame idle-progress bound
 };
 
 [[nodiscard]] const char* chaos_kind_name(ChaosKind kind);
 
-/// Parses "kill,delay,flap" (any order) or "all". Throws
+/// Parses "kill,delay,flap,dribble" (any order) or "all". Throws
 /// std::runtime_error on an unknown name.
 [[nodiscard]] std::vector<ChaosKind> parse_chaos_kinds(
     const std::string& csv);
@@ -66,9 +68,9 @@ struct ChaosSchedule {
 struct ChaosConfig {
     std::uint64_t seed{1};
     int peers{2};
-    std::vector<ChaosKind> kinds{ChaosKind::Kill, ChaosKind::Delay,
-                                 ChaosKind::Garbage, ChaosKind::Truncate,
-                                 ChaosKind::Flap};
+    std::vector<ChaosKind> kinds{ChaosKind::Kill,     ChaosKind::Delay,
+                                 ChaosKind::Garbage,  ChaosKind::Truncate,
+                                 ChaosKind::Flap,     ChaosKind::Dribble};
 };
 
 struct ChaosReport {

@@ -46,7 +46,8 @@ FrameChannel::~FrameChannel() {
 FrameChannel::FrameChannel(FrameChannel&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       frame_version_(other.frame_version_),
-      max_frame_bytes_(other.max_frame_bytes_) {}
+      max_frame_bytes_(other.max_frame_bytes_),
+      mid_frame_idle_ms_(other.mid_frame_idle_ms_) {}
 
 FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
     if (this != &other) {
@@ -54,6 +55,7 @@ FrameChannel& FrameChannel::operator=(FrameChannel&& other) noexcept {
         fd_ = std::exchange(other.fd_, -1);
         frame_version_ = other.frame_version_;
         max_frame_bytes_ = other.max_frame_bytes_;
+        mid_frame_idle_ms_ = other.mid_frame_idle_ms_;
     }
     return *this;
 }
@@ -65,6 +67,10 @@ void FrameChannel::set_frame_version(int version) {
 
 void FrameChannel::set_max_frame_bytes(std::uint32_t max_bytes) {
     max_frame_bytes_ = max_bytes == 0 ? kMaxFrameBytes : max_bytes;
+}
+
+void FrameChannel::set_mid_frame_idle_ms(int idle_ms) {
+    mid_frame_idle_ms_ = idle_ms == 0 ? kDefaultMidFrameIdleMs : idle_ms;
 }
 
 bool FrameChannel::send(std::span<const std::uint8_t> payload) {
@@ -109,16 +115,24 @@ FrameChannel::IoStatus FrameChannel::read_exact(std::uint8_t* out,
         clock::now() + std::chrono::milliseconds(has_deadline ? timeout_ms : 0);
     std::size_t got = 0;
     while (got < n) {
-        // Once the frame has started, keep reading to completion: a
-        // deadline mid-frame would leave the stream unsynchronizable.
-        const int wait = started ? -1 : remaining_ms(has_deadline, deadline);
+        // Once the frame has started, keep reading to completion — a
+        // caller deadline mid-frame would leave the stream
+        // unsynchronizable — but bound each wait by the idle-progress
+        // window: a byte-dribbling peer that stops making progress wedges
+        // the stream just as surely as a dead one, and used to hold the
+        // receiver here forever, past any per-query deadline budget.
+        // Every arriving byte restarts the window (poll waits per-byte),
+        // so slow-but-advancing peers always finish.
+        const int wait = started ? mid_frame_idle_ms_
+                                 : remaining_ms(has_deadline, deadline);
         pollfd pfd{fd_, POLLIN, 0};
         const int ready = ::poll(&pfd, 1, wait);
         if (ready < 0) {
             if (errno == EINTR) continue;
             return IoStatus::Closed;
         }
-        if (ready == 0) return IoStatus::Timeout;
+        if (ready == 0)
+            return started ? IoStatus::Stalled : IoStatus::Timeout;
         const ssize_t read = ::recv(fd_, out + got, n - got, 0);
         if (read < 0) {
             if (errno == EINTR) continue;
@@ -135,10 +149,10 @@ FrameChannel::RecvStatus FrameChannel::recv(std::vector<std::uint8_t>& payload,
                                             int timeout_ms) {
     if (fd_ < 0) return RecvStatus::Closed;
     std::uint8_t header[4];
-    // The length prefix itself may stall mid-way only if the peer died or
-    // is byte-dribbling; either way the stream cannot resync -> Corrupt is
-    // handled below by the started flag logic: a partial header followed
-    // by EOF is a truncated frame.
+    // A partial length prefix means the frame has started: from that point
+    // the caller deadline no longer applies (the stream cannot resync if
+    // we abandon it), but the idle-progress bound does — a peer that
+    // dribbles part of a header and stalls is Corrupt, not a hang.
     std::size_t got = 0;
     const bool has_deadline = timeout_ms >= 0;
     const auto deadline =
@@ -146,13 +160,14 @@ FrameChannel::RecvStatus FrameChannel::recv(std::vector<std::uint8_t>& payload,
     while (got < sizeof(header)) {
         pollfd pfd{fd_, POLLIN, 0};
         const int wait =
-            got > 0 ? -1 : remaining_ms(has_deadline, deadline);
+            got > 0 ? mid_frame_idle_ms_ : remaining_ms(has_deadline, deadline);
         const int ready = ::poll(&pfd, 1, wait);
         if (ready < 0) {
             if (errno == EINTR) continue;
             return got > 0 ? RecvStatus::Corrupt : RecvStatus::Closed;
         }
-        if (ready == 0) return RecvStatus::Timeout;
+        if (ready == 0)
+            return got > 0 ? RecvStatus::Corrupt : RecvStatus::Timeout;
         const ssize_t read = ::recv(fd_, header + got, sizeof(header) - got, 0);
         if (read < 0 && errno == EINTR) continue;
         if (read <= 0)
@@ -168,8 +183,9 @@ FrameChannel::RecvStatus FrameChannel::recv(std::vector<std::uint8_t>& payload,
         switch (read_exact(payload.data(), length, /*timeout_ms=*/-1,
                            /*started=*/true)) {
             case IoStatus::Ok: break;
-            case IoStatus::Timeout:  // unreachable: started frames never
-                                     // time out
+            case IoStatus::Timeout:  // unreachable: started reads stall,
+                                     // never time out
+            case IoStatus::Stalled:
             case IoStatus::Closed: return RecvStatus::Corrupt;
         }
     }
@@ -181,6 +197,7 @@ FrameChannel::RecvStatus FrameChannel::recv(std::vector<std::uint8_t>& payload,
                            /*started=*/true)) {
             case IoStatus::Ok: break;
             case IoStatus::Timeout:
+            case IoStatus::Stalled:
             case IoStatus::Closed: return RecvStatus::Corrupt;
         }
         std::uint32_t wire_crc = 0;

@@ -50,6 +50,14 @@ namespace mtg::net {
 /// query we ship, far below a believable-garbage u32 length.
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Default idle-progress bound for mid-frame reads (30 s). Once a frame
+/// has started arriving, each further byte must land within this window
+/// or the stream is declared Corrupt — a byte-dribbling (or silently
+/// wedged) peer can no longer hold a receiver forever on a frame it never
+/// finishes. Healthy peers write whole frames in a handful of syscalls,
+/// so the bound only ever fires on a pathological stream.
+inline constexpr int kDefaultMidFrameIdleMs = 30000;
+
 /// A stream socket speaking length-prefixed frames. Owns the fd.
 class FrameChannel {
 public:
@@ -72,10 +80,13 @@ public:
     [[nodiscard]] bool send(std::span<const std::uint8_t> payload);
 
     /// Receives one frame into `payload`. `timeout_ms < 0` blocks
-    /// indefinitely (until a frame, close, or shutdown()). Once a frame's
-    /// length prefix has started arriving, the frame is read to completion
-    /// regardless of the timeout — a mid-frame stall beyond the deadline
-    /// is Corrupt, never Timeout, because the stream cannot resync.
+    /// indefinitely (until a frame, close, or shutdown()) — the timeout
+    /// only governs waiting *between* frames. Once a frame's length
+    /// prefix has started arriving, the frame is read to completion, but
+    /// each successive byte must arrive within the mid-frame idle bound
+    /// (set_mid_frame_idle_ms): a stalled mid-frame stream is Corrupt,
+    /// never Timeout, because it cannot resync — and, since PR 9, it can
+    /// no longer hold the receiver past any deadline budget either.
     [[nodiscard]] RecvStatus recv(std::vector<std::uint8_t>& payload,
                                   int timeout_ms);
 
@@ -99,6 +110,15 @@ public:
         return max_frame_bytes_;
     }
 
+    /// Sets the idle-progress bound for mid-frame reads: once a frame has
+    /// started, recv() declares the stream Corrupt when no byte arrives
+    /// for `idle_ms` milliseconds. 0 restores kDefaultMidFrameIdleMs;
+    /// negative disables the bound (the pre-PR 9 infinite wait, kept only
+    /// for tests that need a wedgeable channel). Progress resets the
+    /// window, so a slow-but-advancing peer is never cut off.
+    void set_mid_frame_idle_ms(int idle_ms);
+    [[nodiscard]] int mid_frame_idle_ms() const { return mid_frame_idle_ms_; }
+
     [[nodiscard]] int fd() const { return fd_; }
     [[nodiscard]] bool valid() const { return fd_ >= 0; }
 
@@ -106,8 +126,9 @@ private:
     int fd_{-1};
     int frame_version_{1};
     std::uint32_t max_frame_bytes_{kMaxFrameBytes};
+    int mid_frame_idle_ms_{kDefaultMidFrameIdleMs};
 
-    enum class IoStatus { Ok, Timeout, Closed };
+    enum class IoStatus { Ok, Timeout, Closed, Stalled };
     [[nodiscard]] IoStatus read_exact(std::uint8_t* out, std::size_t n,
                                       int timeout_ms, bool started);
 };

@@ -66,6 +66,7 @@ public:
             if (config.fd >= 0) {
                 auto channel = std::make_shared<FrameChannel>(config.fd);
                 channel->set_max_frame_bytes(options_.max_frame_bytes);
+                channel->set_mid_frame_idle_ms(options_.mid_frame_idle_ms);
                 if (hello_exchange(*channel)) {
                     peer->channel = std::move(channel);
                     peer->phase = PeerPhase::Alive;
@@ -479,6 +480,7 @@ private:
         if (fd >= 0) {
             channel = std::make_shared<FrameChannel>(fd);
             channel->set_max_frame_bytes(options_.max_frame_bytes);
+            channel->set_mid_frame_idle_ms(options_.mid_frame_idle_ms);
             if (!hello_exchange(*channel)) channel.reset();
         }
         const auto now = steady::now();

@@ -107,6 +107,12 @@ struct RemoteOptions {
     /// Oversized length prefixes beyond the configured cap are still
     /// rejected as Corrupt.
     std::uint32_t max_frame_bytes{0};
+    /// Mid-frame idle-progress bound applied to every peer channel
+    /// (FrameChannel::set_mid_frame_idle_ms): 0 keeps the 30 s default,
+    /// negative disables it. The chaos harness shrinks this so a
+    /// byte-dribbling peer is declared Corrupt (and its ranges
+    /// re-dispatched) quickly instead of wedging the receiver.
+    int mid_frame_idle_ms{0};
 };
 
 /// One peer: an already-connected socket, a factory to (re)establish the

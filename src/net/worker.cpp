@@ -123,6 +123,25 @@ void serve_connection(int fd, const WorkerHooks& hooks) {
             (void)channel.send(garbage);
             return;
         }
+        if (hooks.dribble_after_queries >= 0 &&
+            queries >= hooks.dribble_after_queries) {
+            // Start a plausible frame (length prefix promising 64 bytes,
+            // two payload bytes), stall mid-payload, then close — a peer
+            // that wedges while replying instead of dying cleanly.
+            const std::vector<std::uint8_t> partial = {64, 0, 0, 0, 0x01,
+                                                       0x02};
+            std::size_t sent = 0;
+            while (sent < partial.size()) {
+                const ssize_t wrote =
+                    ::send(channel.fd(), partial.data() + sent,
+                           partial.size() - sent, MSG_NOSIGNAL);
+                if (wrote <= 0) break;
+                sent += static_cast<std::size_t>(wrote);
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(hooks.dribble_stall_ms));
+            return;
+        }
         if (hooks.truncate_after_queries >= 0 &&
             queries >= hooks.truncate_after_queries) {
             // Length prefix promising 64 bytes, connection closed after 2.

@@ -63,6 +63,14 @@ struct WorkerHooks {
     /// Reply to the k-th query (1-based) with a frame whose length prefix
     /// promises more bytes than are sent, then close. -1 = never.
     int truncate_after_queries{-1};
+    /// Reply to the k-th query (1-based) with the first bytes of a frame,
+    /// then stall for `dribble_stall_ms` before closing — the mid-frame
+    /// byte-dribbler the idle-progress bound (FrameChannel::
+    /// set_mid_frame_idle_ms) exists for. A receiver with the bound
+    /// declares the stream Corrupt as soon as the stall exceeds it; the
+    /// pre-PR 9 receiver hung here for the whole stall. -1 = never.
+    int dribble_after_queries{-1};
+    int dribble_stall_ms{1000};
     /// Highest frame version this worker admits in the Hello exchange
     /// (0 = the build's kMaxFrameVersion). Pinning 1 models a v1-only
     /// peer for the negotiation tests.

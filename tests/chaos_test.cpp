@@ -1,5 +1,6 @@
 /// The chaos invariant: every seeded failure schedule — peers killed,
-/// delayed, corrupting, truncating or flapping, in any combination, down
+/// delayed, corrupting, truncating, flapping or dribbling mid-frame, in
+/// any combination, down
 /// to every peer dead — must leave the supervised RemoteBackend's
 /// results bit-identical to a local PackedBackend. The harness
 /// (net/chaos.hpp) runs all four Engine Wants over both universes per
@@ -46,7 +47,7 @@ TEST(Chaos, SingleKindSchedulesMatchThePackedOracle) {
     // the whole query).
     for (const ChaosKind kind :
          {ChaosKind::Kill, ChaosKind::Delay, ChaosKind::Garbage,
-          ChaosKind::Truncate, ChaosKind::Flap}) {
+          ChaosKind::Truncate, ChaosKind::Flap, ChaosKind::Dribble}) {
         ChaosConfig config;
         config.seed = 11;
         config.peers = 2;
@@ -71,13 +72,28 @@ TEST(Chaos, SchedulesAreDeterministicInTheSeed) {
 }
 
 TEST(Chaos, ParseKindsAcceptsListsAndRejectsGarbage) {
-    EXPECT_EQ(parse_chaos_kinds("all").size(), 5u);
-    const auto kinds = parse_chaos_kinds("flap,kill");
-    ASSERT_EQ(kinds.size(), 2u);
+    EXPECT_EQ(parse_chaos_kinds("all").size(), 6u);
+    const auto kinds = parse_chaos_kinds("flap,kill,dribble");
+    ASSERT_EQ(kinds.size(), 3u);
     EXPECT_EQ(kinds[0], ChaosKind::Flap);
     EXPECT_EQ(kinds[1], ChaosKind::Kill);
+    EXPECT_EQ(kinds[2], ChaosKind::Dribble);
     EXPECT_THROW((void)parse_chaos_kinds("meteor"), std::runtime_error);
     EXPECT_THROW((void)parse_chaos_kinds(""), std::runtime_error);
+}
+
+TEST(Chaos, AllPeersDribblingStillMatchesTheOracle) {
+    // Every peer starts a reply and stalls mid-frame. Without the
+    // idle-progress bound this schedule wedged the receivers for the
+    // whole stall; with it, the streams go Corrupt, the peers die, and
+    // DegradeLocal carries the ranges — bit-identically.
+    ChaosConfig config;
+    config.seed = 7;
+    config.peers = 2;
+    config.kinds = {ChaosKind::Dribble};
+    const ChaosReport report = run_chaos(march::march_c_minus(), config);
+    EXPECT_TRUE(report.ok) << failure_text(report);
+    EXPECT_EQ(report.checks, 8);
 }
 
 }  // namespace

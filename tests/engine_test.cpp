@@ -575,11 +575,13 @@ TEST(EngineCache, PopulationsAreSharedAndKeyed) {
     const auto a = eng.bit_population(kBitKinds, 8);
     const auto b = eng.bit_population(kBitKinds, 8);
     EXPECT_EQ(a.get(), b.get());  // cache hit: same expansion object
-    EXPECT_EQ(*a, sim::full_population(kBitKinds, 8));
+    EXPECT_EQ(a->faults,
+              sim::full_population(engine::canonical_kinds(kBitKinds), 8));
 
     const auto c = eng.bit_population(kBitKinds, 9);
     EXPECT_NE(a.get(), c.get());  // different memory size, different entry
-    EXPECT_EQ(*c, sim::full_population(kBitKinds, 9));
+    EXPECT_EQ(c->faults,
+              sim::full_population(engine::canonical_kinds(kBitKinds), 9));
 
     word::WordRunOptions opts;
     opts.words = 6;
@@ -588,7 +590,49 @@ TEST(EngineCache, PopulationsAreSharedAndKeyed) {
     const auto w1 = eng.word_population(kinds, opts);
     const auto w2 = eng.word_population(kinds, opts);
     EXPECT_EQ(w1.get(), w2.get());
-    EXPECT_EQ(*w1, word::coverage_population(FaultKind::CfidUp1, opts));
+    EXPECT_EQ(w1->faults, word::coverage_population(FaultKind::CfidUp1, opts));
+}
+
+TEST(EngineCache, PermutedAndDuplicatedKindListsShareOneEntry) {
+    // Regression: the cache used to key on the kind list verbatim, so a
+    // permuted (or duplicated) caller list bred a second multi-megafault
+    // copy of the same population and burned budget until eviction.
+    const Engine eng;
+    const std::vector<FaultKind> permuted = {
+        FaultKind::AfMap,   FaultKind::CfinDown, FaultKind::CfidUp0,
+        FaultKind::Rdf1,    FaultKind::TfUp,     FaultKind::Saf0,
+    };
+    std::vector<FaultKind> duplicated = kBitKinds;
+    duplicated.insert(duplicated.end(), permuted.begin(), permuted.end());
+
+    const auto a = eng.bit_population(kBitKinds, 8);
+    const auto b = eng.bit_population(permuted, 8);
+    const auto c = eng.bit_population(duplicated, 8);
+    EXPECT_EQ(a.get(), b.get());  // same entry, not a re-expansion
+    EXPECT_EQ(a.get(), c.get());
+    EXPECT_EQ(a->kinds, engine::canonical_kinds(kBitKinds));
+    ASSERT_EQ(a->offsets.size(), a->kinds.size() + 1);
+    EXPECT_EQ(a->offsets.front(), 0u);
+    EXPECT_EQ(a->offsets.back(), a->faults.size());
+
+    // kind_of maps every fault index back to the kind whose expansion
+    // owns it — the contract first_uncovered's miss mapping rests on.
+    for (std::size_t k = 0; k < a->kinds.size(); ++k)
+        for (std::size_t i = a->offsets[k]; i < a->offsets[k + 1]; ++i)
+            ASSERT_EQ(a->kind_of(i), a->kinds[k]) << "index " << i;
+
+    const auto stats = eng.population_cache()->stats();
+    EXPECT_EQ(stats.misses, 1u);  // one expansion served all three lists
+    EXPECT_GE(stats.hits, 2u);
+
+    word::WordRunOptions opts;
+    opts.words = 6;
+    opts.width = 4;
+    const auto w1 = eng.word_population(
+        {FaultKind::CfidUp1, FaultKind::Saf0}, opts);
+    const auto w2 = eng.word_population(
+        {FaultKind::Saf0, FaultKind::CfidUp1, FaultKind::Saf0}, opts);
+    EXPECT_EQ(w1.get(), w2.get());
 }
 
 TEST(EngineQuery, ExplicitFaultsMatchKindExpansion) {

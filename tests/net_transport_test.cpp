@@ -467,6 +467,86 @@ TEST(Framing, CloseAndCorruptionAreDistinguished) {
     }
 }
 
+TEST(Framing, MidFrameStallIsCorruptNotAHang) {
+    // A peer that starts a frame and then stops making progress — without
+    // closing — used to hold recv() forever (the mid-frame wait was
+    // unbounded). With the idle-progress bound it is Corrupt: the stream
+    // cannot resync, and the receiver gets its thread back.
+    const auto [a_fd, b_fd] = socket_pair();
+    FrameChannel b(b_fd);
+    b.set_mid_frame_idle_ms(50);
+    // Length prefix promising 64 bytes, two payload bytes, then silence.
+    // The sender fd stays OPEN for the duration: only the idle bound can
+    // end the read.
+    const std::uint8_t partial[] = {64, 0, 0, 0, 0x01, 0x02};
+    ASSERT_EQ(::write(a_fd, partial, sizeof(partial)),
+              static_cast<ssize_t>(sizeof(partial)));
+    std::vector<std::uint8_t> payload;
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_EQ(b.recv(payload, /*timeout_ms=*/-1),
+              FrameChannel::RecvStatus::Corrupt);
+    const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    EXPECT_GE(waited, 40);    // the bound, not an instant failure
+    EXPECT_LT(waited, 5000);  // and certainly not forever
+    ::close(a_fd);
+}
+
+TEST(Framing, MidFrameStallInHeaderIsCorrupt) {
+    // The stall can hit inside the 4-byte length prefix too: a partial
+    // header is already a started frame.
+    const auto [a_fd, b_fd] = socket_pair();
+    FrameChannel b(b_fd);
+    b.set_mid_frame_idle_ms(50);
+    const std::uint8_t half_header[] = {64, 0};
+    ASSERT_EQ(::write(a_fd, half_header, sizeof(half_header)),
+              static_cast<ssize_t>(sizeof(half_header)));
+    std::vector<std::uint8_t> payload;
+    EXPECT_EQ(b.recv(payload, /*timeout_ms=*/-1),
+              FrameChannel::RecvStatus::Corrupt);
+    ::close(a_fd);
+}
+
+TEST(Framing, SlowButProgressingPeerStillCompletes) {
+    // The bound is idle-progress, not total-duration: a peer dribbling
+    // one chunk per 20 ms under a 120 ms idle bound takes ~8 bounds'
+    // worth of wall clock and must still deliver the frame intact.
+    const auto [a_fd, b_fd] = socket_pair();
+    FrameChannel a(a_fd);
+    FrameChannel b(b_fd);
+    b.set_mid_frame_idle_ms(120);
+    std::vector<std::uint8_t> frame(64);
+    for (std::size_t i = 0; i < frame.size(); ++i)
+        frame[i] = static_cast<std::uint8_t>(i * 7);
+    std::thread sender([fd = a_fd, &frame] {
+        std::uint8_t header[4] = {64, 0, 0, 0};
+        (void)!::write(fd, header, sizeof(header));
+        for (std::size_t off = 0; off < frame.size(); off += 8) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            (void)!::write(fd, frame.data() + off, 8);
+        }
+    });
+    std::vector<std::uint8_t> payload;
+    EXPECT_EQ(b.recv(payload, /*timeout_ms=*/-1),
+              FrameChannel::RecvStatus::Ok);
+    EXPECT_EQ(payload, frame);
+    sender.join();
+}
+
+TEST(Framing, DisabledIdleBoundRestoresInfiniteWait) {
+    // set_mid_frame_idle_ms(-1) keeps a wedgeable channel for tests that
+    // want the historical behaviour; 0 restores the 30 s default.
+    const auto [a_fd, b_fd] = socket_pair();
+    FrameChannel b(b_fd);
+    EXPECT_EQ(b.mid_frame_idle_ms(), kDefaultMidFrameIdleMs);
+    b.set_mid_frame_idle_ms(-1);
+    EXPECT_EQ(b.mid_frame_idle_ms(), -1);
+    b.set_mid_frame_idle_ms(0);
+    EXPECT_EQ(b.mid_frame_idle_ms(), kDefaultMidFrameIdleMs);
+    ::close(a_fd);
+}
+
 TEST(Framing, PerChannelFrameCapBindsBothDirections) {
     // The 64 MiB default is per-channel configurable (large word-memory
     // Traces replies can exceed it); the cap moves, the enforcement
