@@ -1,0 +1,131 @@
+/// \file bench_query.cpp
+/// Query-path throughput: the persistent query server over loopback TCP
+/// versus a direct in-process Engine on the same workload mix.
+///
+/// The direct leg is the floor — Engine::run with warm population
+/// caches, no serialisation. The server legs add JSON encode/decode,
+/// line framing, the admission queue and the executor hand-off; the
+/// single-client leg round-trips one request at a time (per-query
+/// latency), the pipelined leg keeps the whole mix outstanding on one
+/// connection (the replay workload — queue depth hides latency when
+/// cores are available, and surfaces executor oversubscription when
+/// they are not, which is exactly the number worth tracking). The
+/// 1-deep/direct ratio is the protocol tax the ROADMAP asked to
+/// measure; the coalescing and sweep caches are deliberately stepped
+/// around by varying the (test, kinds) pair per request so every
+/// request costs a backend run.
+///
+/// Emits BENCH_query.json (keys end in _per_sec; scripts/bench_diff.py
+/// diffs them against the committed dev-box baseline in CI).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_timing.hpp"
+#include "engine/engine.hpp"
+#include "fault/kinds.hpp"
+#include "march/library.hpp"
+#include "net/query_protocol.hpp"
+#include "net/query_server.hpp"
+
+namespace {
+
+using namespace mtg;
+
+/// The workload mix: every library test crossed with three kind lists,
+/// Detects and DetectsAll alternating — the interactive shape of a
+/// synthesis or verification client, no bulk sweeps.
+std::vector<net::QueryRequest> workload_mix() {
+    static const std::vector<std::string> kind_lists{
+        "SAF,TF", "SAF,TF,CFin", "RDF,WDF,IRF"};
+    std::vector<net::QueryRequest> mix;
+    std::int64_t id = 0;
+    for (const march::NamedMarchTest& named : march::known_march_tests()) {
+        for (const std::string& kinds : kind_lists) {
+            net::QueryRequest request;
+            request.id = ++id;
+            request.op = (id % 2 == 0) ? net::QueryOp::Detects
+                                       : net::QueryOp::DetectsAll;
+            request.test = named.test.str(march::Notation::Ascii);
+            request.kinds = kinds;
+            // Big enough that each query costs real kernel work (CFin
+            // places O(n²) pairs) — the tax measured is protocol over
+            // compute, not loopback scheduling over nothing.
+            request.memory_size = 32;
+            mix.push_back(std::move(request));
+        }
+    }
+    return mix;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+
+    const std::vector<net::QueryRequest> mix = workload_mix();
+    const double queries = static_cast<double>(mix.size());
+
+    // Direct leg: the same resolved queries straight into one session.
+    engine::Engine engine;
+    std::vector<engine::Query> resolved;
+    resolved.reserve(mix.size());
+    for (const net::QueryRequest& request : mix)
+        resolved.push_back(net::to_engine_query(request));
+    const double direct_sec = benchutil::seconds_per_sweep([&] {
+        int covered = 0;
+        for (const engine::Query& query : resolved)
+            covered += engine.run(query).all ? 1 : 0;
+        return covered;
+    });
+
+    // Server legs: one loopback server, one client connection.
+    net::QueryServer server;
+    const std::uint16_t port = server.listen(0);
+
+    net::QueryClient single("127.0.0.1", port);
+    const double single_sec = benchutil::seconds_per_sweep([&] {
+        int ok = 0;
+        for (const net::QueryRequest& request : mix)
+            if (single.roundtrip(request, /*timeout_ms=*/60000).has_value())
+                ++ok;
+        return ok;
+    });
+
+    net::QueryClient pipelined("127.0.0.1", port);
+    const double pipelined_sec = benchutil::seconds_per_sweep([&] {
+        for (const net::QueryRequest& request : mix)
+            if (!pipelined.send(request)) return 0;
+        int ok = 0;
+        for (std::size_t i = 0; i < mix.size(); ++i)
+            if (pipelined.read_reply(/*timeout_ms=*/60000).has_value()) ++ok;
+        return ok;
+    });
+
+    server.stop();
+
+    const double direct_qps = queries / direct_sec;
+    const double single_qps = queries / single_sec;
+    const double pipelined_qps = queries / pipelined_sec;
+    std::printf(
+        "Query path (%zu-request mix, loopback TCP):\n"
+        "  direct engine   : %12.0f queries/sec\n"
+        "  server (1 deep) : %12.0f queries/sec  (%8.0f us/query)\n"
+        "  server (piped)  : %12.0f queries/sec  (%8.0f us/query)\n"
+        "  protocol tax    : %.0fx (direct vs 1-deep server)\n\n",
+        mix.size(), direct_qps, single_qps, 1e6 / single_qps,
+        pipelined_qps, 1e6 / pipelined_qps, direct_qps / single_qps);
+
+    benchutil::JsonSummary("query")
+        .field("workload", "library_mix")
+        .field("requests", mix.size())
+        .field("direct_queries_per_sec", direct_qps)
+        .field("server_queries_per_sec", single_qps)
+        .field("server_pipelined_queries_per_sec", pipelined_qps)
+        .field("direct_vs_server", direct_qps / single_qps, 2)
+        .print();
+
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -28,12 +28,18 @@
 ///   march_tool query <host:port> --replay <file>
 ///       pipeline every request line of <file> (the line-JSON request
 ///       format) and print the replies in completion order
+///   march_tool synth <fault-list> [--beam B] [--lookahead K] [--seed S]
+///       synthesise a March test from scratch by beam search over the
+///       slot IR (src/synth/), probing the dominance-pruned universe and
+///       accepting only on the full-universe DetectsAll gate; prints the
+///       test, its complexity, and the probe/cache counters
 ///
 /// March tests are written in the conventional notation, e.g.
 /// "{~(w0); ^(r0,w1); v(r1,w0)}"; fault lists are comma-separated families
 /// (SAF, TF, ADF, AF2, CFin, CFid, CFst, WDF, RDF, DRDF, IRF, DRF) or
 /// single primitives such as CFid<^,1>.
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -59,6 +65,7 @@
 #include "net/remote_backend.hpp"
 #include "net/worker.hpp"
 #include "setcover/coverage_matrix.hpp"
+#include "synth/beam_search.hpp"
 #include "word/word_march.hpp"
 
 namespace {
@@ -81,7 +88,9 @@ int usage() {
                  "  march_tool query-serve <port>\n"
                  "  march_tool query <host:port> <op> \"<march-test>\" "
                  "<fault-list> [word [words width]]\n"
-                 "  march_tool query <host:port> --replay <file>\n");
+                 "  march_tool query <host:port> --replay <file>\n"
+                 "  march_tool synth <fault-list> [--beam B] "
+                 "[--lookahead K] [--seed S]\n");
     return 2;
 }
 
@@ -332,6 +341,63 @@ int cmd_query(const std::string& peer, std::vector<std::string> args) {
                : 1;
 }
 
+int cmd_synth(const std::string& list, std::vector<std::string> flags) {
+    synth::SearchConfig search;
+    for (std::size_t i = 0; i + 1 < flags.size(); i += 2) {
+        if (flags[i] == "--beam")
+            search.beam_width = std::atoi(flags[i + 1].c_str());
+        else if (flags[i] == "--lookahead")
+            search.lookahead = std::atoi(flags[i + 1].c_str());
+        else if (flags[i] == "--seed")
+            search.seed = std::strtoull(flags[i + 1].c_str(), nullptr, 10);
+        else
+            return usage();
+    }
+    if (flags.size() % 2 != 0) return usage();
+
+    const auto kinds = fault::parse_fault_kinds(list);
+    search.include_delay = std::any_of(kinds.begin(), kinds.end(),
+                                       fault::needs_wait);
+
+    const engine::Engine& engine = engine::Engine::global();
+    synth::ScorerConfig scorer_config;
+    scorer_config.kinds = kinds;
+    synth::Scorer scorer(engine, scorer_config);
+    const synth::SearchResult result =
+        synth::BeamSearch(scorer, search).run();
+
+    if (!result.found()) {
+        std::printf("no covering test within %d element(s) "
+                    "(best pruned coverage %zu/%zu)\n",
+                    search.max_slots, result.best_covered, result.best_total);
+        return 1;
+    }
+    std::printf("%s\n", result.test.str(march::Notation::Unicode).c_str());
+    std::printf("complexity: %dn\n", result.test.complexity());
+    std::printf("rounds:     %d\n", result.rounds);
+    std::printf("probes:     %zu (%zu probe-cache hit(s), %zu full "
+                "check(s))\n",
+                result.probe_stats.probes, result.probe_stats.cache_hits,
+                result.probe_stats.full_checks);
+    const engine::Engine::Stats stats = engine.stats();
+    std::printf("engine:     %zu quer(ies), population cache %zu hit(s) / "
+                "%zu miss(es)\n",
+                stats.queries, stats.cache.hits, stats.cache.misses);
+
+    // Context: the shortest library test covering the same kinds.
+    const march::NamedMarchTest* best = nullptr;
+    for (const march::NamedMarchTest& known : march::known_march_tests()) {
+        if (!engine.covers_all(known.test, kinds)) continue;
+        if (best == nullptr ||
+            known.test.complexity() < best->test.complexity())
+            best = &known;
+    }
+    if (best != nullptr)
+        std::printf("library:    %s (%dn)\n", best->name.c_str(),
+                    best->test.complexity());
+    return 0;
+}
+
 int cmd_chaos(const std::string& text, const std::string& kinds_csv,
               std::uint64_t seed, int peers) {
     net::ChaosConfig config;
@@ -373,6 +439,9 @@ int main(int argc, char** argv) {
             return cmd_query_serve(std::atoi(argv[2]));
         if (command == "query" && argc >= 4)
             return cmd_query(
+                argv[2], std::vector<std::string>(argv + 3, argv + argc));
+        if (command == "synth")
+            return cmd_synth(
                 argv[2], std::vector<std::string>(argv + 3, argv + argc));
         if (command == "chaos" && argc >= 5)
             return cmd_chaos(

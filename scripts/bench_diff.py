@@ -2,7 +2,9 @@
 """Diff fresh BENCH_*.json results against committed baselines.
 
 Each BENCH_<tag>.json file holds one JSON object per line (one line per
-bench summary section). Throughput keys end in `_faults_per_sec`; a fresh
+bench summary section). Throughput keys end in `_per_sec` (faults/sec
+from the kernel benches, queries/sec and probes/sec from the query and
+synthesis benches); a fresh
 value more than --threshold below its baseline emits a GitHub Actions
 `::warning::` annotation — loud, but never a failure: shared runners are
 too noisy to gate merges on, the committed baselines come from a quiet
@@ -21,8 +23,8 @@ import sys
 
 
 def load_metrics(path):
-    """{qualified_key: value} for every numeric *_faults_per_sec field;
-    keys are qualified by the line's `workload` field so sections cannot
+    """{qualified_key: value} for every numeric *_per_sec field; keys
+    are qualified by the line's `workload` field so sections cannot
     shadow each other."""
     metrics = {}
     try:
@@ -39,7 +41,7 @@ def load_metrics(path):
                     continue
                 workload = record.get("workload", "")
                 for key, value in record.items():
-                    if not key.endswith("_faults_per_sec"):
+                    if not key.endswith("_per_sec"):
                         continue
                     if not isinstance(value, (int, float)):
                         continue
@@ -100,8 +102,7 @@ def main():
 
     for key, base, new, ratio in regressions:
         print(f"::warning title=Bench regression ({label})::{key} dropped "
-              f"to {ratio:.0%} of baseline ({base:,.0f} -> {new:,.0f} "
-              f"faults/sec)")
+              f"to {ratio:.0%} of baseline ({base:,.0f} -> {new:,.0f})")
     if not regressions and baseline and fresh:
         print(f"bench_diff: no >{args.threshold:.0%} regressions in "
               f"{len(fresh)} metrics")

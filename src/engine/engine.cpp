@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/dominance.hpp"
 #include "sim/batch_runner.hpp"
 #include "util/contracts.hpp"
 #include "word/word_batch_runner.hpp"
@@ -102,13 +103,15 @@ PopulationCache::PopulationCache(std::size_t fault_budget)
     : budget_(fault_budget == 0 ? kDefaultFaultBudget : fault_budget) {}
 
 std::shared_ptr<const BitPopulationEntry> PopulationCache::bit(
-    const std::vector<fault::FaultKind>& kinds, int memory_size) {
+    const std::vector<fault::FaultKind>& kinds, int memory_size,
+    bool pruned) {
     // The key AND the build order are the canonical kind list: a permuted
     // or duplicated caller list lands on the same entry with identical
     // contents, instead of breeding redundant copies that trip budget
-    // evictions.
+    // evictions. Pruned expansions get their own key so full and reduced
+    // populations stay warm side by side.
     std::vector<fault::FaultKind> canonical = canonical_kinds(kinds);
-    const BitKey key{kind_key(canonical), memory_size};
+    const BitKey key{kind_key(canonical), memory_size, pruned};
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         const auto it = bit_.find(key);
@@ -124,12 +127,28 @@ std::shared_ptr<const BitPopulationEntry> PopulationCache::bit(
     entry->kinds = std::move(canonical);
     entry->offsets.reserve(entry->kinds.size() + 1);
     entry->offsets.push_back(0);
-    for (fault::FaultKind kind : entry->kinds) {
-        const std::vector<sim::InjectedFault> placed =
-            sim::full_population(kind, memory_size);
-        entry->faults.insert(entry->faults.end(), placed.begin(),
-                             placed.end());
-        entry->offsets.push_back(entry->faults.size());
+    if (pruned) {
+        // Derive from the full entry (hitting or warming its key) and
+        // filter segment-wise, so the pruned layout can never disagree
+        // with the full one it claims to summarise.
+        const std::shared_ptr<const BitPopulationEntry> full =
+            bit(entry->kinds, memory_size, false);
+        const std::vector<char> keep = fault::dominance_keep_mask(
+            std::span<const sim::InjectedFault>(full->faults));
+        for (std::size_t k = 0; k + 1 < full->offsets.size(); ++k) {
+            for (std::size_t i = full->offsets[k]; i < full->offsets[k + 1];
+                 ++i)
+                if (keep[i] != 0) entry->faults.push_back(full->faults[i]);
+            entry->offsets.push_back(entry->faults.size());
+        }
+    } else {
+        for (fault::FaultKind kind : entry->kinds) {
+            const std::vector<sim::InjectedFault> placed =
+                sim::full_population(kind, memory_size);
+            entry->faults.insert(entry->faults.end(), placed.begin(),
+                                 placed.end());
+            entry->offsets.push_back(entry->faults.size());
+        }
     }
     std::shared_ptr<const BitPopulationEntry> built = std::move(entry);
     // A population beyond the whole budget is served uncached — the old
@@ -154,9 +173,9 @@ std::shared_ptr<const BitPopulationEntry> PopulationCache::bit(
 
 std::shared_ptr<const WordPopulationEntry> PopulationCache::word(
     const std::vector<fault::FaultKind>& kinds,
-    const word::WordRunOptions& opts) {
+    const word::WordRunOptions& opts, bool pruned) {
     std::vector<fault::FaultKind> canonical = canonical_kinds(kinds);
-    const WordKey key{kind_key(canonical), opts.words, opts.width};
+    const WordKey key{kind_key(canonical), opts.words, opts.width, pruned};
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         const auto it = word_.find(key);
@@ -170,12 +189,25 @@ std::shared_ptr<const WordPopulationEntry> PopulationCache::word(
     entry->kinds = std::move(canonical);
     entry->offsets.reserve(entry->kinds.size() + 1);
     entry->offsets.push_back(0);
-    for (fault::FaultKind kind : entry->kinds) {
-        const std::vector<word::InjectedBitFault> placed =
-            word::coverage_population(kind, opts);
-        entry->faults.insert(entry->faults.end(), placed.begin(),
-                             placed.end());
-        entry->offsets.push_back(entry->faults.size());
+    if (pruned) {
+        const std::shared_ptr<const WordPopulationEntry> full =
+            word(entry->kinds, opts, false);
+        const std::vector<char> keep = fault::dominance_keep_mask(
+            std::span<const word::InjectedBitFault>(full->faults));
+        for (std::size_t k = 0; k + 1 < full->offsets.size(); ++k) {
+            for (std::size_t i = full->offsets[k]; i < full->offsets[k + 1];
+                 ++i)
+                if (keep[i] != 0) entry->faults.push_back(full->faults[i]);
+            entry->offsets.push_back(entry->faults.size());
+        }
+    } else {
+        for (fault::FaultKind kind : entry->kinds) {
+            const std::vector<word::InjectedBitFault> placed =
+                word::coverage_population(kind, opts);
+            entry->faults.insert(entry->faults.end(), placed.begin(),
+                                 placed.end());
+            entry->offsets.push_back(entry->faults.size());
+        }
     }
     std::shared_ptr<const WordPopulationEntry> built = std::move(entry);
     if (built->faults.size() > budget_) return built;
@@ -220,20 +252,43 @@ Engine& Engine::global() {
 }
 
 std::shared_ptr<const BitPopulationEntry> Engine::bit_population(
-    const std::vector<fault::FaultKind>& kinds, int memory_size) const {
-    return cache_->bit(kinds, memory_size);
+    const std::vector<fault::FaultKind>& kinds, int memory_size,
+    bool pruned) const {
+    return cache_->bit(kinds, memory_size, pruned);
 }
 
 std::shared_ptr<const WordPopulationEntry> Engine::word_population(
     const std::vector<fault::FaultKind>& kinds,
-    const word::WordRunOptions& opts) const {
-    return cache_->word(kinds, opts);
+    const word::WordRunOptions& opts, bool pruned) const {
+    return cache_->word(kinds, opts, pruned);
 }
 
 Result Engine::run(const Query& query) const {
+    want_counts_[static_cast<std::size_t>(query.want)].fetch_add(
+        1, std::memory_order_relaxed);
     if (const auto* bit = std::get_if<BitUniverse>(&query.universe))
         return run_bit(query, *bit);
     return run_word(query, std::get<WordUniverse>(query.universe));
+}
+
+Engine::Stats Engine::stats() const {
+    Stats out;
+    out.cache = cache_->stats();
+    out.want_detects =
+        want_counts_[static_cast<std::size_t>(Want::Detects)].load(
+            std::memory_order_relaxed);
+    out.want_detects_all =
+        want_counts_[static_cast<std::size_t>(Want::DetectsAll)].load(
+            std::memory_order_relaxed);
+    out.want_traces =
+        want_counts_[static_cast<std::size_t>(Want::Traces)].load(
+            std::memory_order_relaxed);
+    out.want_sweeps =
+        want_counts_[static_cast<std::size_t>(Want::DictionarySweep)].load(
+            std::memory_order_relaxed);
+    out.queries = out.want_detects + out.want_detects_all + out.want_traces +
+                  out.want_sweeps;
+    return out;
 }
 
 Result Engine::run_bit(const Query& query,
@@ -262,7 +317,8 @@ Result Engine::run_bit(const Query& query,
         population = placed;
     } else if (!query.kinds.empty()) {
         MTG_EXPECTS(query.bit_faults.empty());
-        cached = bit_population(query.kinds, universe.opts.memory_size);
+        cached = bit_population(query.kinds, universe.opts.memory_size,
+                                query.prune);
         population = cached->faults;
     }
 
@@ -292,7 +348,7 @@ Result Engine::run_word(const Query& query,
         population = placed;
     } else if (!query.kinds.empty()) {
         MTG_EXPECTS(query.word_faults.empty());
-        cached = word_population(query.kinds, universe.opts);
+        cached = word_population(query.kinds, universe.opts, query.prune);
         population = cached->faults;
     }
 

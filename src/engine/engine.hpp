@@ -44,6 +44,8 @@
 /// concurrent hammer battery (tests/engine_hammer_test.cpp) to keep it
 /// honest.
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -97,6 +99,14 @@ struct Query {
     std::vector<fault::FaultKind> kinds;
     std::vector<sim::InjectedFault> bit_faults;
     std::vector<word::InjectedBitFault> word_faults;
+    /// Kind-expanded populations only: sweep the dominance-pruned
+    /// expansion (fault::dominance_prune) instead of the full one. A
+    /// search accelerator — a fault dominated by another in the universe
+    /// adds no fitness signal — NOT a coverage proof: acceptance gates
+    /// must re-run with prune=false. Pruned entries live in the
+    /// population cache under their own keys, so both stay warm. Ignored
+    /// for explicit faults and DictionarySweep.
+    bool prune{false};
 };
 
 /// Answer to a Query. Which fields are populated depends on `want`:
@@ -168,12 +178,18 @@ public:
     /// budget to force evictions mid-run.
     explicit PopulationCache(std::size_t fault_budget = 0);
 
+    /// `pruned` selects the dominance-reduced expansion (see
+    /// fault/dominance.hpp); pruned and full entries are cached under
+    /// distinct keys, and a pruned miss derives its contents from the
+    /// full entry (warming it as a side effect) so the two can never
+    /// disagree on layout.
     [[nodiscard]] std::shared_ptr<const BitPopulationEntry> bit(
-        const std::vector<fault::FaultKind>& kinds, int memory_size);
+        const std::vector<fault::FaultKind>& kinds, int memory_size,
+        bool pruned = false);
 
     [[nodiscard]] std::shared_ptr<const WordPopulationEntry> word(
         const std::vector<fault::FaultKind>& kinds,
-        const word::WordRunOptions& opts);
+        const word::WordRunOptions& opts, bool pruned = false);
 
     struct Stats {
         std::size_t hits{0};
@@ -188,8 +204,8 @@ public:
     [[nodiscard]] std::size_t fault_budget() const { return budget_; }
 
 private:
-    using BitKey = std::pair<std::vector<int>, int>;
-    using WordKey = std::tuple<std::vector<int>, int, int>;
+    using BitKey = std::tuple<std::vector<int>, int, bool>;
+    using WordKey = std::tuple<std::vector<int>, int, int, bool>;
 
     std::size_t budget_;
     mutable std::mutex mutex_;
@@ -237,6 +253,22 @@ public:
 
     /// Evaluates one query on this session's backend.
     [[nodiscard]] Result run(const Query& query) const;
+
+    /// Session observability: the population cache's hit/miss/eviction
+    /// counters plus per-Want query counts. The synthesis loop reports
+    /// probe-cache effectiveness from exactly these numbers, and the
+    /// query server's `stats` op re-exports them per engine. Counters are
+    /// atomics — stats() is safe concurrent with run() and the snapshot
+    /// is monotonic, not transactionally consistent.
+    struct Stats {
+        PopulationCache::Stats cache;
+        std::size_t queries{0};           ///< total run() invocations
+        std::size_t want_detects{0};
+        std::size_t want_detects_all{0};
+        std::size_t want_traces{0};
+        std::size_t want_sweeps{0};
+    };
+    [[nodiscard]] Stats stats() const;
 
     // ---- typed conveniences over run() ---------------------------------
 
@@ -304,15 +336,17 @@ public:
 
     /// Cached full-population entry of `kinds` on an n-cell memory (see
     /// PopulationCache::bit). The entry's faults are concatenated in
-    /// canonical kind order with per-kind offsets alongside.
+    /// canonical kind order with per-kind offsets alongside. `pruned`
+    /// selects the dominance-reduced expansion (distinct cache key).
     [[nodiscard]] std::shared_ptr<const BitPopulationEntry> bit_population(
-        const std::vector<fault::FaultKind>& kinds, int memory_size) const;
+        const std::vector<fault::FaultKind>& kinds, int memory_size,
+        bool pruned = false) const;
 
     /// Cached coverage-population entry of `kinds` on a words × width
-    /// memory, keyed by (canonical kinds, words, width).
+    /// memory, keyed by (canonical kinds, words, width, pruned).
     [[nodiscard]] std::shared_ptr<const WordPopulationEntry> word_population(
         const std::vector<fault::FaultKind>& kinds,
-        const word::WordRunOptions& opts) const;
+        const word::WordRunOptions& opts, bool pruned = false) const;
 
     [[nodiscard]] const EngineConfig& config() const { return config_; }
     [[nodiscard]] const Backend& backend() const { return *backend_; }
@@ -330,6 +364,8 @@ private:
     EngineConfig config_;
     std::unique_ptr<Backend> backend_;
     std::shared_ptr<PopulationCache> cache_;
+    /// Per-Want query counters, indexed by static_cast<int>(Want).
+    mutable std::array<std::atomic<std::size_t>, 4> want_counts_{};
 
     [[nodiscard]] Result run_bit(const Query& query,
                                  const BitUniverse& universe) const;

@@ -41,7 +41,14 @@ struct MarchOp {
     /// Wait for the data-retention delay.
     static constexpr MarchOp del() { return MarchOp{OpKind::Wait, 0}; }
 
-    friend constexpr bool operator==(const MarchOp&, const MarchOp&) = default;
+    /// A Wait carries no data value: every simulator ignores `value` for
+    /// Wait ops and "del" prints without one, so comparison must too —
+    /// otherwise a hand-built `{Wait, 1}` breaks the parse(render(t)) == t
+    /// round trip that the synthesis probe cache keys on.
+    friend constexpr bool operator==(const MarchOp& a, const MarchOp& b) {
+        if (a.kind != b.kind) return false;
+        return a.kind == OpKind::Wait || a.value == b.value;
+    }
 
     /// "r0", "w1", "del".
     [[nodiscard]] std::string str() const;

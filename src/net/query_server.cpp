@@ -177,6 +177,22 @@ std::string QueryServer::render_stats(std::int64_t id) const {
     body.set("cache_evictions", Json(std::int64_t(cache.evictions)));
     body.set("cache_retained_faults",
              Json(std::int64_t(cache.retained_faults)));
+    // Per-Want query counts summed over the interactive and bulk engines
+    // (they share the population cache reported above, so the cache
+    // counters already cover both).
+    const engine::Engine::Stats interactive = interactive_engine_->stats();
+    const engine::Engine::Stats bulk = bulk_engine_->stats();
+    body.set("engine_queries",
+             Json(std::int64_t(interactive.queries + bulk.queries)));
+    body.set("want_detects", Json(std::int64_t(interactive.want_detects +
+                                               bulk.want_detects)));
+    body.set("want_detects_all",
+             Json(std::int64_t(interactive.want_detects_all +
+                               bulk.want_detects_all)));
+    body.set("want_traces",
+             Json(std::int64_t(interactive.want_traces + bulk.want_traces)));
+    body.set("want_sweeps",
+             Json(std::int64_t(interactive.want_sweeps + bulk.want_sweeps)));
     Json root = Json::object();
     root.set("id", Json(id));
     root.set("ok", Json(true));

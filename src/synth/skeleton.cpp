@@ -1,0 +1,100 @@
+#include "synth/skeleton.hpp"
+
+#include "util/contracts.hpp"
+
+namespace mtg::synth {
+
+std::string slot_op_name(SlotOp op) {
+    switch (op) {
+        case SlotOp::Read: return "r";
+        case SlotOp::WriteFlip: return "w!";
+        case SlotOp::WriteSame: return "w=";
+        case SlotOp::Delay: return "del";
+    }
+    MTG_ASSERT(false);
+    return "?";
+}
+
+bool Skeleton::starts_with_write() const {
+    for (const Slot& slot : slots) {
+        for (SlotOp op : slot.ops) {
+            if (op == SlotOp::Delay) continue;
+            return op == SlotOp::WriteFlip || op == SlotOp::WriteSame;
+        }
+    }
+    return false;
+}
+
+int Skeleton::complexity() const {
+    int ops = 0;
+    for (const Slot& slot : slots)
+        for (SlotOp op : slot.ops)
+            if (op != SlotOp::Delay) ++ops;
+    return ops;
+}
+
+march::MarchTest Skeleton::render() const {
+    MTG_EXPECTS(init_polarity == 0 || init_polarity == 1);
+    march::MarchTest test;
+    int v = init_polarity;
+    for (const Slot& slot : slots) {
+        if (slot.ops.empty()) continue;
+        std::vector<march::MarchOp> ops;
+        ops.reserve(slot.ops.size());
+        for (SlotOp op : slot.ops) {
+            switch (op) {
+                case SlotOp::Read:
+                    ops.push_back(march::MarchOp::r(v));
+                    break;
+                case SlotOp::WriteFlip:
+                    v = 1 - v;
+                    ops.push_back(march::MarchOp::w(v));
+                    break;
+                case SlotOp::WriteSame:
+                    ops.push_back(march::MarchOp::w(v));
+                    break;
+                case SlotOp::Delay:
+                    ops.push_back(march::MarchOp::del());
+                    break;
+            }
+        }
+        test.push_back(march::MarchElement(slot.order, std::move(ops)));
+    }
+    return test;
+}
+
+std::string Skeleton::canonical_text() const {
+    return render().str(march::Notation::Ascii);
+}
+
+const std::vector<std::vector<SlotOp>>& slot_templates(bool include_delay) {
+    using enum SlotOp;
+    static const std::vector<std::vector<SlotOp>> base{
+        // Initialisers / re-initialisers.
+        {WriteSame},                    // ~(w v)
+        {WriteFlip},                    // ~(w !v)
+        // Observation-only.
+        {Read},                         // (r v)
+        // The workhorse element shapes of the known library tests.
+        {Read, WriteFlip},              // (r v, w !v)      MATS+/March C-
+        {Read, WriteFlip, Read},        // (r v, w !v, r !v) MATS++/March B
+        {Read, WriteFlip, WriteFlip},   // (r v, w !v, w v)  March Y/B flavour
+        {Read, WriteFlip, Read, WriteFlip},  // PMOVI-style double transition
+        {WriteFlip, Read},              // (w !v, r !v)
+        {WriteFlip, WriteFlip},         // (w !v, w v)       WDF sensitisers
+        {Read, Read},                   // (r v, r v)        DRDF/IRF probes
+        {Read, WriteSame},              // (r v, w v)        non-transition w
+        {WriteFlip, Read, WriteFlip, Read},  // March A/B inner shape
+    };
+    static const std::vector<std::vector<SlotOp>> with_delay = [] {
+        std::vector<std::vector<SlotOp>> all = base;
+        all.push_back({Delay});              // standalone retention pause
+        all.push_back({Delay, Read});        // pause then verify
+        all.push_back({Delay, Read, WriteFlip});
+        all.push_back({WriteFlip, Delay, Read});  // sensitise, pause, verify
+        return all;
+    }();
+    return include_delay ? with_delay : base;
+}
+
+}  // namespace mtg::synth

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file skeleton.hpp
+/// Slot-level intermediate representation for March test synthesis.
+///
+/// The search (beam_search.hpp) does not mutate march::MarchTest
+/// directly: concrete data values are entangled — the value an element
+/// reads is whatever the previous element left behind — so naive
+/// point mutations mostly produce ill-formed tests (reads of wrong or
+/// uninitialised values) that waste oracle probes. A Skeleton factors
+/// that entanglement out. Each slot is a March element template: an
+/// address order plus a sequence of *abstract* operations interpreted
+/// against the tracked fault-free data value v:
+///
+///     Read       -> r(v)
+///     WriteFlip  -> w(1-v), v := 1-v      (transition write)
+///     WriteSame  -> w(v)                  (non-transition write)
+///     Delay      -> del
+///
+/// v starts at the skeleton's init polarity — the one free data
+/// polarity; every other polarity in the rendered test is derived by the
+/// WriteFlip toggles, which is exactly the polarity structure of every
+/// known March test. A skeleton whose first operation is a write renders
+/// to a well-formed test *by construction* (every read expects the value
+/// the memory provably holds), so the search space contains no wasted
+/// candidates and rewrites (drop an op, flip the init polarity, merge
+/// two slots) re-bind all downstream polarities automatically.
+///
+/// Rendering goes through the ordinary march::MarchTest so the rendered
+/// text round-trips the parser (asserted in tests — the synthesis probe
+/// cache keys on exactly this canonical text).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "march/march_test.hpp"
+
+namespace mtg::synth {
+
+/// Abstract operation of a slot, interpreted against the tracked value.
+enum class SlotOp : std::uint8_t {
+    Read,       ///< r(v)
+    WriteFlip,  ///< w(1-v), toggles v
+    WriteSame,  ///< w(v) — non-transition write (initialisation when first)
+    Delay,      ///< del (retention faults)
+};
+
+/// Printable name of an abstract op ("r", "w!", "w=", "del").
+[[nodiscard]] std::string slot_op_name(SlotOp op);
+
+/// One March element template: an address order plus abstract ops.
+struct Slot {
+    march::AddressOrder order{march::AddressOrder::Any};
+    std::vector<SlotOp> ops;
+
+    friend bool operator==(const Slot&, const Slot&) = default;
+};
+
+/// A candidate March test under construction.
+struct Skeleton {
+    int init_polarity{0};     ///< v before the first operation (0 or 1)
+    std::vector<Slot> slots;
+
+    friend bool operator==(const Skeleton&, const Skeleton&) = default;
+
+    [[nodiscard]] bool empty() const { return slots.empty(); }
+
+    /// True when the first abstract operation is a write — the condition
+    /// under which render() is well-formed by construction.
+    [[nodiscard]] bool starts_with_write() const;
+
+    /// Memory operations of the rendered test (Delay excluded), without
+    /// rendering.
+    [[nodiscard]] int complexity() const;
+
+    /// Concrete March test: walk the slots tracking v from
+    /// init_polarity.
+    [[nodiscard]] march::MarchTest render() const;
+
+    /// Canonical text of the rendered test (Ascii notation) — the probe
+    /// cache key: skeletons that render identically share one oracle
+    /// verdict.
+    [[nodiscard]] std::string canonical_text() const;
+};
+
+/// The slot-template library the search expands candidates from. Every
+/// template is a short abstract op sequence; the search crosses them
+/// with the three address orders (and, for the opening slot, both init
+/// polarities). `include_delay` adds the retention templates (only
+/// useful when the target universe contains DRF kinds).
+[[nodiscard]] const std::vector<std::vector<SlotOp>>& slot_templates(
+    bool include_delay);
+
+}  // namespace mtg::synth

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "march/library.hpp"
 #include "march/march_test.hpp"
 #include "march/parser.hpp"
+#include "util/rng.hpp"
 
 namespace mtg::march {
 namespace {
@@ -88,6 +90,58 @@ TEST(Parser, RoundTripsThroughPrint) {
         const MarchTest parsed = parse_march(source);
         EXPECT_EQ(parse_march(parsed.str()), parsed) << source;
     }
+}
+
+TEST(Parser, RoundTripsEveryLibraryTestInBothNotations) {
+    for (const auto& named : known_march_tests()) {
+        for (const Notation notation : {Notation::Ascii, Notation::Unicode}) {
+            const std::string text = named.test.str(notation);
+            EXPECT_EQ(parse_march(text), named.test) << text;
+        }
+    }
+}
+
+TEST(Parser, RoundTripsRandomTestsIncludingDelays) {
+    // The synthesis probe cache keys on rendered text, so
+    // parse(render(t)) == t must hold for arbitrary op soups — including
+    // Wait ops, whose unused value byte must not break equality.
+    SplitMix64 rng(20260807);
+    for (int trial = 0; trial < 500; ++trial) {
+        MarchTest test;
+        const int elements = rng.range(1, 6);
+        for (int e = 0; e < elements; ++e) {
+            const auto order = static_cast<AddressOrder>(rng.range(0, 2));
+            std::vector<MarchOp> ops;
+            const int count = rng.range(1, 6);
+            for (int i = 0; i < count; ++i) {
+                switch (rng.range(0, 4)) {
+                    case 0: ops.push_back(MarchOp::r(0)); break;
+                    case 1: ops.push_back(MarchOp::r(1)); break;
+                    case 2: ops.push_back(MarchOp::w(0)); break;
+                    case 3: ops.push_back(MarchOp::w(1)); break;
+                    default:
+                        // Adversarial Wait: a junk value byte a hand-built
+                        // op could carry. Prints as plain "del".
+                        ops.push_back(MarchOp{OpKind::Wait,
+                                              static_cast<std::uint8_t>(
+                                                  rng.range(0, 1))});
+                        break;
+                }
+            }
+            test.push_back(MarchElement(order, std::move(ops)));
+        }
+        for (const Notation notation : {Notation::Ascii, Notation::Unicode}) {
+            const std::string text = test.str(notation);
+            ASSERT_EQ(parse_march(text), test) << text;
+        }
+    }
+}
+
+TEST(MarchOp, WaitComparesEqualRegardlessOfValueByte) {
+    // No simulator reads a Wait's value and "del" prints without one;
+    // equality canonicalises it away so text identity == op identity.
+    EXPECT_EQ((MarchOp{OpKind::Wait, 1}), MarchOp::del());
+    EXPECT_NE((MarchOp{OpKind::Write, 1}), (MarchOp{OpKind::Write, 0}));
 }
 
 TEST(Parser, RejectsMalformedInput) {

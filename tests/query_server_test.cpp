@@ -398,5 +398,47 @@ TEST(QueryServer, PingAndStatsAnswerWithoutABackendRun) {
     EXPECT_EQ(server.stats().backend_runs, 0u);
 }
 
+TEST(QueryServer, StatsOpReportsPerWantAndCacheCounters) {
+    QueryServer server;
+    const auto [server_fd, client_fd] = socket_pair();
+    server.serve_fd(server_fd);
+    QueryClient client(client_fd);
+
+    QueryRequest detects;
+    detects.id = 1;
+    detects.op = QueryOp::Detects;
+    detects.test = "MATS+";
+    detects.kinds = "SAF";
+    ASSERT_TRUE(client.roundtrip(detects, 30000).has_value());
+    QueryRequest all = detects;
+    all.id = 2;
+    all.op = QueryOp::DetectsAll;
+    ASSERT_TRUE(client.roundtrip(all, 30000).has_value());
+    ASSERT_TRUE(client.roundtrip(all, 30000).has_value());
+
+    QueryRequest stats_request;
+    stats_request.id = 3;
+    stats_request.op = QueryOp::Stats;
+    const auto reply = client.roundtrip(stats_request, 30000);
+    ASSERT_TRUE(reply.has_value());
+    const Json* body = Json::parse(*reply).find("stats");
+    ASSERT_NE(body, nullptr);
+    // Per-Want counts summed over the interactive and bulk engines. The
+    // second DetectsAll may be coalesced or served again — >= 1, == for
+    // Detects which ran exactly once.
+    EXPECT_EQ(body->find("want_detects")->as_int(), 1);
+    EXPECT_GE(body->find("want_detects_all")->as_int(), 1);
+    EXPECT_EQ(body->find("want_traces")->as_int(), 0);
+    EXPECT_EQ(body->find("want_sweeps")->as_int(), 0);
+    EXPECT_EQ(body->find("engine_queries")->as_int(),
+              body->find("want_detects")->as_int() +
+                  body->find("want_detects_all")->as_int());
+    // The population cache counters cover both engines (shared cache):
+    // three backend-run-worthy requests, at most one miss per universe.
+    EXPECT_GE(body->find("cache_hits")->as_int() +
+                  body->find("cache_misses")->as_int(),
+              1);
+}
+
 }  // namespace
 }  // namespace mtg::net
